@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md) and asserts the *shape* claims -- who is
+faster, what is redundant, what the algorithm does -- rather than
+absolute numbers.  Run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the regenerated tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Run a workload exactly once under pytest-benchmark timing.
+
+    These are algorithm-reproduction benches, not microbenchmarks; one
+    round is the honest measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

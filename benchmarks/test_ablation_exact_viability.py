@@ -1,0 +1,89 @@
+"""Ablation: exact McGeer-Brayton viability vs the production
+approximation vs static sensitization (Sections V / 6.1).
+
+The paper: "viability analysis provides the tightest upper bound on the
+delay among the approaches presented so far", and the practical
+implementation trades it for static sensitization.  This bench measures
+all the estimates on the paper's circuits and on random logic, checking
+the ordering the theory demands:
+
+    sensitizable <= exact viable <= approximate viable <= topological
+"""
+
+from conftest import once
+from repro.circuits import (
+    carry_skip_adder,
+    fig1_carry_skip_block,
+    fig4_c2_cone,
+    random_circuit,
+)
+from repro.timing import (
+    exact_viability_delay,
+    sensitizable_delay,
+    topological_delay,
+    viability_delay,
+)
+
+
+def test_delay_estimate_ladder(benchmark):
+    def run():
+        rows = []
+        workloads = [
+            ("fig4 cone", fig4_c2_cone()),
+            ("fig1 block", fig1_carry_skip_block()),
+            ("csa 4.2", carry_skip_adder(4, 2, cin_arrival=5.0)),
+        ]
+        for seed in (3, 7):
+            workloads.append(
+                (
+                    f"random#{seed}",
+                    random_circuit(
+                        num_inputs=5, num_gates=14, seed=seed,
+                        max_arrival=3.0,
+                    ),
+                )
+            )
+        for name, circuit in workloads:
+            rows.append(
+                (
+                    name,
+                    sensitizable_delay(circuit).delay,
+                    exact_viability_delay(circuit, max_inputs=12).delay,
+                    viability_delay(circuit).delay,
+                    topological_delay(circuit),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print(f"{'circuit':<12} {'sens':>6} {'exact':>6} {'approx':>6} {'topo':>6}")
+    for name, sens, exact, approx, topo in rows:
+        print(f"{name:<12} {sens:>6g} {exact:>6g} {approx:>6g} {topo:>6g}")
+        assert sens <= exact + 1e-9
+        assert exact <= approx + 1e-9
+        assert approx <= topo + 1e-9
+
+
+def test_carry_skip_gap(benchmark):
+    """On the carry-skip family the topological estimate is strictly
+    pessimistic while all the sensitization-aware estimates agree --
+    the signature of the paper's one real false-path family."""
+
+    def run():
+        cone = fig4_c2_cone()
+        return (
+            sensitizable_delay(cone).delay,
+            exact_viability_delay(cone).delay,
+            viability_delay(cone).delay,
+            topological_delay(cone),
+        )
+
+    sens, exact, approx, topo = once(benchmark, run)
+    print()
+    print(
+        f"fig4: sens {sens}, exact-viable {exact}, approx-viable "
+        f"{approx}, topological {topo}"
+    )
+    assert sens == exact == approx == 8.0
+    assert topo == 11.0

@@ -1,0 +1,83 @@
+"""Ablation: KMS vs straightforward redundancy removal (Sections II-III).
+
+'In almost all cases the straightforward removal of these redundancies
+does not affect the speed of the circuit.  However, in the case of the
+carry-skip adder ... removing the attendant redundancy in the design
+slows the circuit down.'
+
+Regenerated on the carry cone and on multi-block adders: naive removal
+that takes the skip redundancy first degrades the computed delay; KMS
+never does.
+"""
+
+import pytest
+
+from conftest import once
+from repro.atpg import remove_fault, remove_redundancies, stem_fault
+from repro.circuits import carry_skip_adder, fig4_c2_cone
+from repro.core import kms
+from repro.sat import check_equivalence
+from repro.timing import UnitDelayModel, viability_delay
+
+
+def _skip_first_removal(circuit, skip_gates):
+    """The textbook removal: tie the skip ANDs' untestable s-a-0 first."""
+    work = circuit.copy()
+    for gid in skip_gates:
+        remove_fault(work, stem_fault(gid, 0))
+    return remove_redundancies(work).circuit
+
+
+def test_cone_naive_slower_kms_not(benchmark):
+    def run():
+        cone = fig4_c2_cone()
+        before = viability_delay(cone).delay
+        naive = _skip_first_removal(cone, [cone.find_gate("gate10")])
+        kms_out = kms(cone).circuit
+        return {
+            "before": before,
+            "naive": viability_delay(naive).delay,
+            "kms": viability_delay(kms_out).delay,
+            "cone": cone,
+            "naive_circuit": naive,
+            "kms_circuit": kms_out,
+        }
+
+    r = once(benchmark, run)
+    print()
+    print(
+        f"carry cone: before {r['before']}, naive removal "
+        f"{r['naive']}, KMS {r['kms']}"
+    )
+    # both removals preserve function...
+    assert check_equivalence(r["cone"], r["naive_circuit"]).equivalent
+    assert check_equivalence(r["cone"], r["kms_circuit"]).equivalent
+    # ...but only naive removal slows the circuit down
+    assert r["naive"] > r["before"]
+    assert r["kms"] <= r["before"]
+
+
+@pytest.mark.parametrize("nbits,block", [(4, 2), (8, 4)])
+def test_multiblock_adders(benchmark, nbits, block):
+    """With a late carry-in, killing the skip chain naively costs the
+    cascaded blocks their bypass."""
+    model = UnitDelayModel()
+
+    def run():
+        c = carry_skip_adder(nbits, block, cin_arrival=5.0)
+        skip_gates = [
+            gid
+            for gid, gate in c.gates.items()
+            if gate.gtype.value == "and"
+            and len(gate.fanin) == block
+            and gate.delay == 1.0
+            and len(gate.fanout) == 2  # feeds the MUX select + inverter
+        ]
+        before = viability_delay(c, model).delay
+        kms_out = kms(c, model=model).circuit
+        return before, viability_delay(kms_out, model).delay
+
+    before, after = once(benchmark, run)
+    print()
+    print(f"csa {nbits}.{block} (late cin): {before} -> KMS {after}")
+    assert after <= before

@@ -1,0 +1,61 @@
+"""Ablation: static sensitization vs viability as the loop condition.
+
+Section 6.1: 'The user may choose whether viability or static
+sensitization is used ... the only penalty for this tradeoff occurs if
+an unnecessary duplication is performed because a path is not
+statically sensitizable, but is viable.'
+
+Regenerated: both modes give equivalent, irredundant, no-slower
+outputs; the viability mode never does *more* work (iterations or
+duplication) than the static mode.
+"""
+
+import pytest
+
+from conftest import once
+from repro.atpg import is_irredundant
+from repro.circuits import (
+    carry_skip_adder,
+    fig1_carry_skip_block,
+    fig4_c2_cone,
+)
+from repro.core import kms
+from repro.sat import check_equivalence
+from repro.timing import UnitDelayModel, viability_delay
+
+
+@pytest.mark.parametrize(
+    "label,make,model",
+    [
+        ("fig4 cone", fig4_c2_cone, None),
+        ("fig1 block", fig1_carry_skip_block, None),
+        (
+            "csa 4.2",
+            lambda: carry_skip_adder(4, 2, cin_arrival=5.0),
+            UnitDelayModel(),
+        ),
+    ],
+)
+def test_both_modes_safe(benchmark, label, make, model):
+    def run():
+        circuit = make()
+        static = kms(circuit, mode="static", model=model)
+        viability = kms(circuit, mode="viability", model=model)
+        return circuit, static, viability
+
+    circuit, static, viability = once(benchmark, run)
+    print()
+    print(
+        f"{label}: static iters={static.iterations} "
+        f"dup={static.duplicated_gates}; viability "
+        f"iters={viability.iterations} dup={viability.duplicated_gates}"
+    )
+    for result in (static, viability):
+        assert check_equivalence(circuit, result.circuit).equivalent
+        assert is_irredundant(result.circuit)
+        assert (
+            viability_delay(result.circuit, model).delay
+            <= viability_delay(circuit, model).delay + 1e-9
+        )
+    # viability is the weaker loop condition: never more iterations
+    assert viability.iterations <= static.iterations

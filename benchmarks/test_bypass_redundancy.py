@@ -1,0 +1,61 @@
+"""The paper's opening premise, end to end.
+
+"experience has shown that performance optimizations can, and do in
+practice, introduce single stuck-at-fault redundancies into designs.
+Are these redundancies necessary to increase performance or are they
+only an unnecessary by-product?"
+
+Workload: a single-output rd73 cone restructured with the Shannon
+bypass transform (the original cone kept next to a flat cofactor --
+heavily redundant, like real bypass/select logic).  KMS answers the
+title question constructively: the redundancies go, the delay does not
+come back, and the area collapses.
+"""
+
+from conftest import once
+from repro.atpg import count_redundancies, is_irredundant
+from repro.circuits import mcnc_circuit
+from repro.core import kms, verify_transformation
+from repro.network.transform import sweep
+from repro.synth import generalized_bypass
+from repro.timing import UnitDelayModel
+
+MODEL = UnitDelayModel()
+
+
+def _bypassed_cone():
+    c = mcnc_circuit("rd73")
+    for name in c.output_names()[:-1]:
+        c.remove_gate(c.find_output(name))
+    sweep(c)
+    c.input_arrival[c.inputs[0]] = 8.0
+    generalized_bypass(c, c.output_names()[0], "x0", model=MODEL)
+    return c
+
+
+def test_bypass_then_kms(benchmark):
+    def run():
+        circuit = _bypassed_cone()
+        red = count_redundancies(circuit)
+        result = kms(circuit, model=MODEL)
+        report = verify_transformation(circuit, result.circuit, MODEL)
+        return red, result, report
+
+    red, result, report = once(benchmark, run)
+    print()
+    print(
+        f"bypassed rd73 cone: {red} redundancies, gates "
+        f"{report.gates_before} -> {report.gates_after}, delay "
+        f"{report.delays_before.sensitizable:g} -> "
+        f"{report.delays_after.sensitizable:g}"
+    )
+    # optimization introduced many redundancies...
+    assert red >= 10
+    # ...and none of them was necessary for performance
+    assert report.ok
+    assert is_irredundant(result.circuit)
+    assert report.gates_after < report.gates_before
+    assert (
+        report.delays_after.sensitizable
+        <= report.delays_before.sensitizable
+    )

@@ -1,0 +1,59 @@
+"""Section 6.2: the fanout cost of duplication.
+
+'In the 2-b carry-skip adder, after removing redundancies, there is an
+increase in fan out of at most one for any gate, and no modification of
+the circuit is required to accommodate the higher fan out.'
+
+Regenerated: per-gate fanout growth through KMS, plus the delay impact
+under a fanout-sensitive delay model (the paper's answer -- cell
+resizing -- corresponds to bounding this delta).
+"""
+
+from conftest import once
+from repro.circuits import carry_skip_adder, fig1_carry_skip_block
+from repro.core import kms
+from repro.timing import (
+    AsBuiltDelayModel,
+    FanoutDelayModel,
+    topological_delay,
+)
+
+
+def _max_fanout(circuit):
+    return max(
+        (len(g.fanout) for g in circuit.gates.values()), default=0
+    )
+
+
+def test_fig1_fanout_growth_at_most_one(benchmark):
+    def run():
+        fig1 = fig1_carry_skip_block()
+        result = kms(fig1)
+        return fig1, result.circuit
+
+    before, after = once(benchmark, run)
+    print()
+    print(
+        f"Fig.1 max fanout: {_max_fanout(before)} -> "
+        f"{_max_fanout(after)}"
+    )
+    assert _max_fanout(after) <= _max_fanout(before) + 1
+
+
+def test_fanout_sensitive_delay_impact(benchmark):
+    """Even charging 0.2 units per extra fanout, the KMS output stays
+    at or below the original circuit's fanout-aware delay."""
+    model = FanoutDelayModel(AsBuiltDelayModel(), load_per_fanout=0.2)
+
+    def run():
+        c = carry_skip_adder(2, 2, cin_arrival=5.0)
+        result = kms(c)
+        return (
+            topological_delay(c, model),
+            topological_delay(result.circuit, model),
+        )
+
+    before, after = once(benchmark, run)
+    print()
+    print(f"fanout-aware topological delay: {before:.2f} -> {after:.2f}")
+    assert after <= before + 1e-9

@@ -1,0 +1,76 @@
+"""Fig. 1 + Section III: the redundant 2-b carry-skip adder block.
+
+Claims regenerated:
+
+* with c0 arriving at t = 5, AND/OR = 1, XOR/MUX = 2: the critical path
+  of the carry cone is a0 -> gates 1,6,7,9,11 -> MUX at 8 gate delays;
+* the longest (topological) path c0 -> 6,7,9,11 -> MUX is 11 and is not
+  statically sensitizable (a false path);
+* gate 10's output s-a-0 is untestable and is the block's signature
+  redundancy (2 untestable collapsed faults total);
+* the exact event-driven oracle confirms the true delay of the cone
+  is 8.
+"""
+
+from conftest import once
+from repro.atpg import SatAtpg, count_redundancies, stem_fault
+from repro.circuits import fig1_carry_skip_block, fig4_c2_cone
+from repro.sim import true_delay
+from repro.timing import (
+    longest_paths,
+    statically_sensitizable,
+    topological_delay,
+    viability_delay,
+)
+
+
+def test_fig1_timing_claims(benchmark):
+    def run():
+        block = fig1_carry_skip_block()
+        cone = fig4_c2_cone()
+        return {
+            "topo": topological_delay(block),
+            "cone_viability": viability_delay(cone).delay,
+            "cone_true": true_delay(cone),
+            "longest": longest_paths(block)[0],
+            "block": block,
+        }
+
+    result = once(benchmark, run)
+    print()
+    print(
+        f"Fig.1: longest path {result['topo']} (paper: 11), "
+        f"carry-cone computed delay {result['cone_viability']} "
+        f"(paper: 8), event-driven true delay {result['cone_true']}"
+    )
+    assert result["topo"] == 11.0
+    assert result["cone_viability"] == 8.0
+    assert result["cone_true"] == 8.0
+    block = result["block"]
+    path = result["longest"]
+    names = [block.gates[g].name for g in path.gates]
+    assert names[:4] == ["gate6", "gate7", "gate9", "gate11"]
+    assert statically_sensitizable(block, path) is None  # false path
+
+
+def test_fig1_redundancy_claims(benchmark):
+    def run():
+        block = fig1_carry_skip_block()
+        engine = SatAtpg(block)
+        g10 = block.find_gate("gate10")
+        return {
+            "sa0_testable": engine.is_testable(stem_fault(g10, 0)),
+            "sa1_testable": engine.is_testable(stem_fault(g10, 1)),
+            "redundancies": count_redundancies(block),
+        }
+
+    result = once(benchmark, run)
+    print()
+    print(
+        f"Fig.1: gate10 s-a-0 testable={result['sa0_testable']} "
+        f"(paper: untestable), redundancies={result['redundancies']} "
+        f"(paper: 2 per block)"
+    )
+    assert not result["sa0_testable"]
+    assert result["sa1_testable"]
+    assert result["redundancies"] == 2

@@ -1,0 +1,92 @@
+"""Figs. 4-6: Section 6.3's walk of the algorithm on the c2 cone.
+
+Fig. 4  the single-output carry cone; longest path c0 -> gate6 ->
+        gate7 -> gate9 -> gate11 -> MUX, length 11, not statically
+        sensitizable; no gate on it has fanout > 1, so no duplication.
+Fig. 5  after the first edge (c0 -> gate6) is tied to 0: the longest
+        path is now sensitizable and two s-a-1 redundancies remain.
+Fig. 6  after removing the remaining redundancies in any order: fully
+        testable, no slower.
+"""
+
+from conftest import once
+from repro.atpg import count_redundancies, is_irredundant
+from repro.circuits import (
+    fig4_c2_cone,
+    fig5_after_first_edge,
+    fig6_final,
+)
+from repro.core import kms
+from repro.sat import check_equivalence
+from repro.timing import (
+    sensitizable_delay,
+    topological_delay,
+    viability_delay,
+)
+
+
+def test_algorithm_trace_matches_figures(benchmark):
+    def run():
+        fig4 = fig4_c2_cone()
+        result = kms(fig4, checked=True, trace=True)
+        return fig4, result
+
+    fig4, result = once(benchmark, run)
+    print()
+    for event in result.events:
+        print(
+            f"  iter {event.iteration}: {event.path} "
+            f"-> tie {event.constant_value}, "
+            f"{event.duplicated_gates} duplicated, "
+            f"{event.gates_after} gates left"
+        )
+    # Fig. 4 -> Fig. 5 in exactly one iteration, no duplication
+    assert result.iterations == 1
+    assert result.duplicated_gates == 0
+    event = result.events[0]
+    assert "c0" in event.path and "gate6" in event.path
+    assert event.constant_value == 0
+    # the traced intermediate circuit is Fig. 5
+    fig5 = fig5_after_first_edge()
+    assert check_equivalence(event.snapshot, fig5).equivalent
+    # the final circuit is Fig. 6: irredundant, equivalent, no slower
+    assert is_irredundant(result.circuit)
+    assert check_equivalence(fig4, result.circuit).equivalent
+    assert (
+        viability_delay(result.circuit).delay
+        <= viability_delay(fig4).delay
+    )
+
+
+def test_fig5_properties(benchmark):
+    def run():
+        return fig5_after_first_edge()
+
+    fig5 = once(benchmark, run)
+    print()
+    print(
+        f"Fig.5: delay {topological_delay(fig5)}, sensitizable "
+        f"{sensitizable_delay(fig5).delay}, redundancies "
+        f"{count_redundancies(fig5)}"
+    )
+    # longest path sensitizable now (Section 6.3)
+    assert (
+        sensitizable_delay(fig5).delay == topological_delay(fig5)
+    )
+    # the remaining redundancies of the paper's Fig. 5
+    assert count_redundancies(fig5) >= 1
+
+
+def test_fig6_properties(benchmark):
+    def run():
+        return fig6_final()
+
+    fig6 = once(benchmark, run)
+    print()
+    print(
+        f"Fig.6: {fig6.num_gates()} gates, delay "
+        f"{viability_delay(fig6).delay}"
+    )
+    assert is_irredundant(fig6)
+    assert check_equivalence(fig4_c2_cone(), fig6).equivalent
+    assert viability_delay(fig6).delay <= 8.0

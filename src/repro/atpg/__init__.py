@@ -1,0 +1,95 @@
+"""ATPG substrate: stuck-at faults, PODEM, SAT-ATPG, fault simulation,
+and baseline (delay-oblivious) redundancy removal."""
+
+from .faults import (
+    CONN,
+    STEM,
+    Fault,
+    all_faults,
+    collapsed_faults,
+    conn_fault,
+    inject,
+    stem_fault,
+)
+from .podem import Podem, PodemResult, Status, generate_test
+from .satatpg import (
+    SatAtpg,
+    SatAtpgResult,
+    count_redundancies,
+    redundant_faults,
+)
+from .faultsim import (
+    CoverageReport,
+    detecting_patterns,
+    detects,
+    fault_coverage,
+    random_vectors,
+    simulate_fault_packed,
+)
+from .compaction import TestSet, compact, generate_test_set
+from .diagnosis import Diagnosis, FaultDictionary
+from .scoap import INF, Scoap, compute_scoap, rank_faults_by_difficulty
+from .pathdelay import (
+    FALLING,
+    PathDelayFault,
+    PdfReport,
+    RISING,
+    RobustPdfAtpg,
+    RobustTest,
+    on_path_values,
+    pdf_census,
+)
+from .redundancy import (
+    RemovalResult,
+    RemovalStep,
+    is_irredundant,
+    remove_fault,
+    remove_redundancies,
+)
+
+__all__ = [
+    "CONN",
+    "Diagnosis",
+    "FALLING",
+    "FaultDictionary",
+    "PathDelayFault",
+    "PdfReport",
+    "RISING",
+    "RobustPdfAtpg",
+    "RobustTest",
+    "INF",
+    "STEM",
+    "Scoap",
+    "TestSet",
+    "compute_scoap",
+    "rank_faults_by_difficulty",
+    "compact",
+    "generate_test_set",
+    "on_path_values",
+    "pdf_census",
+    "CoverageReport",
+    "Fault",
+    "Podem",
+    "PodemResult",
+    "RemovalResult",
+    "RemovalStep",
+    "SatAtpg",
+    "SatAtpgResult",
+    "Status",
+    "all_faults",
+    "collapsed_faults",
+    "conn_fault",
+    "count_redundancies",
+    "detecting_patterns",
+    "detects",
+    "fault_coverage",
+    "generate_test",
+    "inject",
+    "is_irredundant",
+    "random_vectors",
+    "redundant_faults",
+    "remove_fault",
+    "remove_redundancies",
+    "simulate_fault_packed",
+    "stem_fault",
+]

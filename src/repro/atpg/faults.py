@@ -1,0 +1,198 @@
+"""Single stuck-at fault model.
+
+Faults live on *connections* (the paper's redundancy-removal primitive
+acts on the "first edge" of a path) and on gate output *stems* (a fault
+before the fanout point, affecting every branch).  For a single-fanout
+gate the stem fault and the branch fault are the same physical site; the
+collapsed fault list keeps one of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from ..network import (
+    Circuit,
+    GateType,
+    SOURCE_TYPES,
+    controlling_value,
+    has_controlling_value,
+)
+from ..network.transform import set_connection_constant
+
+CONN = "conn"
+STEM = "stem"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault.
+
+    Attributes:
+        kind: ``"conn"`` (fault on one connection / fanout branch) or
+            ``"stem"`` (fault on a gate output, before fanout).
+        site: cid for conn faults, gid for stem faults.
+        value: the stuck-at value, 0 or 1.
+    """
+
+    kind: str
+    site: int
+    value: int
+
+    def describe(self, circuit: Circuit) -> str:
+        if self.kind == STEM:
+            gate = circuit.gates[self.site]
+            where = gate.name or f"g{self.site}"
+            return f"{where} output s-a-{self.value}"
+        conn = circuit.conns[self.site]
+        src = circuit.gates[conn.src]
+        dst = circuit.gates[conn.dst]
+        return (
+            f"({src.name or conn.src})->({dst.name or conn.dst}) "
+            f"s-a-{self.value}"
+        )
+
+
+def stem_fault(gid: int, value: int) -> Fault:
+    return Fault(STEM, gid, value)
+
+
+def conn_fault(cid: int, value: int) -> Fault:
+    return Fault(CONN, cid, value)
+
+
+def all_faults(circuit: Circuit) -> List[Fault]:
+    """The uncollapsed fault list: both stuck values on every gate output
+    stem (PIs included) and on every connection.
+
+    Gates with no fanout (e.g. primary inputs the logic no longer uses)
+    have no physical output line and are not fault sites.
+    """
+    faults: List[Fault] = []
+    for gid, gate in circuit.gates.items():
+        if gate.gtype is GateType.OUTPUT or not gate.fanout:
+            continue
+        for v in (0, 1):
+            faults.append(stem_fault(gid, v))
+    for cid in circuit.conns:
+        for v in (0, 1):
+            faults.append(conn_fault(cid, v))
+    return faults
+
+
+def collapsed_faults(circuit: Circuit) -> List[Fault]:
+    """Equivalence-collapsed fault list.
+
+    Structural fault equivalences (classic):
+
+    * input s-a-v of NOT/BUF/OUTPUT  ~  output stem s-a-(v xor inversion);
+    * input s-a-controlling of AND/NAND/OR/NOR  ~  output stem s-a-
+      controlled-output;
+    * stem of a single-fanout gate  ~  the fault on its one fanout
+      connection.
+
+    Classes are formed by union-find over those rules and one
+    representative is kept per class (preferring connection faults,
+    matching the paper's edge-centric treatment).  Faults on constant
+    gates are excluded -- a constant line carries its value by
+    construction, so one polarity is undetectable-by-definition rather
+    than interestingly redundant, and the other is equivalent to faults
+    downstream.
+    """
+    parent: dict = {}
+
+    def find(x: Fault) -> Fault:
+        while parent.get(x, x) != x:
+            parent[x] = parent.get(parent[x], parent[x])
+            x = parent[x]
+        return x
+
+    def union(a: Fault, b: Fault) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    universe: List[Fault] = []
+    const_gids = {
+        gid
+        for gid, g in circuit.gates.items()
+        if g.gtype in (GateType.CONST0, GateType.CONST1)
+    }
+    for gid, gate in circuit.gates.items():
+        if gate.gtype is GateType.OUTPUT or gid in const_gids:
+            continue
+        if not gate.fanout:
+            continue  # floating line: not a fault site
+        universe.append(stem_fault(gid, 0))
+        universe.append(stem_fault(gid, 1))
+    for cid, conn in circuit.conns.items():
+        if conn.src in const_gids:
+            continue
+        universe.append(conn_fault(cid, 0))
+        universe.append(conn_fault(cid, 1))
+    present = set(universe)
+
+    for cid, conn in circuit.conns.items():
+        if conn.src in const_gids:
+            continue
+        dst = circuit.gates[conn.dst]
+        if dst.gtype in (GateType.BUF, GateType.OUTPUT):
+            for v in (0, 1):
+                union(conn_fault(cid, v), stem_fault(conn.dst, v))
+        elif dst.gtype is GateType.NOT:
+            for v in (0, 1):
+                union(conn_fault(cid, v), stem_fault(conn.dst, 1 - v))
+        elif has_controlling_value(dst.gtype):
+            cv = controlling_value(dst.gtype)
+            from ..network.gates import controlled_output
+
+            union(
+                conn_fault(cid, cv),
+                stem_fault(conn.dst, controlled_output(dst.gtype)),
+            )
+    for gid, gate in circuit.gates.items():
+        if gate.gtype is GateType.OUTPUT or gid in const_gids:
+            continue
+        if len(gate.fanout) == 1:
+            cid = gate.fanout[0]
+            for v in (0, 1):
+                union(stem_fault(gid, v), conn_fault(cid, v))
+
+    # OUTPUT stems were used above as class anchors but are not real
+    # fault sites themselves; drop classes whose members are all absent.
+    classes: dict = {}
+    for f in universe:
+        classes.setdefault(find(f), []).append(f)
+    result: List[Fault] = []
+    for members in classes.values():
+        members = [m for m in members if m in present]
+        if not members:
+            continue
+        members.sort(key=lambda f: (f.kind != CONN, f.site, f.value))
+        result.append(members[0])
+    result.sort(key=lambda f: (f.kind, f.site, f.value))
+    return result
+
+
+def inject(circuit: Circuit, fault: Fault) -> Circuit:
+    """Return a copy of the circuit with the fault tied in structurally.
+
+    Gids/cids are preserved by :meth:`Circuit.copy`, so the fault site
+    maps directly.  No constant propagation is performed -- the faulty
+    circuit keeps its shape (ATPG and equivalence reasoning need the
+    same interface, not an optimized network).
+    """
+    faulty = circuit.copy(f"{circuit.name}#fault")
+    if fault.kind == CONN:
+        set_connection_constant(faulty, fault.site, fault.value)
+        return faulty
+    gate = faulty.gates[fault.site]
+    const = faulty.add_gate(
+        GateType.CONST1 if fault.value else GateType.CONST0, 0.0
+    )
+    for cid in list(gate.fanout):
+        faulty.move_connection_source(cid, const)
+    # the now-dangling gate is kept: PIs must survive, and keeping logic
+    # gates preserves gid stability for diagnostics
+    return faulty

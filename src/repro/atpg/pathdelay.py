@@ -1,0 +1,201 @@
+"""Path-delay faults and robust testability.
+
+The paper's conclusion contrasts KMS with delay-fault-oriented
+restructuring [20] ("synthesis of delay fault testable combinational
+logic") and asks whether KMS-style techniques generalize to removing
+*path-delay-fault* redundancies.  This module supplies the measurement
+side of that question:
+
+* a **path-delay fault (PDF)** is a structural path plus a transition
+  direction at its input (rising/falling);
+* a **robust test** is a vector pair (v1, v2) that launches the
+  transition and propagates it along the path regardless of delays
+  elsewhere: every side input must settle at its noncontrolling value
+  in v2, and must hold it *steadily* (in v1 as well) wherever the
+  on-path transition arrives at the gate going to the noncontrolling
+  value (the standard robust conditions);
+* a PDF with no robust test is **robust-untestable** -- the delay-fault
+  analogue of the stuck-at redundancies the paper removes.
+
+Test generation is SAT on a two-frame Tseitin model.  Benches use this
+to measure how many long-path PDFs of the carry-skip adder are robustly
+testable before and after KMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..network import (
+    Circuit,
+    GateType,
+    controlling_value,
+    has_controlling_value,
+)
+from ..sat import CircuitEncoder, Solver
+from ..timing.paths import Path
+
+RISING = "rising"
+FALLING = "falling"
+
+_INVERTING = frozenset(
+    {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+)
+
+
+@dataclass(frozen=True)
+class PathDelayFault:
+    """A path plus the transition direction launched at its source."""
+
+    path: Path
+    direction: str  # RISING or FALLING
+
+    def describe(self, circuit: Circuit) -> str:
+        return f"{self.direction} {self.path.describe(circuit)}"
+
+
+@dataclass
+class RobustTest:
+    """A two-vector robust test for a PDF."""
+
+    fault: PathDelayFault
+    #: PI gid -> value before the launch.
+    v1: Dict[int, int]
+    #: PI gid -> value after the launch.
+    v2: Dict[int, int]
+
+
+def on_path_values(
+    circuit: Circuit, path: Path, direction: str
+) -> List[int]:
+    """Final (v2) logic value of the on-path signal entering each gate.
+
+    The transition direction flips at every inverting gate; entry i is
+    the settled value on connection ``c_i`` under v2.
+    """
+    value = 1 if direction == RISING else 0
+    values = []
+    for gid in path.gates:
+        values.append(value)
+        if circuit.gates[gid].gtype in _INVERTING:
+            value = 1 - value
+    return values
+
+
+class RobustPdfAtpg:
+    """Two-frame SAT engine for robust PDF test generation."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        encoder = CircuitEncoder()
+        self.var1 = encoder.encode(circuit)  # frame 1 (v1, settled)
+        self.var2 = encoder.encode(circuit)  # frame 2 (v2, settled)
+        self.solver = Solver(encoder.cnf)
+
+    def _lit(self, frame: Dict[int, int], gid: int, value: int) -> int:
+        var = frame[gid]
+        return var if value else -var
+
+    def assumptions_for(self, fault: PathDelayFault) -> Optional[List[int]]:
+        """Assumption literals encoding launch + robust propagation.
+
+        Returns None for paths through gates with no controlling value
+        convention (XOR-family), which must be decomposed first.
+        """
+        circuit, path = self.circuit, fault.path
+        launch = 1 if fault.direction == RISING else 0
+        lits = [
+            self._lit(self.var1, path.source, 1 - launch),
+            self._lit(self.var2, path.source, launch),
+        ]
+        arriving = on_path_values(circuit, path, fault.direction)
+        for i, gid in enumerate(path.gates):
+            gate = circuit.gates[gid]
+            if gate.gtype in (GateType.NOT, GateType.BUF):
+                continue
+            if gate.gtype in (GateType.XOR, GateType.XNOR):
+                return None
+            cv = controlling_value(gate.gtype)
+            ncv = 1 - cv
+            on_path_cid = path.conns[i]
+            #   transition arrives going to ncv -> side inputs steady ncv
+            #   transition arrives going to cv  -> side inputs final ncv
+            need_steady = arriving[i] == ncv
+            for cid in gate.fanin:
+                if cid == on_path_cid:
+                    continue
+                src = circuit.conns[cid].src
+                lits.append(self._lit(self.var2, src, ncv))
+                if need_steady:
+                    lits.append(self._lit(self.var1, src, ncv))
+        return lits
+
+    def generate(self, fault: PathDelayFault) -> Optional[RobustTest]:
+        """A robust test for the PDF, or None if robust-untestable."""
+        assumptions = self.assumptions_for(fault)
+        if assumptions is None:
+            raise ValueError(
+                "robust PDF conditions need a simple-gate network"
+            )
+        if not self.solver.solve(assumptions):
+            return None
+        model = self.solver.model()
+        v1 = {
+            gid: int(model.get(self.var1[gid], False))
+            for gid in self.circuit.inputs
+        }
+        v2 = {
+            gid: int(model.get(self.var2[gid], False))
+            for gid in self.circuit.inputs
+        }
+        return RobustTest(fault=fault, v1=v1, v2=v2)
+
+    def is_robustly_testable(self, fault: PathDelayFault) -> bool:
+        return self.generate(fault) is not None
+
+
+@dataclass
+class PdfReport:
+    """Robust-testability census over a set of paths."""
+
+    total: int
+    testable: int
+    untestable_faults: List[PathDelayFault]
+
+    @property
+    def coverage(self) -> float:
+        if self.total == 0:
+            return 1.0
+        return self.testable / self.total
+
+
+def pdf_census(
+    circuit: Circuit,
+    max_paths: int = 100,
+    model=None,
+) -> PdfReport:
+    """Robust testability of both-direction PDFs on the longest paths.
+
+    Longest-first matters: those are the PDFs whose escape would break
+    the clock, the delay-fault mirror of the paper's speedtest concern.
+    """
+    from ..timing import iter_paths_longest_first
+
+    engine = RobustPdfAtpg(circuit)
+    total = 0
+    testable = 0
+    untestable: List[PathDelayFault] = []
+    for path in iter_paths_longest_first(
+        circuit, model, max_paths=max_paths
+    ):
+        for direction in (RISING, FALLING):
+            fault = PathDelayFault(path=path, direction=direction)
+            total += 1
+            if engine.is_robustly_testable(fault):
+                testable += 1
+            else:
+                untestable.append(fault)
+    return PdfReport(
+        total=total, testable=testable, untestable_faults=untestable
+    )

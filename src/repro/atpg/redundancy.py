@@ -1,0 +1,153 @@
+"""Plain (delay-oblivious) redundancy removal -- the paper's baseline.
+
+"The straightforward removal of these redundancies does not affect the
+speed of the circuit ... However, in the case of the carry-skip adder,
+removing the attendant redundancy in the design slows the circuit down."
+
+This module implements that straightforward procedure in the style of
+Schulz-Auth [22]: find an untestable fault, tie the faulty line to the
+stuck value (which by untestability preserves function), propagate the
+constant, sweep, and *recompute the remaining redundancies* before the
+next removal (removal can create or destroy other redundancies).  The
+order is arbitrary -- which is exactly why it can destroy carry-skip
+speed, the effect the KMS benches quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..network import Circuit, GateType
+from ..network.transform import (
+    propagate_constants,
+    set_connection_constant,
+    sweep,
+)
+from .faults import CONN, Fault, collapsed_faults
+from .satatpg import SatAtpg
+
+
+@dataclass
+class RemovalStep:
+    """One redundancy removed."""
+
+    fault: Fault
+    description: str
+    gates_before: int
+    gates_after: int
+
+
+@dataclass
+class RemovalResult:
+    """Outcome of iterative redundancy removal."""
+
+    circuit: Circuit
+    steps: List[RemovalStep] = field(default_factory=list)
+
+    @property
+    def removed(self) -> int:
+        return len(self.steps)
+
+
+def remove_fault(circuit: Circuit, fault: Fault) -> None:
+    """Tie the fault site to its stuck value and simplify, in place.
+
+    Sound only for *untestable* faults (the caller is responsible for the
+    redundancy proof).
+    """
+    if fault.kind == CONN:
+        set_connection_constant(circuit, fault.site, fault.value)
+    else:
+        gate = circuit.gates[fault.site]
+        const = circuit.add_gate(
+            GateType.CONST1 if fault.value else GateType.CONST0, 0.0
+        )
+        for cid in list(gate.fanout):
+            circuit.move_connection_source(cid, const)
+    propagate_constants(circuit)
+    sweep(circuit, collapse_buffers=True)
+
+
+def _undetected_by_random(
+    circuit: Circuit, faults: List[Fault], patterns: int = 64, seed: int = 7
+) -> List[Fault]:
+    """Cheap prefilter: faults a random test set already detects are
+    certainly testable, so only the survivors need SAT proofs."""
+    from .faultsim import fault_coverage, random_vectors
+
+    vectors = random_vectors(circuit, patterns, seed)
+    report = fault_coverage(circuit, faults, vectors)
+    return report.undetected_faults
+
+
+def remove_redundancies(
+    circuit: Circuit,
+    choose: Optional[Callable[[List[Fault]], Fault]] = None,
+    max_iterations: int = 10000,
+) -> RemovalResult:
+    """Iteratively remove untestable faults until the circuit is
+    irredundant.
+
+    ``choose`` picks which redundancy to remove next from the nonempty
+    list of currently-untestable collapsed faults (default: the first in
+    the deterministic fault-list order; in that default mode the scan
+    stops at the first untestable fault instead of proving the whole
+    list, and a random-pattern fault-simulation prefilter skips SAT
+    proofs for easily-testable faults).  The input circuit is not
+    modified; the result holds the transformed copy.
+    """
+    from .podem import Podem, Status
+    from .satatpg import SatAtpg, redundant_faults
+
+    work = circuit.copy(f"{circuit.name}#irr")
+    steps: List[RemovalStep] = []
+    for _ in range(max_iterations):
+        if choose is not None:
+            redundant = redundant_faults(work)
+            if not redundant:
+                break
+            fault = choose(redundant)
+        else:
+            # default order: stop at the first proven redundancy, using
+            # the same cheap-first funnel as redundant_faults
+            suspects = _undetected_by_random(work, collapsed_faults(work))
+            podem = Podem(work, backtrack_limit=100)
+            fault = None
+            hard: List[Fault] = []
+            for candidate in suspects:
+                status = podem.generate(candidate).status
+                if status is Status.UNTESTABLE:
+                    fault = candidate
+                    break
+                if status is Status.ABORTED:
+                    hard.append(candidate)
+            if fault is None and hard:
+                engine = SatAtpg(work)
+                fault = next(
+                    (f for f in hard if engine.is_redundant(f)), None
+                )
+            if fault is None:
+                break
+        before = work.num_gates()
+        description = fault.describe(work)
+        remove_fault(work, fault)
+        steps.append(
+            RemovalStep(
+                fault=fault,
+                description=description,
+                gates_before=before,
+                gates_after=work.num_gates(),
+            )
+        )
+    else:
+        raise RuntimeError("redundancy removal did not converge")
+    return RemovalResult(circuit=work, steps=steps)
+
+
+def is_irredundant(circuit: Circuit) -> bool:
+    """True if every collapsed stuck-at fault is testable -- the paper's
+    "fully testable for all single stuck faults"."""
+    from .satatpg import redundant_faults
+
+    return not redundant_faults(circuit)

@@ -1,0 +1,140 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+Combinational controllability CC0/CC1 (how hard to set a line to 0/1)
+and observability CO (how hard to propagate a line's value to an
+output), the classic heuristic guidance for ATPG.  PODEM's backtrace
+uses these to pick the *easiest* input for controlling objectives --
+measurably fewer backtracks on the benchmark circuits -- and reports
+rank redundancy suspects: untestable faults show up as infinite or
+extreme observability long before ATPG proves anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..network import Circuit, GateType
+
+#: Effectively-infinite cost (constant lines cannot be set the other way).
+INF = float("inf")
+
+
+@dataclass
+class Scoap:
+    """Per-gate SCOAP annotations (on gate outputs / stems)."""
+
+    cc0: Dict[int, float]
+    cc1: Dict[int, float]
+    co: Dict[int, float]
+
+    def controllability(self, gid: int, value: int) -> float:
+        return self.cc1[gid] if value else self.cc0[gid]
+
+    def fault_difficulty(self, gid: int, stuck_value: int) -> float:
+        """Heuristic detection difficulty of a stem s-a-v: set the line
+        to the opposite value and observe it."""
+        return self.controllability(gid, 1 - stuck_value) + self.co[gid]
+
+
+def compute_scoap(circuit: Circuit) -> Scoap:
+    """One forward pass for CC0/CC1, one backward pass for CO."""
+    cc0: Dict[int, float] = {}
+    cc1: Dict[int, float] = {}
+    for gid in circuit.topological_order():
+        gate = circuit.gates[gid]
+        ins = circuit.fanin_gates(gid)
+        t = gate.gtype
+        if t is GateType.INPUT:
+            cc0[gid], cc1[gid] = 1.0, 1.0
+        elif t is GateType.CONST0:
+            cc0[gid], cc1[gid] = 0.0, INF
+        elif t is GateType.CONST1:
+            cc0[gid], cc1[gid] = INF, 0.0
+        elif t in (GateType.BUF, GateType.OUTPUT):
+            cc0[gid] = cc0[ins[0]] + (0.0 if t is GateType.OUTPUT else 1.0)
+            cc1[gid] = cc1[ins[0]] + (0.0 if t is GateType.OUTPUT else 1.0)
+        elif t is GateType.NOT:
+            cc0[gid] = cc1[ins[0]] + 1.0
+            cc1[gid] = cc0[ins[0]] + 1.0
+        elif t is GateType.AND:
+            cc1[gid] = sum(cc1[i] for i in ins) + 1.0
+            cc0[gid] = min(cc0[i] for i in ins) + 1.0
+        elif t is GateType.NAND:
+            cc0[gid] = sum(cc1[i] for i in ins) + 1.0
+            cc1[gid] = min(cc0[i] for i in ins) + 1.0
+        elif t is GateType.OR:
+            cc0[gid] = sum(cc0[i] for i in ins) + 1.0
+            cc1[gid] = min(cc1[i] for i in ins) + 1.0
+        elif t is GateType.NOR:
+            cc1[gid] = sum(cc0[i] for i in ins) + 1.0
+            cc0[gid] = min(cc1[i] for i in ins) + 1.0
+        elif t in (GateType.XOR, GateType.XNOR):
+            # 2-input formulation folded over the fanin list
+            c0, c1 = cc0[ins[0]], cc1[ins[0]]
+            for other in ins[1:]:
+                n0 = min(c0 + cc0[other], c1 + cc1[other]) + 1.0
+                n1 = min(c0 + cc1[other], c1 + cc0[other]) + 1.0
+                c0, c1 = n0, n1
+            if t is GateType.XNOR:
+                c0, c1 = c1, c0
+            cc0[gid], cc1[gid] = c0, c1
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(f"unhandled gate type {t}")
+
+    co: Dict[int, float] = {gid: INF for gid in circuit.gates}
+    for gid in reversed(circuit.topological_order()):
+        gate = circuit.gates[gid]
+        if gate.gtype is GateType.OUTPUT:
+            co[gid] = 0.0
+        for cid in gate.fanin:
+            src = circuit.conns[cid].src
+            cost = _propagation_cost(circuit, gate, src, cc0, cc1)
+            if co[gid] + cost < co[src]:
+                co[src] = co[gid] + cost
+    return Scoap(cc0=cc0, cc1=cc1, co=co)
+
+
+def _propagation_cost(
+    circuit: Circuit,
+    gate,
+    through_src: int,
+    cc0: Dict[int, float],
+    cc1: Dict[int, float],
+) -> float:
+    """Cost of pushing a change on ``through_src`` through ``gate``."""
+    t = gate.gtype
+    others = [
+        circuit.conns[c].src
+        for c in gate.fanin
+        if circuit.conns[c].src != through_src
+    ]
+    if t in (GateType.BUF, GateType.NOT, GateType.OUTPUT):
+        return 0.0 if t is GateType.OUTPUT else 1.0
+    if t in (GateType.AND, GateType.NAND):
+        return sum(cc1[o] for o in others) + 1.0
+    if t in (GateType.OR, GateType.NOR):
+        return sum(cc0[o] for o in others) + 1.0
+    if t in (GateType.XOR, GateType.XNOR):
+        return sum(min(cc0[o], cc1[o]) for o in others) + 1.0
+    raise ValueError(f"unhandled gate type {t}")  # pragma: no cover
+
+
+def rank_faults_by_difficulty(
+    circuit: Circuit, faults: List
+) -> List[Tuple[float, object]]:
+    """(difficulty, fault) sorted hardest-first -- a triage heuristic:
+    redundancies and hard-to-test faults cluster at the top."""
+    from .faults import CONN
+
+    scoap = compute_scoap(circuit)
+    ranked = []
+    for fault in faults:
+        gid = (
+            circuit.conns[fault.site].src
+            if fault.kind == CONN
+            else fault.site
+        )
+        ranked.append((scoap.fault_difficulty(gid, fault.value), fault))
+    ranked.sort(key=lambda pair: pair[0], reverse=True)
+    return ranked

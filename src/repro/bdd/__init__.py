@@ -1,0 +1,14 @@
+"""ROBDD substrate: canonical function representation and equivalence."""
+
+from .bdd import BDD, bdd_equivalent, circuit_bdds
+from .reorder import build_under_order, order_cost, sift_order, total_size
+
+__all__ = [
+    "BDD",
+    "bdd_equivalent",
+    "build_under_order",
+    "circuit_bdds",
+    "order_cost",
+    "sift_order",
+    "total_size",
+]

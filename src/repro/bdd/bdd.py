@@ -1,0 +1,282 @@
+"""A reduced ordered binary decision diagram (ROBDD) package.
+
+Provides an independent oracle for functional equivalence (canonical
+forms: two functions are equal iff their node ids are equal) and for
+counting satisfying assignments.  Tests cross-check the SAT-based
+equivalence checker and the two-level synthesis package against BDDs.
+
+Classic implementation: a unique table for hash-consing, a computed table
+for memoizing ``ite``, complement-free (both polarities stored explicitly)
+for simplicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..network import Circuit, GateType
+
+
+class BDD:
+    """A BDD manager over variables 0..n-1 (index = order position)."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self.num_vars = num_vars
+        # node id -> (var, low, high); terminals are ids 0 and 1
+        self._nodes: List[Tuple[int, int, int]] = [
+            (-1, -1, -1),
+            (-1, -1, -1),
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    ZERO = 0
+    ONE = 1
+
+    def add_var(self) -> int:
+        """Allocate a new variable, returning its index."""
+        self.num_vars += 1
+        return self.num_vars - 1
+
+    def var(self, index: int) -> int:
+        """The BDD for variable ``index``."""
+        if index >= self.num_vars:
+            self.num_vars = index + 1
+        return self._mk(index, self.ZERO, self.ONE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD for the negation of variable ``index``."""
+        return self.negate(self.var(index))
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def _top_var(self, *nodes: int) -> int:
+        tops = [self._nodes[n][0] for n in nodes if n > 1]
+        return min(tops)
+
+    def _cofactors(self, node: int, var: int) -> Tuple[int, int]:
+        if node <= 1:
+            return node, node
+        nvar, low, high = self._nodes[node]
+        if nvar == var:
+            return low, high
+        return node, node
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: f ? g : h.  The universal connective."""
+        if f == self.ONE:
+            return g
+        if f == self.ZERO:
+            return h
+        if g == h:
+            return g
+        if g == self.ONE and h == self.ZERO:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._top_var(f, g, h)
+        f0, f1 = self._cofactors(f, var)
+        g0, g1 = self._cofactors(g, var)
+        h0, h1 = self._cofactors(h, var)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(var, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # -- boolean connectives ------------------------------------------- #
+
+    def negate(self, f: int) -> int:
+        return self.ite(f, self.ZERO, self.ONE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.ZERO)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, self.ONE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.negate(g), g)
+
+    def and_many(self, fs: Iterable[int]) -> int:
+        acc = self.ONE
+        for f in fs:
+            acc = self.apply_and(acc, f)
+        return acc
+
+    def or_many(self, fs: Iterable[int]) -> int:
+        acc = self.ZERO
+        for f in fs:
+            acc = self.apply_or(acc, f)
+        return acc
+
+    # -- quantification and cofactoring --------------------------------- #
+
+    def restrict(self, f: int, var: int, value: int) -> int:
+        """Cofactor of f with variable fixed to 0/1."""
+        if f <= 1:
+            return f
+        fvar, low, high = self._nodes[f]
+        if fvar > var:
+            return f
+        if fvar == var:
+            return high if value else low
+        return self._mk(
+            fvar,
+            self.restrict(low, var, value),
+            self.restrict(high, var, value),
+        )
+
+    def exists(self, f: int, var: int) -> int:
+        """Existential quantification (smoothing) of one variable."""
+        return self.apply_or(
+            self.restrict(f, var, 0), self.restrict(f, var, 1)
+        )
+
+    # -- queries --------------------------------------------------------#
+
+    def count_sat(self, f: int) -> int:
+        """Number of satisfying assignments over all num_vars variables."""
+        cache: Dict[int, int] = {}
+
+        def count(node: int, from_var: int) -> int:
+            if node == self.ZERO:
+                return 0
+            if node == self.ONE:
+                return 1 << (self.num_vars - from_var)
+            key = node
+            if key in cache:
+                base = cache[key]
+            else:
+                var, low, high = self._nodes[node]
+                base = count(low, var + 1) + count(high, var + 1)
+                cache[key] = base
+            var = self._nodes[node][0]
+            return base << (var - from_var)
+
+        return count(f, 0)
+
+    def any_sat(self, f: int) -> Optional[Dict[int, int]]:
+        """One satisfying assignment (var index -> 0/1), or None."""
+        if f == self.ZERO:
+            return None
+        assignment: Dict[int, int] = {}
+        node = f
+        while node != self.ONE:
+            var, low, high = self._nodes[node]
+            if high != self.ZERO:
+                assignment[var] = 1
+                node = high
+            else:
+                assignment[var] = 0
+                node = low
+        return assignment
+
+    def evaluate(self, f: int, assignment: Dict[int, int]) -> int:
+        """Evaluate f under a total assignment (var index -> 0/1)."""
+        node = f
+        while node > 1:
+            var, low, high = self._nodes[node]
+            node = high if assignment.get(var, 0) else low
+        return node
+
+    def size(self, f: int) -> int:
+        """Number of nodes reachable from f (including terminals)."""
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in seen or node <= 1:
+                continue
+            seen.add(node)
+            _, low, high = self._nodes[node]
+            stack.extend((low, high))
+        return len(seen) + 2
+
+
+def circuit_bdds(
+    circuit: Circuit, manager: Optional[BDD] = None,
+    var_of_input: Optional[Dict[int, int]] = None,
+) -> Tuple[BDD, Dict[int, int]]:
+    """Build BDDs for every gate of a circuit.
+
+    Returns (manager, gid -> bdd node).  PI variable order is circuit
+    input order unless ``var_of_input`` maps PI gids to existing manager
+    variables (for cross-circuit comparison).
+    """
+    bdd = manager if manager is not None else BDD()
+    if var_of_input is None:
+        var_of_input = {}
+        for gid in circuit.inputs:
+            var_of_input[gid] = bdd.add_var()
+    node: Dict[int, int] = {}
+    for gid in circuit.topological_order():
+        gate = circuit.gates[gid]
+        if gate.gtype is GateType.INPUT:
+            node[gid] = bdd.var(var_of_input[gid])
+            continue
+        ins = [node[circuit.conns[c].src] for c in gate.fanin]
+        if gate.gtype is GateType.CONST0:
+            node[gid] = bdd.ZERO
+        elif gate.gtype is GateType.CONST1:
+            node[gid] = bdd.ONE
+        elif gate.gtype in (GateType.BUF, GateType.OUTPUT):
+            node[gid] = ins[0]
+        elif gate.gtype is GateType.NOT:
+            node[gid] = bdd.negate(ins[0])
+        elif gate.gtype is GateType.AND:
+            node[gid] = bdd.and_many(ins)
+        elif gate.gtype is GateType.NAND:
+            node[gid] = bdd.negate(bdd.and_many(ins))
+        elif gate.gtype is GateType.OR:
+            node[gid] = bdd.or_many(ins)
+        elif gate.gtype is GateType.NOR:
+            node[gid] = bdd.negate(bdd.or_many(ins))
+        elif gate.gtype is GateType.XOR:
+            acc = bdd.ZERO
+            for f in ins:
+                acc = bdd.apply_xor(acc, f)
+            node[gid] = acc
+        elif gate.gtype is GateType.XNOR:
+            acc = bdd.ZERO
+            for f in ins:
+                acc = bdd.apply_xor(acc, f)
+            node[gid] = bdd.negate(acc)
+        else:
+            raise ValueError(f"cannot build BDD for {gate.gtype}")
+    return bdd, node
+
+
+def bdd_equivalent(a: Circuit, b: Circuit) -> bool:
+    """BDD-based equivalence check (independent of the SAT path).
+
+    Circuits are matched by PI/PO names; shared variables keep the two
+    functions in one manager so equality is id equality.
+    """
+    a_pis = {a.gates[g].name: g for g in a.inputs}
+    b_pis = {b.gates[g].name: g for g in b.inputs}
+    if set(a_pis) != set(b_pis):
+        return False
+    a_pos = {a.gates[g].name: g for g in a.outputs}
+    b_pos = {b.gates[g].name: g for g in b.outputs}
+    if set(a_pos) != set(b_pos):
+        return False
+    bdd = BDD()
+    var_a = {gid: bdd.add_var() for gid in a.inputs}
+    _, nodes_a = circuit_bdds(a, bdd, var_a)
+    var_b = {b_pis[name]: var_a[a_pis[name]] for name in a_pis}
+    _, nodes_b = circuit_bdds(b, bdd, var_b)
+    return all(
+        nodes_a[a_pos[name]] == nodes_b[b_pos[name]] for name in a_pos
+    )

@@ -1,0 +1,92 @@
+"""BDD variable ordering: rebuild-based reordering and greedy search.
+
+The manager in :mod:`repro.bdd.bdd` hash-conses nodes under a fixed
+order, so reordering is done by *rebuilding* circuit BDDs under a
+candidate order -- simple, safe, and entirely adequate for the
+small-to-medium cones this library collapses (ISOP extraction, cone
+analysis).  `sift_order` runs a sifting-flavoured greedy search: move
+each variable through every position, keep the best.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network import Circuit
+from .bdd import BDD, circuit_bdds
+
+
+def build_under_order(
+    circuit: Circuit, order: Sequence[int]
+) -> Tuple[BDD, Dict[int, int]]:
+    """Build the circuit's BDDs with PI gids assigned in ``order``.
+
+    ``order`` lists PI gids; position in the list = BDD variable index.
+    Returns (manager, gid -> node for every gate).
+    """
+    if sorted(order) != sorted(circuit.inputs):
+        raise ValueError("order must be a permutation of the PIs")
+    bdd = BDD(num_vars=len(order))
+    var_of_input = {gid: i for i, gid in enumerate(order)}
+    _, nodes = circuit_bdds(circuit, bdd, var_of_input)
+    return bdd, nodes
+
+
+def total_size(
+    bdd: BDD, nodes: Dict[int, int], roots: Sequence[int]
+) -> int:
+    """Shared node count of the given roots (the usual cost metric)."""
+    seen = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node <= 1 or node in seen:
+            continue
+        seen.add(node)
+        _var, low, high = bdd._nodes[node]
+        stack.extend((low, high))
+    return len(seen) + 2
+
+
+def order_cost(circuit: Circuit, order: Sequence[int]) -> int:
+    """Total shared BDD size of all primary outputs under an order."""
+    bdd, nodes = build_under_order(circuit, order)
+    return total_size(bdd, nodes, [nodes[po] for po in circuit.outputs])
+
+
+def sift_order(
+    circuit: Circuit,
+    start: Optional[Sequence[int]] = None,
+    passes: int = 2,
+) -> Tuple[List[int], int]:
+    """Greedy sifting by rebuild: returns (best order, its cost).
+
+    For each variable (largest-impact first would need per-level counts;
+    we simply iterate), try every position and keep the best.  ``passes``
+    full sweeps; each sweep is monotone non-increasing in cost.
+    """
+    order = list(start) if start is not None else list(circuit.inputs)
+    best_cost = order_cost(circuit, order)
+    n = len(order)
+    for _ in range(passes):
+        improved = False
+        for gid in list(order):
+            current_pos = order.index(gid)
+            best_pos, best_here = current_pos, best_cost
+            for pos in range(n):
+                if pos == current_pos:
+                    continue
+                candidate = list(order)
+                candidate.remove(gid)
+                candidate.insert(pos, gid)
+                cost = order_cost(circuit, candidate)
+                if cost < best_here:
+                    best_pos, best_here = pos, cost
+            if best_pos != current_pos:
+                order.remove(gid)
+                order.insert(best_pos, gid)
+                best_cost = best_here
+                improved = True
+        if not improved:
+            break
+    return order, best_cost

@@ -1,0 +1,25 @@
+"""Benchmark harness: regenerates the paper's tables and figures."""
+
+from .table1 import (
+    CSA_SIZES,
+    PAPER_TABLE1,
+    Table1Row,
+    carry_skip_rows,
+    classify_longest_paths,
+    mcnc_rows,
+    optimized_mcnc,
+    render,
+    run_circuit_row,
+)
+
+__all__ = [
+    "CSA_SIZES",
+    "PAPER_TABLE1",
+    "Table1Row",
+    "carry_skip_rows",
+    "classify_longest_paths",
+    "mcnc_rows",
+    "optimized_mcnc",
+    "render",
+    "run_circuit_row",
+]

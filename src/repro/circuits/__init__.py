@@ -1,0 +1,41 @@
+"""Circuit generators: adders, the paper's figures, benchmark suites."""
+
+from .adders import (
+    adder_reference,
+    carry_lookahead_adder,
+    carry_skip_adder,
+    check_adder,
+    ripple_carry_adder,
+)
+from .mcnc import MCNC_NAMES, mcnc_circuit, mcnc_pla, mcnc_shapes
+from .random_logic import random_circuit, random_redundant_circuit
+from .paper import (
+    C0_ARRIVAL,
+    fig1_carry_skip_block,
+    fig2_irredundant_block,
+    fig4_c2_cone,
+    fig5_after_first_edge,
+    fig6_final,
+    section3_fault_demo,
+)
+
+__all__ = [
+    "C0_ARRIVAL",
+    "MCNC_NAMES",
+    "mcnc_circuit",
+    "mcnc_pla",
+    "mcnc_shapes",
+    "random_circuit",
+    "random_redundant_circuit",
+    "adder_reference",
+    "carry_lookahead_adder",
+    "carry_skip_adder",
+    "check_adder",
+    "fig1_carry_skip_block",
+    "fig2_irredundant_block",
+    "fig4_c2_cone",
+    "fig5_after_first_edge",
+    "fig6_final",
+    "ripple_carry_adder",
+    "section3_fault_demo",
+]

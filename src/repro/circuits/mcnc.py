@@ -1,0 +1,134 @@
+"""MCNC-benchmark stand-ins for the Table I circuits.
+
+The paper's Section VIII runs nine MCNC circuits that had been optimized
+for area and then for delay in MIS-II.  The original PLA files are not
+redistributable here, so each name is bound to a functionally-defined
+stand-in with the *same PI/PO counts* (see DESIGN.md, substitution 2):
+
+====== ===== ===== =====================================================
+name     in   out  function
+====== ===== ===== =====================================================
+5xp1      7    10  y = 5*x + 1
+clip      9     5  y = clamp(|x| for 9-bit two's complement x, 0, 31)
+duke2    22    29  seeded sparse PLA
+f51m      8     8  y = (low nibble) * (high nibble)  (4x4 multiplier)
+misex1    8     7  seeded PLA
+misex2   25    18  seeded sparse PLA
+rd73      7     3  y = popcount(x)
+sao2     10     4  seeded PLA
+z4ml      7     4  y = a + b + cin  (two 3-bit operands)
+====== ===== ===== =====================================================
+
+Arithmetic names use exact tabulation; the others use deterministic
+seeded covers, so every build of the suite is bit-identical.  What Table
+I actually exercises -- small redundancy counts, the class-1/class-2
+longest-path split after delay optimization, area non-growth through
+KMS -- is a property of the flow, not of the original PLA contents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..io.pla import Pla, pla_from_function
+from ..network import Circuit
+from ..twolevel import Cover, Cube
+
+
+def _five_x_plus_one(x: int) -> int:
+    return 5 * x + 1
+
+
+def _clip(x: int) -> int:
+    # 9-bit two's complement magnitude clamped to 5 bits
+    if x & 0x100:
+        x = x - 0x200
+    return min(abs(x), 31)
+
+
+def _f51m(x: int) -> int:
+    return (x & 0xF) * ((x >> 4) & 0xF) & 0xFF
+
+
+def _rd73(x: int) -> int:
+    return bin(x).count("1")
+
+
+def _z4ml(x: int) -> int:
+    a = x & 0x7
+    b = (x >> 3) & 0x7
+    cin = (x >> 6) & 1
+    return (a + b + cin) & 0xF
+
+
+def _seeded_pla(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    cubes_per_output: int,
+    literals_low: int,
+    literals_high: int,
+    seed: int,
+) -> Pla:
+    """A deterministic sparse PLA with the given shape."""
+    rng = random.Random(seed)
+    ins = [f"x{i}" for i in range(num_inputs)]
+    outs = [f"y{i}" for i in range(num_outputs)]
+    pla = Pla(name, ins, outs)
+    for out in outs:
+        cover = Cover(num_inputs)
+        for _ in range(cubes_per_output):
+            cube = Cube.universe(num_inputs)
+            k = rng.randint(literals_low, literals_high)
+            for var in rng.sample(range(num_inputs), k):
+                cube = cube.with_literal(var, rng.getrandbits(1))
+            cover.add(cube)
+        pla.on_sets[out] = cover
+        pla.dc_sets[out] = Cover(num_inputs)
+    return pla
+
+
+def _tabulated(
+    name: str, num_inputs: int, num_outputs: int, func: Callable[[int], int]
+) -> Pla:
+    return pla_from_function(name, num_inputs, num_outputs, func)
+
+
+#: name -> (inputs, outputs, PLA builder)
+_SUITE: Dict[str, Tuple[int, int, Callable[[], Pla]]] = {
+    "5xp1": (7, 10, lambda: _tabulated("5xp1", 7, 10, _five_x_plus_one)),
+    "clip": (9, 5, lambda: _tabulated("clip", 9, 5, _clip)),
+    "duke2": (22, 29, lambda: _seeded_pla("duke2", 22, 29, 6, 3, 8, 0xD02E)),
+    "f51m": (8, 8, lambda: _tabulated("f51m", 8, 8, _f51m)),
+    "misex1": (8, 7, lambda: _seeded_pla("misex1", 8, 7, 5, 2, 5, 0x31)),
+    "misex2": (25, 18, lambda: _seeded_pla("misex2", 25, 18, 4, 3, 9, 0x32)),
+    "rd73": (7, 3, lambda: _tabulated("rd73", 7, 3, _rd73)),
+    "sao2": (10, 4, lambda: _seeded_pla("sao2", 10, 4, 8, 3, 7, 0x5A02)),
+    "z4ml": (7, 4, lambda: _tabulated("z4ml", 7, 4, _z4ml)),
+}
+
+MCNC_NAMES: List[str] = sorted(_SUITE)
+
+
+def mcnc_pla(name: str) -> Pla:
+    """The stand-in PLA for a Table I benchmark name."""
+    try:
+        _in, _out, build = _SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {MCNC_NAMES}"
+        ) from None
+    return build()
+
+
+def mcnc_circuit(name: str, minimize: bool = True) -> Circuit:
+    """Area-optimized multilevel circuit for a benchmark name
+    (espresso + factor + simple gates) -- the Table I starting point
+    before delay optimization."""
+    return mcnc_pla(name).to_circuit(minimize=minimize)
+
+
+def mcnc_shapes() -> Dict[str, Tuple[int, int]]:
+    """name -> (inputs, outputs), matching the paper's circuits."""
+    return {k: (v[0], v[1]) for k, v in _SUITE.items()}

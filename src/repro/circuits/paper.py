@@ -1,0 +1,158 @@
+"""The paper's figures as exact netlists.
+
+Fig. 1  -- the redundant 2-b carry-skip adder block, gate numbering as in
+the paper (gates 1-11 plus the MUX).  Section III's analysis assumes c0
+arrives at t = 5, all other inputs at t = 0, AND/OR delay 1 and XOR/MUX
+delay 2; those delays are baked into the netlist (complex gates carried
+by the last simple gate of their decomposition).
+
+Fig. 2  -- the paper's novel irredundant carry-skip block: identical
+except the connection gate7 -> gate9 is replaced by primary input b0.
+
+Fig. 4  -- the single-output c2 cone of Fig. 1 on which Section 6.3
+walks the algorithm.
+
+Figs. 5/6 -- the intermediate and final circuits of that walk, derived
+here by applying the documented transformations (first edge of the
+longest path tied to 0; then the two remaining s-a-1 redundancies tied
+to 1) so benches can check each intermediate claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..network import Builder, Circuit, GateType
+from ..network.transform import (
+    propagate_constants,
+    set_connection_constant,
+    sweep,
+)
+from .adders import GATE_DELAY, MUX_DELAY, XOR_DELAY
+
+#: Section III arrival time of the block carry-in.
+C0_ARRIVAL = 5.0
+
+
+def _skip_block(b: Builder, with_sums: bool) -> None:
+    """Common structure of Figs. 1 and 4 (gate names as in the paper)."""
+    a0 = b.input("a0")
+    b0 = b.input("b0")
+    a1 = b.input("a1")
+    b1 = b.input("b1")
+    c0 = b.input("c0", arrival=C0_ARRIVAL)
+    # propagate / generate per bit
+    p0 = _xor_named(b, a0, b0, "gate1")
+    g0 = b.and_(a0, b0, delay=GATE_DELAY, name="gate2")
+    p1 = _xor_named(b, a1, b1, "gate3")
+    g1 = b.and_(a1, b1, delay=GATE_DELAY, name="gate4")
+    if with_sums:
+        s0 = _xor_named(b, p0, c0, "gate5")
+    t0 = b.and_(p0, c0, delay=GATE_DELAY, name="gate6")
+    c1 = b.or_(g0, t0, delay=GATE_DELAY, name="gate7")
+    if with_sums:
+        s1 = _xor_named(b, p1, c1, "gate8")
+    t1 = b.and_(p1, c1, delay=GATE_DELAY, name="gate9")
+    skip = b.and_(p0, p1, delay=GATE_DELAY, name="gate10")
+    ripple = b.or_(g1, t1, delay=GATE_DELAY, name="gate11")
+    # MUX: all propagate high -> c2 = c0, else the ripple carry
+    inv = b.not_(skip, delay=0.0, name="mux_not")
+    d0 = b.and_(inv, ripple, delay=0.0, name="mux_and0")
+    d1 = b.and_(skip, c0, delay=0.0, name="mux_and1")
+    c2 = b.or_(d0, d1, delay=MUX_DELAY, name="mux_or")
+    if with_sums:
+        b.output("s0", s0)
+        b.output("s1", s1)
+    b.output("c2", c2)
+
+
+def _xor_named(b: Builder, x: int, y: int, name: str) -> int:
+    """XOR as OR/NAND/AND with the complex 2-unit delay on the final AND,
+    which carries the paper's gate name."""
+    o = b.or_(x, y, delay=0.0, name=f"{name}_or")
+    n = b.nand(x, y, delay=0.0, name=f"{name}_nand")
+    return b.and_(o, n, delay=XOR_DELAY, name=name)
+
+
+def fig1_carry_skip_block() -> Circuit:
+    """Fig. 1: the redundant 2-b carry-skip adder (outputs s0, s1, c2)."""
+    b = Builder("fig1_csa2")
+    _skip_block(b, with_sums=True)
+    return b.done()
+
+
+def fig2_irredundant_block() -> Circuit:
+    """Fig. 2: the irredundant 2-b carry-skip adder.
+
+    Identical to Fig. 1 except gate9's carry input comes from primary
+    input b0 instead of gate7 -- same function, no slower, fully
+    single-stuck-at testable, zero area overhead.
+    """
+    circuit = fig1_carry_skip_block()
+    circuit.name = "fig2_csa2_irr"
+    gate9 = circuit.find_gate("gate9")
+    gate7 = circuit.find_gate("gate7")
+    b0 = circuit.find_input("b0")
+    for cid in list(circuit.gates[gate9].fanin):
+        if circuit.conns[cid].src == gate7:
+            circuit.move_connection_source(cid, b0)
+    return circuit
+
+
+def fig4_c2_cone() -> Circuit:
+    """Fig. 4: the single-output cone computing c2, used in Section 6.3's
+    algorithm walk-through."""
+    b = Builder("fig4_c2_cone")
+    _skip_block(b, with_sums=False)
+    return b.done()
+
+
+def fig5_after_first_edge() -> Circuit:
+    """Fig. 5: Fig. 4 after the longest path's first edge (c0 -> gate6)
+    is set to constant 0 and propagated.
+
+    The longest path in Fig. 4 runs c0 -> gate6 -> gate7 -> gate9 ->
+    gate11 -> MUX (length 11 with c0 arriving at t = 5); Section 6.3
+    shows it is not statically sensitizable (p0 = p1 = 1 is required at
+    the AND side-inputs but the MUX then selects c0), so the first edge
+    may be tied to 0.
+    """
+    circuit = fig4_c2_cone()
+    circuit.name = "fig5_intermediate"
+    gate6 = circuit.find_gate("gate6")
+    c0 = circuit.find_input("c0")
+    for cid in list(circuit.gates[gate6].fanin):
+        if circuit.conns[cid].src == c0:
+            set_connection_constant(circuit, cid, 0)
+    propagate_constants(circuit)
+    sweep(circuit, collapse_buffers=True)
+    return circuit
+
+
+def fig6_final() -> Circuit:
+    """Fig. 6: the final irredundant c2 circuit.
+
+    From Fig. 5, the two remaining untestable s-a-1 connections (the g0
+    branches feeding what were gate7's ripple successors -- the x-marked
+    edges of the paper's Fig. 5) are tied to 1 and propagated, leaving
+    the fully testable cone.  We derive it by running the final
+    any-order redundancy-removal phase, matching the paper's procedure.
+    """
+    from ..atpg.redundancy import remove_redundancies
+
+    circuit = fig5_after_first_edge()
+    result = remove_redundancies(circuit)
+    final = result.circuit
+    final.name = "fig6_final"
+    return final
+
+
+def section3_fault_demo() -> Tuple[Circuit, int]:
+    """The Section III speedtest argument: Fig. 1 with the gate10 output
+    stuck at 0 is *logically* a ripple-carry adder, but its critical path
+    output is only available after 11 gate delays.
+
+    Returns (circuit, gid of gate10) so callers can inject the fault.
+    """
+    circuit = fig1_carry_skip_block()
+    return circuit, circuit.find_gate("gate10")

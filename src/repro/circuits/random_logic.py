@@ -1,0 +1,101 @@
+"""Random circuit generators for property-based testing and fuzzing.
+
+Deterministic given a seed.  Two flavours:
+
+* :func:`random_circuit` -- a layered random DAG of simple gates, the
+  workhorse of the hypothesis suites (KMS preserves function / never
+  slows / ends irredundant on arbitrary circuits);
+* :func:`random_redundant_circuit` -- a random circuit with extra
+  provably-redundant structure spliced in (OR with an AND of a signal
+  and its complement's cone, duplicated consensus terms), so redundancy
+  removal always has real work to do.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..network import Builder, Circuit, GateType
+
+_GATE_CHOICES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.NOT,
+]
+
+
+def random_circuit(
+    num_inputs: int = 5,
+    num_gates: int = 20,
+    num_outputs: int = 2,
+    seed: int = 0,
+    max_arrival: float = 0.0,
+    name: Optional[str] = None,
+) -> Circuit:
+    """A random layered simple-gate circuit.
+
+    Every gate draws 1-3 fanins from earlier signals; outputs tap the
+    last gates so depth is exercised.  ``max_arrival`` > 0 randomizes PI
+    arrival times in [0, max_arrival].
+    """
+    rng = random.Random(seed)
+    b = Builder(name or f"rand_{seed}")
+    signals: List[int] = []
+    for i in range(num_inputs):
+        arrival = rng.uniform(0, max_arrival) if max_arrival else 0.0
+        signals.append(b.input(f"x{i}", arrival=arrival))
+    for _ in range(num_gates):
+        gtype = rng.choice(_GATE_CHOICES)
+        if gtype is GateType.NOT:
+            fanin = [rng.choice(signals)]
+        else:
+            k = rng.randint(2, min(3, len(signals)))
+            fanin = rng.sample(signals, k)
+        signals.append(
+            b.circuit.add_simple(gtype, fanin, delay=float(rng.randint(1, 3)))
+        )
+    num_outputs = min(num_outputs, len(signals))
+    for i in range(num_outputs):
+        # bias outputs toward the deep end
+        src = signals[-(i * 2 + 1)] if i * 2 + 1 <= len(signals) else signals[-1]
+        b.output(f"y{i}", src)
+    return b.done()
+
+
+def random_redundant_circuit(
+    num_inputs: int = 5,
+    num_gates: int = 15,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Circuit:
+    """A random circuit with guaranteed stuck-at redundancy.
+
+    Takes a random circuit's output f and replaces it with
+    ``f OR (x AND NOT x AND g)`` -- the added AND's output is
+    constant 0, so its s-a-0 fault is untestable by construction (and
+    usually drags a few structural friends along).
+    """
+    rng = random.Random(seed)
+    circuit = random_circuit(
+        num_inputs, num_gates, 1, seed=seed ^ 0x5EED,
+        name=name or f"redundant_{seed}",
+    )
+    po = circuit.outputs[0]
+    po_conn = circuit.gates[po].fanin[0]
+    f = circuit.conns[po_conn].src
+    x = rng.choice(circuit.inputs)
+    g = rng.choice(
+        [
+            gid
+            for gid, gate in circuit.gates.items()
+            if gate.gtype not in (GateType.OUTPUT,)
+        ]
+    )
+    nx = circuit.add_simple(GateType.NOT, [x], 1.0)
+    dead = circuit.add_simple(GateType.AND, [x, nx, g], 1.0)
+    new_root = circuit.add_simple(GateType.OR, [f, dead], 1.0)
+    circuit.move_connection_source(po_conn, new_root)
+    return circuit

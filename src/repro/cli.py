@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the flows a user of the original MIS-II implementation
+would run:
+
+* ``kms``      -- read BLIF, run the algorithm, write BLIF;
+* ``timing``   -- report topological / viable / sensitizable delay and
+  the longest paths with sensitization verdicts;
+* ``atpg``     -- fault counts, redundancies, and a generated test set;
+* ``table1``   -- regenerate the paper's Table I rows;
+* ``generate`` -- emit the built-in circuits (adders, paper figures,
+  MCNC-like suite) as BLIF.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .atpg import (
+    Podem,
+    Status,
+    collapsed_faults,
+    fault_coverage,
+    random_vectors,
+    redundant_faults,
+)
+from .core import kms, measure_delays, verify_transformation
+from .io import parse_blif, write_blif
+from .network import Circuit
+from .timing import (
+    SensitizationChecker,
+    UnitDelayModel,
+    iter_paths_longest_first,
+)
+
+
+def _load(path: str) -> Circuit:
+    with open(path) as handle:
+        return parse_blif(handle.read())
+
+
+def _save(
+    circuit: Circuit, path: Optional[str], fmt: str = "blif"
+) -> None:
+    if fmt == "verilog":
+        from .io import write_verilog
+
+        text = write_verilog(circuit)
+    else:
+        text = write_blif(circuit)
+    if path:
+        with open(path, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+def _model(args) -> UnitDelayModel:
+    return UnitDelayModel(use_arrival_times=not args.zero_arrivals)
+
+
+def cmd_kms(args) -> int:
+    circuit = _load(args.input)
+    model = _model(args)
+    result = kms(
+        circuit, mode=args.mode, model=model, checked=args.checked
+    )
+    report = verify_transformation(circuit, result.circuit, model)
+    print(
+        f"# kms: {result.iterations} iterations, "
+        f"{result.duplicated_gates} duplicated, "
+        f"{result.cleanup_steps} cleanup removals",
+        file=sys.stderr,
+    )
+    print(
+        f"# gates {report.gates_before} -> {report.gates_after}; "
+        f"delay {report.delays_before.sensitizable:g} -> "
+        f"{report.delays_after.sensitizable:g}; "
+        f"equivalent={report.equivalent} "
+        f"irredundant={report.irredundant}",
+        file=sys.stderr,
+    )
+    _save(result.circuit, args.output, args.format)
+    return 0 if report.ok else 1
+
+
+def cmd_timing(args) -> int:
+    circuit = _load(args.input)
+    model = _model(args)
+    delays = measure_delays(circuit, model)
+    print(f"topological delay : {delays.topological:g}")
+    print(f"viability delay   : {delays.viability:g}")
+    print(f"sensitizable delay: {delays.sensitizable:g}")
+    checker = SensitizationChecker(circuit)
+    print(f"\nlongest {args.paths} paths:")
+    for i, path in enumerate(
+        iter_paths_longest_first(circuit, model, max_paths=args.paths)
+    ):
+        verdict = (
+            "sensitizable"
+            if checker.is_sensitizable(path)
+            else "false"
+        )
+        print(f"  [{verdict:>12}] {path.describe(circuit)}")
+    return 0
+
+
+def cmd_atpg(args) -> int:
+    circuit = _load(args.input)
+    faults = collapsed_faults(circuit)
+    print(f"collapsed faults : {len(faults)}")
+    redundant = redundant_faults(circuit, faults)
+    print(f"redundant faults : {len(redundant)}")
+    for fault in redundant:
+        print(f"  {fault.describe(circuit)}")
+    if not args.tests:
+        return 0
+    vectors = random_vectors(circuit, args.random, seed=args.seed)
+    report = fault_coverage(circuit, faults, vectors)
+    podem = Podem(circuit)
+    generated = 0
+    for fault in report.undetected_faults:
+        result = podem.generate(fault)
+        if result.status is Status.TESTABLE:
+            vectors.append(
+                {g: result.test.get(g, 0) for g in circuit.inputs}
+            )
+            generated += 1
+    final = fault_coverage(circuit, faults, vectors)
+    print(
+        f"test set         : {len(vectors)} vectors "
+        f"({args.random} random + {generated} PODEM)"
+    )
+    print(f"fault coverage   : {final.coverage:.1%}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from .bench import carry_skip_rows, mcnc_rows, render
+
+    model = UnitDelayModel(use_arrival_times=False)
+    if args.which in ("csa", "all"):
+        sizes = [(2, 2), (4, 4), (8, 2), (8, 4)]
+        if args.quick:
+            sizes = sizes[:2]
+        print(render(carry_skip_rows(sizes, model), "Table I -- csa"))
+    if args.which in ("mcnc", "all"):
+        names = None if not args.quick else ["misex1", "rd73", "z4ml"]
+        print(render(mcnc_rows(names), "Table I -- MCNC-like"))
+    return 0
+
+
+_GENERATORS = {
+    "fig1": "fig1_carry_skip_block",
+    "fig2": "fig2_irredundant_block",
+    "fig4": "fig4_c2_cone",
+}
+
+
+def cmd_generate(args) -> int:
+    from . import circuits as circuit_mod
+
+    name = args.circuit
+    if name in _GENERATORS:
+        circuit = getattr(circuit_mod, _GENERATORS[name])()
+    elif name.startswith("csa"):
+        nbits, block = name[3:].split(".")
+        circuit = circuit_mod.carry_skip_adder(int(nbits), int(block))
+    elif name.startswith("rca"):
+        circuit = circuit_mod.ripple_carry_adder(int(name[3:]))
+    elif name.startswith("cla"):
+        circuit = circuit_mod.carry_lookahead_adder(int(name[3:]))
+    elif name in circuit_mod.MCNC_NAMES:
+        circuit = circuit_mod.mcnc_circuit(name)
+    else:
+        print(f"unknown circuit {name!r}", file=sys.stderr)
+        return 2
+    _save(circuit, args.output, args.format)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "KMS redundancy removal with no delay increase "
+            "(Keutzer/Malik/Saldanha, DAC 1990)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("kms", help="make a BLIF circuit irredundant")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", help="output BLIF (default stdout)")
+    p.add_argument(
+        "--mode", choices=["static", "viability"], default="static"
+    )
+    p.add_argument("--checked", action="store_true")
+    p.add_argument("--zero-arrivals", action="store_true")
+    p.add_argument(
+        "--format", choices=["blif", "verilog"], default="blif"
+    )
+    p.set_defaults(func=cmd_kms)
+
+    p = sub.add_parser("timing", help="delay report for a BLIF circuit")
+    p.add_argument("input")
+    p.add_argument("--paths", type=int, default=5)
+    p.add_argument("--zero-arrivals", action="store_true")
+    p.set_defaults(func=cmd_timing)
+
+    p = sub.add_parser("atpg", help="fault/redundancy report")
+    p.add_argument("input")
+    p.add_argument("--tests", action="store_true", help="build a test set")
+    p.add_argument("--random", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_atpg)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table I")
+    p.add_argument(
+        "--which", choices=["csa", "mcnc", "all"], default="csa"
+    )
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("generate", help="emit a built-in circuit as BLIF")
+    p.add_argument(
+        "circuit",
+        help=(
+            "fig1|fig2|fig4, csa<N>.<B>, rca<N>, cla<N>, "
+            "or an MCNC name"
+        ),
+    )
+    p.add_argument("-o", "--output")
+    p.add_argument(
+        "--format", choices=["blif", "verilog"], default="blif"
+    )
+    p.set_defaults(func=cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the KMS algorithm and its proofs."""
+
+from .kms import (
+    KmsError,
+    KmsEvent,
+    KmsResult,
+    STATIC,
+    VIABILITY,
+    kms,
+)
+from .theorems import (
+    ConstantSettingEvidence,
+    DuplicationEvidence,
+    duplicate_gate_for_edge,
+    set_path_constant,
+)
+from .verify import (
+    DelayTriple,
+    VerificationReport,
+    measure_delays,
+    verify_transformation,
+)
+from .report import TableRow, format_table
+
+__all__ = [
+    "ConstantSettingEvidence",
+    "DelayTriple",
+    "DuplicationEvidence",
+    "KmsError",
+    "KmsEvent",
+    "KmsResult",
+    "STATIC",
+    "TableRow",
+    "VIABILITY",
+    "VerificationReport",
+    "duplicate_gate_for_edge",
+    "format_table",
+    "kms",
+    "measure_delays",
+    "set_path_constant",
+    "verify_transformation",
+]

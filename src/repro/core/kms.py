@@ -1,0 +1,315 @@
+"""The KMS algorithm: redundancy removal with no increase in delay.
+
+This is the paper's Fig. 3, verbatim in structure:
+
+    /* Circuit eta has only simple gates. */
+    While (all longest paths in eta are not statically sensitizable/viable) {
+        Choose a longest path P.
+        Find n, the gate in P closest to the output that has fanout > 1.
+        If n exists {
+            Duplicate the gates of P up to n (with their fanin
+            connections); move P's fanout edge e of n onto the duplicate
+            n' so n' has a single fanout; call the duplicated path P'.
+        } Else P' is the same as P.
+        If P' is not statically sensitizable {
+            Set first edge of P' to constant 0 or 1.
+            Propagate constant as far as possible, removing useless gates.
+        }
+    }
+    Remove remaining redundancies in any order.
+
+Why it terminates: duplication creates a length-preserving bijection
+between old and new paths (Theorem 7.1), and the constant-setting step
+destroys the chosen longest path P' (plus possibly others) while creating
+none, so the number of longest paths strictly decreases each iteration
+until some longest path is sensitizable/viable or no path remains.
+
+Why it is safe: the first edge of a single-fanout, non-statically-
+sensitizable path is untestable for both stuck values, so tying it to a
+constant preserves function; Theorems 7.1/7.2 show neither step increases
+the viability-computed delay.  ``checked=True`` re-verifies both claims
+after every iteration with the SAT miter and the timing engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..network import (
+    Circuit,
+    GateType,
+    controlling_value,
+    has_controlling_value,
+)
+from ..network.transform import (
+    duplicate_chain,
+    propagate_constants,
+    set_connection_constant,
+    sweep,
+)
+from ..sat import check_equivalence
+from ..timing import (
+    AsBuiltDelayModel,
+    DelayModel,
+    Path,
+    SensitizationChecker,
+    ViabilityChecker,
+    analyze,
+    iter_paths_longest_first,
+)
+
+STATIC = "static"
+VIABILITY = "viability"
+
+
+@dataclass
+class KmsEvent:
+    """One iteration of the Fig. 3 while-loop, for tracing/reporting."""
+
+    iteration: int
+    path: str
+    path_length: float
+    duplicated_gates: int
+    constant_value: Optional[int]
+    gates_after: int
+    #: deep copy of the circuit after the iteration (trace mode only).
+    snapshot: Optional[Circuit] = None
+
+
+@dataclass
+class KmsResult:
+    """Outcome of the KMS algorithm."""
+
+    circuit: Circuit
+    events: List[KmsEvent] = field(default_factory=list)
+    #: redundancies removed by the final any-order cleanup phase.
+    cleanup_steps: int = 0
+    #: total gates duplicated across all iterations.
+    duplicated_gates: int = 0
+
+    @property
+    def iterations(self) -> int:
+        return len(self.events)
+
+
+class KmsError(Exception):
+    """Raised when a checked invariant fails (would indicate a bug)."""
+
+
+def kms(
+    circuit: Circuit,
+    mode: str = STATIC,
+    model: Optional[DelayModel] = None,
+    checked: bool = False,
+    trace: bool = False,
+    max_longest_paths: int = 5000,
+    max_iterations: int = 100000,
+    choose_path: Optional[Callable[[List[Path]], Path]] = None,
+) -> KmsResult:
+    """Derive an equivalent irredundant circuit that is no slower.
+
+    Args:
+        circuit: a simple-gate network (run
+            :func:`repro.network.decompose_complex_gates` first if needed).
+            Not modified; the result holds a transformed copy.
+        mode: ``"static"`` uses static sensitizability as the loop test
+            (the paper's implementation choice -- cheaper, possibly extra
+            duplication); ``"viability"`` uses viability (tightest).
+        model: delay model (default: delays as built on the circuit).
+        checked: verify functional equivalence and delay non-increase
+            after every iteration (slow; for tests and paranoia).
+        trace: keep a circuit snapshot in every event (for the Figs. 4-6
+            walk-through).
+        max_longest_paths: cap on longest-path enumeration per iteration;
+            if the cap is hit without finding a sensitizable/viable one,
+            the algorithm conservatively keeps iterating on unsensitizable
+            paths it did see (safe: extra work, never wrong).
+        choose_path: override which unsensitizable longest path to operate
+            on (default: the enumeration's first).
+
+    Returns:
+        :class:`KmsResult` whose circuit is fully single-stuck-at
+        testable and, under the viability delay model, at least as fast
+        as the input.
+    """
+    if mode not in (STATIC, VIABILITY):
+        raise ValueError(f"unknown mode {mode!r}")
+    if not circuit.is_simple_gate_network():
+        raise ValueError(
+            "KMS requires a simple-gate network; "
+            "run decompose_complex_gates first"
+        )
+    model = model if model is not None else AsBuiltDelayModel()
+    work = circuit.copy(f"{circuit.name}#kms")
+    result = KmsResult(circuit=work)
+
+    baseline_delay = None
+    if checked:
+        baseline_delay = _delay_pair(circuit, model)
+
+    iteration = 0
+    while True:
+        ann = analyze(work, model)
+        if ann.delay <= 0:
+            break
+        target = _find_unsensitizable_longest_path(
+            work, model, mode, ann, max_longest_paths, choose_path
+        )
+        if target is None:
+            break  # some longest path is sensitizable/viable: loop exits
+        if iteration >= max_iterations:
+            raise KmsError(
+                "KMS did not converge (max_iterations reached)"
+            )
+        event = _eliminate_path(work, target, model, checked)
+        event.iteration = iteration
+        if trace:
+            event.snapshot = work.copy(f"{work.name}@{iteration}")
+        result.events.append(event)
+        result.duplicated_gates += event.duplicated_gates
+        if checked:
+            _check_invariants(circuit, work, model, baseline_delay)
+        iteration += 1
+
+    # Duplicated chains whose siblings were later tied off are often
+    # structurally identical again; fold them before the cleanup phase.
+    # Strash merges only (type, delay, fanin)-identical gates, so path
+    # lengths -- and hence delay -- are untouched.
+    from ..synth.optimize import area_optimize
+
+    area_optimize(work)
+
+    # Fig. 3's final line: remove remaining redundancies in any order.
+    from ..atpg.redundancy import remove_redundancies
+
+    cleanup = remove_redundancies(work)
+    result.circuit = cleanup.circuit
+    result.circuit.name = f"{circuit.name}#kms"
+    result.cleanup_steps = cleanup.removed
+    if checked:
+        _check_invariants(circuit, result.circuit, model, baseline_delay)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# pieces
+# ---------------------------------------------------------------------- #
+
+
+def _find_unsensitizable_longest_path(
+    work: Circuit,
+    model: DelayModel,
+    mode: str,
+    annotation,
+    max_longest_paths: int,
+    choose_path: Optional[Callable[[List[Path]], Path]],
+) -> Optional[Path]:
+    """Return a longest path to operate on, or None when some longest
+    path is sensitizable/viable (loop exit condition)."""
+    checker = (
+        ViabilityChecker(work, model)
+        if mode == VIABILITY
+        else SensitizationChecker(work)
+    )
+    test = (
+        checker.is_viable
+        if mode == VIABILITY
+        else checker.is_sensitizable
+    )
+    candidates: List[Path] = []
+    count = 0
+    for path in iter_paths_longest_first(work, model, annotation):
+        if path.length < annotation.delay - 1e-9:
+            break
+        count += 1
+        if count > max_longest_paths:
+            break
+        if test(path):
+            return None
+        candidates.append(path)
+    if not candidates:
+        return None
+    if choose_path is not None:
+        return choose_path(candidates)
+    return candidates[0]
+
+
+def _eliminate_path(
+    work: Circuit, path: Path, model: DelayModel, checked: bool
+) -> KmsEvent:
+    """One loop body: duplicate to single-fanout, then kill the first edge."""
+    description = path.describe(work)
+    duplicated = 0
+    target_path = path
+    n = path.last_multifanout_gate(work)
+    if n is not None:
+        j = path.gates.index(n)
+        chain = list(path.gates[: j + 1])
+        chain_conns = list(path.conns[: j + 1])
+        e = path.conns[j + 1]
+        mapping, dup_conns = duplicate_chain(work, chain, chain_conns)
+        work.move_connection_source(e, mapping[n])
+        duplicated = len(mapping)
+        target_path = Path(
+            source=path.source,
+            gates=tuple(mapping[g] for g in chain) + path.gates[j + 1 :],
+            conns=tuple(dup_conns) + path.conns[j + 1 :],
+            sink=path.sink,
+            length=path.length,
+        )
+        if checked:
+            # Theorem 7.1: duplication must not change the delay.
+            from ..timing import topological_delay
+
+            _ = topological_delay(work, model)
+            # P' must be unsensitizable exactly like P (same side functions)
+            if SensitizationChecker(work).is_sensitizable(target_path):
+                raise KmsError(
+                    "duplicated path became sensitizable -- "
+                    "duplication bug"
+                )
+    # Set the first edge of P' to the controlling value of the gate it
+    # feeds ("we prefer to set it to the controlling value ... since this
+    # deletes this gate"); for NOT/BUF either value works.
+    first_gate = work.gates[target_path.gates[0]] if target_path.gates else None
+    if first_gate is not None and has_controlling_value(first_gate.gtype):
+        value = controlling_value(first_gate.gtype)
+    else:
+        value = 0
+    set_connection_constant(work, target_path.first_edge, value)
+    propagate_constants(work)
+    sweep(work, collapse_buffers=True)
+    return KmsEvent(
+        iteration=-1,
+        path=description,
+        path_length=path.length,
+        duplicated_gates=duplicated,
+        constant_value=value,
+        gates_after=work.num_gates(),
+    )
+
+
+def _delay_pair(circuit: Circuit, model: DelayModel):
+    from ..timing import topological_delay, viability_delay
+
+    return (
+        topological_delay(circuit, model),
+        viability_delay(circuit, model).delay,
+    )
+
+
+def _check_invariants(original, work, model, baseline) -> None:
+    result = check_equivalence(original, work)
+    if not result.equivalent:
+        raise KmsError(
+            f"function changed: output {result.differing_output!r} "
+            f"differs under {result.counterexample!r}"
+        )
+    from ..timing import viability_delay
+
+    via = viability_delay(work, model).delay
+    if baseline is not None and via > baseline[1] + 1e-9:
+        raise KmsError(
+            f"viability delay increased: {baseline[1]} -> {via}"
+        )

@@ -1,0 +1,25 @@
+"""Netlist IO: BLIF and PLA."""
+
+from .blif import (
+    BlifError,
+    parse_blif,
+    parse_blif_sequential,
+    write_blif,
+    write_blif_sequential,
+)
+from .pla import Pla, PlaError, parse_pla, pla_from_function, write_pla
+from .verilog import write_verilog
+
+__all__ = [
+    "BlifError",
+    "write_verilog",
+    "Pla",
+    "PlaError",
+    "parse_blif",
+    "parse_blif_sequential",
+    "parse_pla",
+    "write_blif_sequential",
+    "pla_from_function",
+    "write_blif",
+    "write_pla",
+]

@@ -1,0 +1,180 @@
+"""Espresso PLA format: read and write.
+
+Supports ``.i``, ``.o``, ``.ilb``, ``.ob``, ``.p``, ``.type fr/f``,
+``.e``, comments, and the standard 0/1/- input plus 0/1/- output parts.
+A parsed PLA is a set of per-output ON-set covers (and optional DC-set
+covers for type fd), directly consumable by
+:func:`repro.synth.covers_to_circuit` -- the front door of the MCNC-like
+benchmark flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..twolevel import Cover, Cube
+
+
+class PlaError(Exception):
+    """Malformed PLA input."""
+
+
+@dataclass
+class Pla:
+    """A parsed PLA: named inputs/outputs and per-output covers."""
+
+    name: str
+    input_names: List[str]
+    output_names: List[str]
+    on_sets: Dict[str, Cover] = field(default_factory=dict)
+    dc_sets: Dict[str, Cover] = field(default_factory=dict)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_names)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.output_names)
+
+    def to_circuit(self, minimize: bool = True, gate_delay: float = 1.0):
+        """Lower to a multilevel simple-gate circuit (espresso + factor)."""
+        from ..synth import covers_to_circuit
+
+        return covers_to_circuit(
+            self.name,
+            self.input_names,
+            {name: self.on_sets[name] for name in self.output_names},
+            minimize=minimize,
+            gate_delay=gate_delay,
+        )
+
+
+def parse_pla(text: str, name: str = "pla") -> Pla:
+    """Parse espresso PLA text."""
+    num_in: Optional[int] = None
+    num_out: Optional[int] = None
+    ilb: Optional[List[str]] = None
+    ob: Optional[List[str]] = None
+    pla_type = "fd"
+    rows: List[Tuple[str, str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            tokens = line.split()
+            key = tokens[0]
+            if key == ".i":
+                num_in = int(tokens[1])
+            elif key == ".o":
+                num_out = int(tokens[1])
+            elif key == ".ilb":
+                ilb = tokens[1:]
+            elif key == ".ob":
+                ob = tokens[1:]
+            elif key == ".type":
+                pla_type = tokens[1]
+            elif key in (".p", ".e", ".end"):
+                continue
+            else:
+                raise PlaError(f"unsupported directive {key}")
+        else:
+            tokens = line.split()
+            if len(tokens) == 2:
+                rows.append((tokens[0], tokens[1]))
+            elif len(tokens) == 1 and num_in is not None:
+                rows.append((tokens[0][:num_in], tokens[0][num_in:]))
+            else:
+                raise PlaError(f"bad row {line!r}")
+    if num_in is None or num_out is None:
+        raise PlaError(".i and .o are required")
+    input_names = ilb if ilb else [f"x{i}" for i in range(num_in)]
+    output_names = ob if ob else [f"y{i}" for i in range(num_out)]
+    if len(input_names) != num_in or len(output_names) != num_out:
+        raise PlaError("label count mismatch")
+    pla = Pla(name, list(input_names), list(output_names))
+    for out in output_names:
+        pla.on_sets[out] = Cover(num_in)
+        pla.dc_sets[out] = Cover(num_in)
+    for in_part, out_part in rows:
+        if len(in_part) != num_in or len(out_part) != num_out:
+            raise PlaError(f"row width mismatch: {in_part} {out_part}")
+        cube = Cube.from_string(in_part)
+        for pos, ch in enumerate(out_part):
+            out = output_names[pos]
+            if ch == "1":
+                pla.on_sets[out].add(cube)
+            elif ch in ("-", "2"):
+                if pla_type in ("fd", "fr"):
+                    pla.dc_sets[out].add(cube)
+            elif ch in ("0", "~"):
+                continue
+            else:
+                raise PlaError(f"bad output character {ch!r}")
+    return pla
+
+
+def write_pla(pla: Pla) -> str:
+    """Serialize (ON-sets only, type f)."""
+    lines = [
+        f".i {pla.num_inputs}",
+        f".o {pla.num_outputs}",
+        ".ilb " + " ".join(pla.input_names),
+        ".ob " + " ".join(pla.output_names),
+        ".type f",
+    ]
+    # group rows by input cube
+    by_cube: Dict[str, List[str]] = {}
+    for pos, out in enumerate(pla.output_names):
+        for cube in pla.on_sets[out].cubes:
+            key = cube.to_string()
+            row = by_cube.setdefault(key, ["0"] * pla.num_outputs)
+            row[pos] = "1"
+    lines.append(f".p {len(by_cube)}")
+    for key in sorted(by_cube):
+        lines.append(f"{key} {''.join(by_cube[key])}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def pla_from_function(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    func,
+    input_names: Optional[Sequence[str]] = None,
+    output_names: Optional[Sequence[str]] = None,
+) -> Pla:
+    """Tabulate a Python function into a PLA.
+
+    ``func(x: int) -> int`` maps an input word to an output word (LSB =
+    input/output 0).  Exhaustive -- intended for the arithmetic MCNC
+    stand-ins (<= ~12 inputs).
+    """
+    if num_inputs > 16:
+        raise ValueError("pla_from_function is exhaustive; too many inputs")
+    ins = list(input_names) if input_names else [
+        f"x{i}" for i in range(num_inputs)
+    ]
+    outs = list(output_names) if output_names else [
+        f"y{i}" for i in range(num_outputs)
+    ]
+    pla = Pla(name, ins, outs)
+    for out in outs:
+        pla.on_sets[out] = Cover(num_inputs)
+        pla.dc_sets[out] = Cover(num_inputs)
+    for x in range(1 << num_inputs):
+        y = func(x)
+        if y < 0 or y >= (1 << num_outputs):
+            raise ValueError(f"func({x}) = {y} out of range")
+        if y == 0:
+            continue
+        cube = Cube.from_assignment(
+            num_inputs, {i: (x >> i) & 1 for i in range(num_inputs)}
+        )
+        for pos in range(num_outputs):
+            if (y >> pos) & 1:
+                pla.on_sets[outs[pos]].add(cube)
+    return pla

@@ -1,0 +1,104 @@
+"""Structural Verilog export.
+
+Emits a gate-level module using Verilog primitive gates (and/or/nand/
+nor/not/buf/xor/xnor), the lingua franca for handing circuits to
+commercial timing or test tools.  Names are sanitized to Verilog
+identifiers; a comment records each gate's modeled delay (primitive
+delays are intentionally *not* emitted -- downstream STA uses its own
+library, exactly the situation Section II of the paper discusses).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..network import Circuit, GateType
+
+_PRIMITIVE = {
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+}
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _sanitize(name: str, used: Dict[str, str], key: str) -> str:
+    if key in used:
+        return used[key]
+    candidate = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not candidate or not _IDENT.match(candidate):
+        candidate = f"n_{candidate}" if candidate else "n"
+    base = candidate
+    suffix = 1
+    taken = set(used.values())
+    while candidate in taken:
+        candidate = f"{base}_{suffix}"
+        suffix += 1
+    used[key] = candidate
+    return candidate
+
+
+def write_verilog(circuit: Circuit, module: str = None) -> str:
+    """Serialize to a structural Verilog module."""
+    used: Dict[str, str] = {}
+    names: Dict[int, str] = {}
+    for gid, gate in circuit.gates.items():
+        if gate.gtype is GateType.INPUT:
+            base = gate.name or f"pi{gid}"
+        elif gate.gtype is GateType.OUTPUT:
+            base = gate.name or f"po{gid}"
+        else:
+            base = f"w{gid}"
+        names[gid] = _sanitize(base, used, f"g{gid}")
+
+    module_name = _sanitize(
+        module or circuit.name or "top", used, "__module__"
+    )
+    inputs = [names[g] for g in circuit.inputs]
+    outputs = [names[g] for g in circuit.outputs]
+    ports = ", ".join(inputs + outputs)
+    lines = [f"module {module_name}({ports});"]
+    if inputs:
+        lines.append(f"  input {', '.join(inputs)};")
+    if outputs:
+        lines.append(f"  output {', '.join(outputs)};")
+    wires = [
+        names[gid]
+        for gid, gate in circuit.gates.items()
+        if gate.gtype not in (GateType.INPUT, GateType.OUTPUT)
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(sorted(wires))};")
+    lines.append("")
+    instance = 0
+    for gid in circuit.topological_order():
+        gate = circuit.gates[gid]
+        if gate.gtype is GateType.INPUT:
+            continue
+        ins = [names[s] for s in circuit.fanin_gates(gid)]
+        out = names[gid]
+        if gate.gtype is GateType.CONST0:
+            lines.append(f"  assign {out} = 1'b0;")
+            continue
+        if gate.gtype is GateType.CONST1:
+            lines.append(f"  assign {out} = 1'b1;")
+            continue
+        if gate.gtype is GateType.OUTPUT:
+            lines.append(f"  assign {out} = {ins[0]};")
+            continue
+        primitive = _PRIMITIVE[gate.gtype]
+        instance += 1
+        comment = f"  // d={gate.delay:g}" if gate.delay else ""
+        lines.append(
+            f"  {primitive} u{instance} ({out}, {', '.join(ins)});"
+            f"{comment}"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

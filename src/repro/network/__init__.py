@@ -1,0 +1,54 @@
+"""Logic network substrate: gates, connections, and structural transforms."""
+
+from .gates import (
+    GateType,
+    SIMPLE_TYPES,
+    SOURCE_TYPES,
+    controlling_value,
+    controlled_output,
+    evaluate,
+    has_controlling_value,
+    is_simple,
+    noncontrolling_value,
+)
+from .circuit import Circuit, CircuitError, Connection, Gate
+from .build import Builder
+from .transform import (
+    add_mux,
+    decompose_complex_gates,
+    duplicate_chain,
+    propagate_constants,
+    relabel_compact,
+    set_connection_constant,
+    sweep,
+)
+from .draw import pretty, to_dot
+from .validate import check, collect_errors
+
+__all__ = [
+    "Builder",
+    "Circuit",
+    "CircuitError",
+    "Connection",
+    "Gate",
+    "GateType",
+    "SIMPLE_TYPES",
+    "SOURCE_TYPES",
+    "add_mux",
+    "check",
+    "collect_errors",
+    "controlled_output",
+    "controlling_value",
+    "decompose_complex_gates",
+    "duplicate_chain",
+    "evaluate",
+    "has_controlling_value",
+    "is_simple",
+    "noncontrolling_value",
+    "pretty",
+    "propagate_constants",
+    "to_dot",
+    "relabel_compact",
+    "set_connection_constant",
+    "sweep",
+]

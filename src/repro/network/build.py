@@ -1,0 +1,108 @@
+"""A small fluent builder for constructing circuits by signal name.
+
+`Circuit` works with integer gids, which is the right currency for the
+algorithms but tedious for humans.  :class:`Builder` lets examples, tests
+and generators write
+
+    b = Builder("half_adder")
+    a, c = b.inputs("a", "c")
+    b.output("s", b.xor(a, c, delay=2))
+    b.output("co", b.and_(a, c))
+    circuit = b.done()
+
+All gate factories return gids, so builder and raw `Circuit` calls mix
+freely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .circuit import Circuit
+from .gates import GateType
+from .transform import add_mux
+
+
+class Builder:
+    """Fluent construction wrapper around :class:`Circuit`."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.circuit = Circuit(name)
+
+    # -- interface ----------------------------------------------------- #
+
+    def input(self, name: str, arrival: float = 0.0) -> int:
+        return self.circuit.add_input(name, arrival)
+
+    def inputs(self, *names: str, arrival: float = 0.0) -> Tuple[int, ...]:
+        return tuple(self.input(n, arrival) for n in names)
+
+    def input_bus(self, prefix: str, width: int) -> List[int]:
+        """Add ``width`` inputs named ``prefix0 .. prefix{width-1}``
+        (least-significant first)."""
+        return [self.input(f"{prefix}{i}") for i in range(width)]
+
+    def output(self, name: str, src: int) -> int:
+        return self.circuit.add_output(name, src)
+
+    def output_bus(self, prefix: str, srcs: Iterable[int]) -> List[int]:
+        return [
+            self.output(f"{prefix}{i}", s) for i, s in enumerate(srcs)
+        ]
+
+    # -- gate factories ------------------------------------------------ #
+
+    def _gate(
+        self,
+        gtype: GateType,
+        fanin: Iterable[int],
+        delay: float,
+        name: Optional[str],
+    ) -> int:
+        return self.circuit.add_simple(gtype, fanin, delay, name)
+
+    def and_(self, *srcs: int, delay: float = 1.0, name: str = None) -> int:
+        return self._gate(GateType.AND, srcs, delay, name)
+
+    def or_(self, *srcs: int, delay: float = 1.0, name: str = None) -> int:
+        return self._gate(GateType.OR, srcs, delay, name)
+
+    def nand(self, *srcs: int, delay: float = 1.0, name: str = None) -> int:
+        return self._gate(GateType.NAND, srcs, delay, name)
+
+    def nor(self, *srcs: int, delay: float = 1.0, name: str = None) -> int:
+        return self._gate(GateType.NOR, srcs, delay, name)
+
+    def not_(self, src: int, delay: float = 1.0, name: str = None) -> int:
+        return self._gate(GateType.NOT, [src], delay, name)
+
+    def buf(self, src: int, delay: float = 0.0, name: str = None) -> int:
+        return self._gate(GateType.BUF, [src], delay, name)
+
+    def xor(self, *srcs: int, delay: float = 2.0, name: str = None) -> int:
+        """A complex XOR gate (decompose before running KMS)."""
+        return self._gate(GateType.XOR, srcs, delay, name)
+
+    def xnor(self, *srcs: int, delay: float = 2.0, name: str = None) -> int:
+        return self._gate(GateType.XNOR, srcs, delay, name)
+
+    def xor_simple(self, a: int, b: int, delay: float = 2.0) -> int:
+        """XOR pre-decomposed into OR/NAND/AND with ``delay`` on the AND --
+        the paper's Table-I-consistent 3-gate realization."""
+        o = self.or_(a, b, delay=0.0)
+        n = self.nand(a, b, delay=0.0)
+        return self.and_(o, n, delay=delay)
+
+    def mux(self, sel: int, when0: int, when1: int, delay: float = 2.0) -> int:
+        """2:1 MUX from simple gates; the final OR carries ``delay``."""
+        return add_mux(self.circuit, sel, when0, when1, delay)
+
+    def const(self, value: int) -> int:
+        gtype = GateType.CONST1 if value else GateType.CONST0
+        return self.circuit.add_gate(gtype, 0.0)
+
+    # -- finish ---------------------------------------------------------#
+
+    def done(self) -> Circuit:
+        """Return the built circuit (no copy; the builder is disposable)."""
+        return self.circuit

@@ -1,0 +1,113 @@
+"""Circuit visualization: Graphviz DOT export and an ASCII listing.
+
+`to_dot` renders the DAG for inspection of KMS transformations (the
+paper's figures are exactly such drawings); paths can be highlighted,
+which is how the examples show the chosen longest path and the
+duplicated chain.  `pretty` gives a compact levelized text listing for
+terminals and test failure messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .circuit import Circuit
+from .gates import GateType
+
+_SHAPES = {
+    GateType.INPUT: ("triangle", "lightblue"),
+    GateType.OUTPUT: ("invtriangle", "lightblue"),
+    GateType.CONST0: ("box", "gray85"),
+    GateType.CONST1: ("box", "gray85"),
+    GateType.AND: ("box", "white"),
+    GateType.NAND: ("box", "white"),
+    GateType.OR: ("ellipse", "white"),
+    GateType.NOR: ("ellipse", "white"),
+    GateType.NOT: ("circle", "white"),
+    GateType.BUF: ("circle", "gray95"),
+    GateType.XOR: ("hexagon", "white"),
+    GateType.XNOR: ("hexagon", "white"),
+}
+
+
+def to_dot(
+    circuit: Circuit,
+    highlight_conns: Iterable[int] = (),
+    highlight_gates: Iterable[int] = (),
+    show_delays: bool = True,
+) -> str:
+    """Serialize the circuit to Graphviz DOT.
+
+    ``highlight_conns`` / ``highlight_gates`` are drawn in red -- pass a
+    :class:`repro.timing.Path`'s ``conns``/``gates`` to show a path.
+    """
+    hot_conns = set(highlight_conns)
+    hot_gates = set(highlight_gates)
+    lines = [
+        f'digraph "{circuit.name}" {{',
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica", fontsize=10];',
+    ]
+    for gid, gate in circuit.gates.items():
+        shape, fill = _SHAPES[gate.gtype]
+        label = gate.name or f"{gate.gtype.value}{gid}"
+        if gate.gtype not in (GateType.INPUT, GateType.OUTPUT):
+            label = f"{label}\\n{gate.gtype.value}"
+            if show_delays and gate.delay:
+                label += f" d={gate.delay:g}"
+        color = "red" if gid in hot_gates else "black"
+        penwidth = 2 if gid in hot_gates else 1
+        lines.append(
+            f'  n{gid} [label="{label}", shape={shape}, '
+            f'style=filled, fillcolor={fill}, color={color}, '
+            f"penwidth={penwidth}];"
+        )
+    for cid, conn in circuit.conns.items():
+        attrs = []
+        if cid in hot_conns:
+            attrs.append('color=red, penwidth=2')
+        if show_delays and conn.delay:
+            attrs.append(f'label="{conn.delay:g}"')
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  n{conn.src} -> n{conn.dst}{suffix};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def pretty(circuit: Circuit, max_gates: Optional[int] = None) -> str:
+    """A levelized one-gate-per-line listing.
+
+    Example output line::
+
+        [2] g7 = OR(g5, g6)        d=1
+    """
+    names: Dict[int, str] = {}
+    for gid, gate in circuit.gates.items():
+        names[gid] = gate.name or f"g{gid}"
+    level: Dict[int, int] = {}
+    lines: List[str] = [
+        f"circuit {circuit.name}: "
+        f"{circuit.num_gates()} gates, "
+        f"{len(circuit.inputs)} PI, {len(circuit.outputs)} PO"
+    ]
+    emitted = 0
+    for gid in circuit.topological_order():
+        gate = circuit.gates[gid]
+        preds = circuit.fanin_gates(gid)
+        level[gid] = 1 + max((level[p] for p in preds), default=-1)
+        if gate.gtype is GateType.INPUT:
+            arrival = circuit.input_arrival.get(gid, 0.0)
+            note = f" @t={arrival:g}" if arrival else ""
+            lines.append(f"[0] {names[gid]} = input{note}")
+            continue
+        args = ", ".join(names[p] for p in preds)
+        kind = gate.gtype.value
+        delay = f"  d={gate.delay:g}" if gate.delay else ""
+        lines.append(
+            f"[{level[gid]}] {names[gid]} = {kind}({args}){delay}"
+        )
+        emitted += 1
+        if max_gates is not None and emitted >= max_gates:
+            lines.append(f"... ({circuit.num_gates() - emitted} more)")
+            break
+    return "\n".join(lines)

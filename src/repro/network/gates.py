@@ -1,0 +1,179 @@
+"""Gate types and their Boolean semantics.
+
+The paper (Definition 4.1) models a combinational circuit as a DAG of
+*gates* and *connections*.  The KMS algorithm itself (Section VI) requires
+the network to consist only of *simple gates* -- gates that either have a
+well-defined controlling value (AND/OR/NAND/NOR) or no side inputs at all
+(NOT/BUF).  Complex gates such as XOR and MUX are decomposed into simple
+gates before the algorithm runs; per Section VI the last gate of such a
+decomposition carries the complex gate's delay and the rest carry zero.
+
+This module defines the gate vocabulary, controlling/noncontrolling values
+and plain 2-valued evaluation.  Multi-valued evaluation (X and D-calculus)
+lives in :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+
+class GateType(enum.Enum):
+    """The vocabulary of gate types understood by the library."""
+
+    INPUT = "input"    # primary input; no fanin
+    CONST0 = "const0"  # constant 0 source; no fanin
+    CONST1 = "const1"  # constant 1 source; no fanin
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    OUTPUT = "output"  # primary-output marker; exactly one fanin, delay 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateType.{self.name}"
+
+
+#: Gate types with no fanin connections.
+SOURCE_TYPES = frozenset({GateType.INPUT, GateType.CONST0, GateType.CONST1})
+
+#: Gate types that may appear in a network handed to the KMS algorithm.
+#: (INPUT/CONST/OUTPUT are structural and always allowed.)
+SIMPLE_TYPES = frozenset(
+    {
+        GateType.BUF,
+        GateType.NOT,
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+    }
+)
+
+#: Gate types whose output inverts the "core" function (NAND/NOR/NOT/XNOR).
+INVERTING_TYPES = frozenset(
+    {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+)
+
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+
+def is_simple(gate_type: GateType) -> bool:
+    """Return True if ``gate_type`` is a simple gate in the paper's sense."""
+    return gate_type in SIMPLE_TYPES
+
+
+def has_controlling_value(gate_type: GateType) -> bool:
+    """Return True if the gate type has a controlling input value."""
+    return gate_type in _CONTROLLING
+
+
+def controlling_value(gate_type: GateType) -> int:
+    """Controlling value (Definition 4.9) for AND/NAND (0) and OR/NOR (1).
+
+    Raises ``ValueError`` for gate types without one (XOR has none; NOT/BUF
+    have a single input so the notion is vacuous).
+    """
+    try:
+        return _CONTROLLING[gate_type]
+    except KeyError:
+        raise ValueError(f"{gate_type} has no controlling value") from None
+
+
+def noncontrolling_value(gate_type: GateType) -> int:
+    """Noncontrolling value (Definition 4.9): 1 for AND/NAND, 0 for OR/NOR."""
+    return 1 - controlling_value(gate_type)
+
+
+def controlled_output(gate_type: GateType) -> int:
+    """Gate output when some input carries the controlling value."""
+    cv = controlling_value(gate_type)
+    out = cv if gate_type in (GateType.AND, GateType.OR) else 1 - cv
+    # AND: controlling 0 -> out 0; OR: controlling 1 -> out 1;
+    # NAND: controlling 0 -> out 1; NOR: controlling 1 -> out 0.
+    if gate_type is GateType.AND:
+        out = 0
+    elif gate_type is GateType.OR:
+        out = 1
+    elif gate_type is GateType.NAND:
+        out = 1
+    elif gate_type is GateType.NOR:
+        out = 0
+    return out
+
+
+def min_fanin(gate_type: GateType) -> int:
+    """Minimum number of fanin connections a gate of this type may have."""
+    if gate_type in SOURCE_TYPES:
+        return 0
+    if gate_type in (GateType.BUF, GateType.NOT, GateType.OUTPUT):
+        return 1
+    return 1  # degenerate 1-input AND/OR etc. are legal (act as BUF/NOT)
+
+
+def max_fanin(gate_type: GateType) -> float:
+    """Maximum number of fanin connections (inf for AND/OR family)."""
+    if gate_type in SOURCE_TYPES:
+        return 0
+    if gate_type in (GateType.BUF, GateType.NOT, GateType.OUTPUT):
+        return 1
+    return float("inf")
+
+
+def evaluate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """2-valued evaluation of a gate.
+
+    ``inputs`` are 0/1 values in pin order.  Source gates take no inputs
+    (CONST0/CONST1 return their constant; INPUT cannot be evaluated).
+    """
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return 1
+    if gate_type is GateType.INPUT:
+        raise ValueError("primary inputs have no gate function")
+    if gate_type in (GateType.BUF, GateType.OUTPUT):
+        (a,) = inputs
+        return a
+    if gate_type is GateType.NOT:
+        (a,) = inputs
+        return 1 - a
+    if gate_type is GateType.AND:
+        return int(all(inputs))
+    if gate_type is GateType.NAND:
+        return 1 - int(all(inputs))
+    if gate_type is GateType.OR:
+        return int(any(inputs))
+    if gate_type is GateType.NOR:
+        return 1 - int(any(inputs))
+    if gate_type is GateType.XOR:
+        return sum(inputs) & 1
+    if gate_type is GateType.XNOR:
+        return 1 - (sum(inputs) & 1)
+    raise ValueError(f"unknown gate type {gate_type}")  # pragma: no cover
+
+
+def degenerate_single_input_type(gate_type: GateType) -> GateType:
+    """What a multi-input gate becomes when reduced to a single input.
+
+    Used during constant propagation (Theorem 7.2 setup): a 2-input AND
+    whose other input became noncontrolling degenerates to a wire (BUF);
+    inverting gates degenerate to NOT.  The paper keeps the gate with its
+    delay zeroed; we model the same thing by converting the type and letting
+    the caller zero the delay.
+    """
+    if gate_type in (GateType.AND, GateType.OR, GateType.BUF, GateType.XOR):
+        return GateType.BUF
+    if gate_type in (GateType.NAND, GateType.NOR, GateType.NOT, GateType.XNOR):
+        return GateType.NOT
+    raise ValueError(f"{gate_type} cannot degenerate to single input")

@@ -1,0 +1,81 @@
+"""Structural validation of circuits.
+
+`check` is used liberally in tests and in the KMS algorithm's *checked*
+mode: after every transformation the circuit must still be a well-formed
+combinational network (Definition 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import Circuit, CircuitError
+from .gates import GateType, SOURCE_TYPES, max_fanin, min_fanin
+
+
+def check(circuit: Circuit) -> None:
+    """Raise :class:`CircuitError` on any structural inconsistency.
+
+    Checked invariants:
+
+    * gate/connection cross-references are consistent;
+    * fanin arities are legal for each gate type;
+    * the graph is acyclic;
+    * every OUTPUT gate has exactly one fanin and no fanout;
+    * primary input names are unique (when present);
+    * delays are non-negative.
+    """
+    errors = collect_errors(circuit)
+    if errors:
+        raise CircuitError("; ".join(errors))
+
+
+def collect_errors(circuit: Circuit) -> List[str]:
+    """Return a list of human-readable structural problems (empty if OK)."""
+    errors: List[str] = []
+    for cid, conn in circuit.conns.items():
+        if conn.cid != cid:
+            errors.append(f"conn {cid} has mismatched id {conn.cid}")
+        if conn.src not in circuit.gates:
+            errors.append(f"conn {cid} has dangling src {conn.src}")
+        elif cid not in circuit.gates[conn.src].fanout:
+            errors.append(f"conn {cid} missing from fanout of {conn.src}")
+        if conn.dst not in circuit.gates:
+            errors.append(f"conn {cid} has dangling dst {conn.dst}")
+        elif cid not in circuit.gates[conn.dst].fanin:
+            errors.append(f"conn {cid} missing from fanin of {conn.dst}")
+        if conn.delay < 0:
+            errors.append(f"conn {cid} has negative delay")
+    for gid, gate in circuit.gates.items():
+        if gate.gid != gid:
+            errors.append(f"gate {gid} has mismatched id {gate.gid}")
+        for cid in gate.fanin:
+            if cid not in circuit.conns or circuit.conns[cid].dst != gid:
+                errors.append(f"gate {gid} fanin list stale (conn {cid})")
+        for cid in gate.fanout:
+            if cid not in circuit.conns or circuit.conns[cid].src != gid:
+                errors.append(f"gate {gid} fanout list stale (conn {cid})")
+        n = len(gate.fanin)
+        if n < min_fanin(gate.gtype) or n > max_fanin(gate.gtype):
+            errors.append(
+                f"gate {gid} ({gate.gtype.value}) has illegal fanin arity {n}"
+            )
+        if gate.delay < 0:
+            errors.append(f"gate {gid} has negative delay")
+        if gate.gtype is GateType.OUTPUT and gate.fanout:
+            errors.append(f"output marker {gid} must not drive anything")
+        if gate.gtype in SOURCE_TYPES and gate.fanin:
+            errors.append(f"source gate {gid} must not have fanin")
+    names = [circuit.gates[g].name for g in circuit.inputs]
+    if any(n is None for n in names):
+        errors.append("all primary inputs must be named")
+    elif len(set(names)) != len(names):
+        errors.append("primary input names must be unique")
+    out_names = [circuit.gates[g].name for g in circuit.outputs]
+    if any(n is None for n in out_names):
+        errors.append("all primary outputs must be named")
+    try:
+        circuit.topological_order()
+    except CircuitError as exc:
+        errors.append(str(exc))
+    return errors

@@ -1,0 +1,102 @@
+"""CNF container with DIMACS-style integer literals.
+
+Variables are positive integers 1..n; a literal is ``+v`` or ``-v``.
+:class:`CNF` is a thin builder shared by the Tseitin encoder, the
+sensitization checkers and SAT-ATPG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class CNF:
+    """A growable CNF formula."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; empty clauses are legal (formula becomes UNSAT)."""
+        clause = tuple(literals)
+        for lit in clause:
+            var = abs(lit)
+            if var == 0:
+                raise ValueError("literal 0 is reserved")
+            if var > self.num_vars:
+                self.num_vars = var
+        self.clauses.append(clause)
+
+    def add_unit(self, literal: int) -> None:
+        self.add_clause((literal,))
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def copy(self) -> "CNF":
+        other = CNF()
+        other.num_vars = self.num_vars
+        other.clauses = list(self.clauses)
+        return other
+
+    def evaluate(self, assignment: Dict[int, bool]) -> Optional[bool]:
+        """Evaluate under a (possibly partial) assignment.
+
+        Returns True/False if determined, None if undetermined.  Used as a
+        test oracle against the solver.
+        """
+        undetermined = False
+        for clause in self.clauses:
+            satisfied = False
+            open_lits = False
+            for lit in clause:
+                val = assignment.get(abs(lit))
+                if val is None:
+                    open_lits = True
+                elif val == (lit > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                if open_lits:
+                    undetermined = True
+                else:
+                    return False
+        return None if undetermined else True
+
+    def to_dimacs(self) -> str:
+        """Serialize to DIMACS CNF format."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse DIMACS CNF text."""
+        cnf = cls()
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith(("c", "p", "%")):
+                continue
+            lits = [int(tok) for tok in line.split()]
+            if lits and lits[-1] == 0:
+                lits = lits[:-1]
+            if lits:
+                cnf.add_clause(lits)
+        return cnf
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"<CNF {self.num_vars} vars, {len(self.clauses)} clauses>"

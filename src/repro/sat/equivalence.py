@@ -1,0 +1,96 @@
+"""Miter-based combinational equivalence checking.
+
+The KMS algorithm's correctness rests on every transformation preserving
+circuit function (Theorems 7.1 and 7.2).  The *checked* mode of
+:func:`repro.core.kms.kms` verifies this after every step with the miter
+built here: both circuits share PI variables, each pair of same-named
+outputs feeds an XOR, and the OR of all XORs is asserted true.  UNSAT
+means equivalent; a model is a counterexample input vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..network import Circuit
+from .cnf import CNF
+from .solver import Solver
+from .tseitin import CircuitEncoder
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    #: PI name -> 0/1 counterexample (only when not equivalent).
+    counterexample: Optional[Dict[str, int]] = None
+    #: name of an output that differs under the counterexample.
+    differing_output: Optional[str] = None
+
+
+def check_equivalence(a: Circuit, b: Circuit) -> EquivalenceResult:
+    """Prove or refute functional equivalence of two circuits.
+
+    Circuits are matched by PI and PO *names*; gid numbering is free to
+    differ (KMS renumbers aggressively).  Raises ``ValueError`` when the
+    interfaces differ -- that is a harness bug, not an inequivalence.
+    """
+    a_pis = {a.gates[g].name: g for g in a.inputs}
+    b_pis = {b.gates[g].name: g for g in b.inputs}
+    if set(a_pis) != set(b_pis):
+        raise ValueError(
+            f"PI mismatch: {sorted(set(a_pis) ^ set(b_pis))}"
+        )
+    a_pos = {a.gates[g].name: g for g in a.outputs}
+    b_pos = {b.gates[g].name: g for g in b.outputs}
+    if set(a_pos) != set(b_pos):
+        raise ValueError(
+            f"PO mismatch: {sorted(set(a_pos) ^ set(b_pos))}"
+        )
+
+    enc = CircuitEncoder()
+    var_a = enc.encode(a)
+    shared = {b_pis[name]: var_a[a_pis[name]] for name in a_pis}
+    var_b = enc.encode(b, input_vars=shared)
+
+    cnf = enc.cnf
+    diff_lits = []
+    diff_of_output: Dict[int, str] = {}
+    for name in a_pos:
+        va, vb = var_a[a_pos[name]], var_b[b_pos[name]]
+        d = cnf.new_var()
+        # d <-> (va xor vb)
+        cnf.add_clause((-va, -vb, -d))
+        cnf.add_clause((va, vb, -d))
+        cnf.add_clause((-va, vb, d))
+        cnf.add_clause((va, -vb, d))
+        diff_lits.append(d)
+        diff_of_output[d] = name
+    cnf.add_clause(diff_lits)
+
+    solver = Solver(cnf)
+    if not solver.solve():
+        return EquivalenceResult(equivalent=True)
+    model = solver.model()
+    cex = {
+        name: int(model.get(var_a[gid], False))
+        for name, gid in a_pis.items()
+    }
+    differing = next(
+        (diff_of_output[d] for d in diff_lits if model.get(d)), None
+    )
+    return EquivalenceResult(
+        equivalent=False, counterexample=cex, differing_output=differing
+    )
+
+
+def assert_equivalent(a: Circuit, b: Circuit) -> None:
+    """Raise ``AssertionError`` with the counterexample if not equivalent."""
+    result = check_equivalence(a, b)
+    if not result.equivalent:
+        raise AssertionError(
+            f"circuits differ on output {result.differing_output!r} "
+            f"under input {result.counterexample!r}"
+        )

@@ -1,0 +1,129 @@
+"""Tseitin encoding of circuits into CNF.
+
+Each gate output becomes a CNF variable; the clauses constrain the
+variable to equal the gate function of its fanin variables.  The encoding
+is shared by the equivalence checker, the static sensitization check
+(Definition 4.11 reduces to SAT on the circuit clauses plus unit
+constraints on side-inputs) and SAT-based ATPG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..network import Circuit, GateType
+from .cnf import CNF
+
+
+class CircuitEncoder:
+    """Encodes a circuit into a :class:`CNF`, keeping the gid -> var map.
+
+    Multiple circuits may be encoded into one CNF (miters); PIs can be
+    shared by passing ``input_vars``.
+    """
+
+    def __init__(self, cnf: Optional[CNF] = None) -> None:
+        self.cnf = cnf if cnf is not None else CNF()
+
+    def encode(
+        self,
+        circuit: Circuit,
+        input_vars: Optional[Dict[int, int]] = None,
+        gate_filter: Optional[Iterable[int]] = None,
+    ) -> Dict[int, int]:
+        """Encode ``circuit`` (or the sub-DAG ``gate_filter``) and return
+        the gid -> variable map.
+
+        ``input_vars`` maps PI gid -> existing variable (for sharing PIs
+        between the two halves of a miter).  Gates outside ``gate_filter``
+        (when given) are skipped; the filter must be fanin-closed.
+        """
+        var: Dict[int, int] = {}
+        allowed = set(gate_filter) if gate_filter is not None else None
+        for gid in circuit.topological_order():
+            if allowed is not None and gid not in allowed:
+                continue
+            gate = circuit.gates[gid]
+            if gate.gtype is GateType.INPUT and input_vars and gid in input_vars:
+                var[gid] = input_vars[gid]
+                continue
+            v = self.cnf.new_var()
+            var[gid] = v
+            ins = [var[circuit.conns[c].src] for c in gate.fanin]
+            self._constrain(gate.gtype, v, ins)
+        return var
+
+    def _constrain(self, gtype: GateType, out: int, ins: List[int]) -> None:
+        cnf = self.cnf
+        if gtype is GateType.INPUT:
+            return  # free variable
+        if gtype is GateType.CONST0:
+            cnf.add_unit(-out)
+            return
+        if gtype is GateType.CONST1:
+            cnf.add_unit(out)
+            return
+        if gtype in (GateType.BUF, GateType.OUTPUT):
+            (a,) = ins
+            cnf.add_clause((-a, out))
+            cnf.add_clause((a, -out))
+            return
+        if gtype is GateType.NOT:
+            (a,) = ins
+            cnf.add_clause((a, out))
+            cnf.add_clause((-a, -out))
+            return
+        if gtype in (GateType.AND, GateType.NAND):
+            o = out if gtype is GateType.AND else -out
+            for a in ins:
+                cnf.add_clause((-o, a))
+            cnf.add_clause(tuple(-a for a in ins) + (o,))
+            return
+        if gtype in (GateType.OR, GateType.NOR):
+            o = out if gtype is GateType.OR else -out
+            for a in ins:
+                cnf.add_clause((o, -a))
+            cnf.add_clause(tuple(ins) + (-o,))
+            return
+        if gtype in (GateType.XOR, GateType.XNOR):
+            acc = ins[0]
+            for nxt in ins[1:-1]:
+                aux = cnf.new_var()
+                self._xor2(acc, nxt, aux)
+                acc = aux
+            if gtype is GateType.XOR:
+                self._xor2(acc, ins[-1], out)
+            else:
+                aux = cnf.new_var()
+                self._xor2(acc, ins[-1], aux)
+                cnf.add_clause((aux, out))
+                cnf.add_clause((-aux, -out))
+            return
+        raise ValueError(f"cannot encode {gtype}")
+
+    def _xor2(self, a: int, b: int, out: int) -> None:
+        cnf = self.cnf
+        cnf.add_clause((-a, -b, -out))
+        cnf.add_clause((a, b, -out))
+        cnf.add_clause((-a, b, out))
+        cnf.add_clause((a, -b, out))
+
+
+def encode_circuit(circuit: Circuit) -> "EncodedCircuit":
+    """One-shot encoding, returning the CNF and the variable map."""
+    enc = CircuitEncoder()
+    var = enc.encode(circuit)
+    return EncodedCircuit(enc.cnf, var)
+
+
+class EncodedCircuit:
+    """A circuit's CNF plus its gid -> variable map."""
+
+    def __init__(self, cnf: CNF, var: Dict[int, int]) -> None:
+        self.cnf = cnf
+        self.var = var
+
+    def lit(self, gid: int, value: int) -> int:
+        """The literal asserting gate ``gid`` carries ``value``."""
+        v = self.var[gid]
+        return v if value else -v

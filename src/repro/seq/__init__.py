@@ -1,0 +1,17 @@
+"""Sequential circuits: latches around a combinational core, and the
+paper's Section I reduction (KMS on the extracted core)."""
+
+from .sequential import (
+    Latch,
+    SequentialCircuit,
+    kms_sequential,
+)
+from .machines import accumulator, mod_counter
+
+__all__ = [
+    "Latch",
+    "SequentialCircuit",
+    "accumulator",
+    "kms_sequential",
+    "mod_counter",
+]

@@ -1,0 +1,67 @@
+"""Sequential workload generators: counters and accumulators.
+
+Realistic machines whose combinational cores are the paper's adders, so
+the sequential story (cycle time = core delay; KMS shortens or preserves
+it) is exercised on hardware-shaped examples rather than toys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..circuits.adders import carry_skip_adder, ripple_carry_adder
+from ..network import Builder, Circuit
+from .sequential import Latch, SequentialCircuit
+
+
+def accumulator(
+    nbits: int,
+    block_size: Optional[int] = None,
+    name: Optional[str] = None,
+) -> SequentialCircuit:
+    """An n-bit accumulator: state <- state + in (+0 carry).
+
+    ``block_size`` selects a carry-skip core (the interesting case: its
+    redundancy lives inside a sequential machine); None gives
+    ripple-carry.
+    """
+    core = (
+        carry_skip_adder(nbits, block_size)
+        if block_size
+        else ripple_carry_adder(nbits)
+    )
+    core.name = name or f"acc_{nbits}"
+    # adder interface: a* = state, b* = input, cin tied by a latch? keep
+    # cin a true PI (carry input pin of the accumulator)
+    latches = [
+        Latch(
+            name=f"r{i}",
+            data_output=f"s{i}",
+            state_input=f"a{i}",
+            init=0,
+        )
+        for i in range(nbits)
+    ]
+    return SequentialCircuit(core, latches, core.name)
+
+
+def mod_counter(nbits: int, name: Optional[str] = None) -> SequentialCircuit:
+    """A free-running n-bit binary counter: state <- state + 1.
+
+    Built from half-adder slices (XOR/AND), fully irredundant -- the
+    control case next to the redundant carry-skip accumulator.
+    """
+    b = Builder(name or f"counter_{nbits}")
+    en = b.input("en")
+    state = [b.input(f"q{i}") for i in range(nbits)]
+    carry = en
+    for i in range(nbits):
+        b.output(f"d{i}", b.xor_simple(state[i], carry))
+        carry = b.and_(state[i], carry, delay=1.0)
+    b.output("carry_out", carry)
+    core = b.done()
+    latches = [
+        Latch(name=f"q{i}_ff", data_output=f"d{i}", state_input=f"q{i}")
+        for i in range(nbits)
+    ]
+    return SequentialCircuit(core, latches, core.name)

@@ -1,0 +1,188 @@
+"""Synchronous sequential circuits and combinational extraction.
+
+Section I of the paper: "This algorithm may be generalized to sequential
+circuits by extracting the combinational portion from the sequential
+circuit since the cycle time of a synchronous sequential circuit is
+determined by the delay of the combinational portions between latches."
+
+:class:`SequentialCircuit` is a single-clock netlist of latches wrapped
+around a combinational core.  Latch outputs become pseudo primary
+inputs, latch inputs pseudo primary outputs; the cycle time is the
+delay of that extracted core, and redundancy removal runs on it
+unchanged (full-scan assumption, standard for stuck-at ATPG of
+sequential logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..network import Circuit, CircuitError
+
+
+@dataclass
+class Latch:
+    """An edge-triggered state element.
+
+    Attributes:
+        name: unique latch name.
+        data_output: name of the combinational PO feeding the latch D pin.
+        state_input: name of the combinational PI driven by the latch Q.
+        init: initial state (0 or 1).
+    """
+
+    name: str
+    data_output: str
+    state_input: str
+    init: int = 0
+
+
+class SequentialCircuit:
+    """A combinational core plus latches connecting POs back to PIs.
+
+    The core's PI set = true primary inputs + latch state inputs; its PO
+    set = true primary outputs + latch data inputs.  The class keeps the
+    partitioning explicit so timing and testability questions can be
+    asked about the right objects.
+    """
+
+    def __init__(
+        self,
+        core: Circuit,
+        latches: List[Latch],
+        name: Optional[str] = None,
+    ) -> None:
+        self.name = name or f"{core.name}_seq"
+        self.core = core
+        self.latches = list(latches)
+        self._validate()
+
+    def _validate(self) -> None:
+        pi_names = set(self.core.input_names())
+        po_names = set(self.core.output_names())
+        seen = set()
+        for latch in self.latches:
+            if latch.name in seen:
+                raise CircuitError(f"duplicate latch {latch.name!r}")
+            seen.add(latch.name)
+            if latch.state_input not in pi_names:
+                raise CircuitError(
+                    f"latch {latch.name!r}: state input "
+                    f"{latch.state_input!r} is not a core PI"
+                )
+            if latch.data_output not in po_names:
+                raise CircuitError(
+                    f"latch {latch.name!r}: data output "
+                    f"{latch.data_output!r} is not a core PO"
+                )
+            if latch.init not in (0, 1):
+                raise CircuitError(
+                    f"latch {latch.name!r}: init must be 0/1"
+                )
+        state_inputs = [l.state_input for l in self.latches]
+        data_outputs = [l.data_output for l in self.latches]
+        if len(set(state_inputs)) != len(state_inputs):
+            raise CircuitError("two latches drive the same state input")
+        if len(set(data_outputs)) != len(data_outputs):
+            raise CircuitError("two latches sample the same data output")
+
+    # -- interface ------------------------------------------------------#
+
+    def primary_inputs(self) -> List[str]:
+        """True primary inputs (excluding latch state inputs)."""
+        states = {l.state_input for l in self.latches}
+        return [n for n in self.core.input_names() if n not in states]
+
+    def primary_outputs(self) -> List[str]:
+        """True primary outputs (excluding latch data pins)."""
+        data = {l.data_output for l in self.latches}
+        return [n for n in self.core.output_names() if n not in data]
+
+    def initial_state(self) -> Dict[str, int]:
+        return {l.name: l.init for l in self.latches}
+
+    # -- extraction (the paper's reduction) -----------------------------#
+
+    def extract_combinational(self) -> Circuit:
+        """The combinational portion, as-is.
+
+        Latch boundaries are already PIs/POs of the core, so extraction
+        is the identity on the netlist; the value of this method is the
+        *contract*: anything proven about the returned circuit (delay,
+        testability) transfers to the sequential machine's cycle time
+        and full-scan testability.
+        """
+        return self.core.copy(f"{self.name}_comb")
+
+    def replace_core(self, core: Circuit) -> "SequentialCircuit":
+        """Rebuild the machine around a transformed core (e.g. the KMS
+        output).  The core must preserve the PI/PO name interface."""
+        return SequentialCircuit(core, self.latches, self.name)
+
+    def cycle_time(self, model=None) -> float:
+        """The machine's cycle time: computed delay of the core
+        (register-to-register, register-to-output, input-to-register and
+        input-to-output paths all live in the core)."""
+        from ..timing import viability_delay
+
+        return viability_delay(self.core, model).delay
+
+    # -- simulation -------------------------------------------------------#
+
+    def simulate(
+        self,
+        input_sequence: List[Mapping[str, int]],
+        state: Optional[Dict[str, int]] = None,
+    ) -> Iterator[Tuple[Dict[str, int], Dict[str, int]]]:
+        """Cycle-accurate simulation.
+
+        Yields (primary outputs, next state) per applied input vector.
+        """
+        state = dict(state) if state is not None else self.initial_state()
+        state_of_latch = {l.name: l for l in self.latches}
+        for vector in input_sequence:
+            assignment: Dict[int, int] = {}
+            for name in self.primary_inputs():
+                assignment[self.core.find_input(name)] = vector[name]
+            for latch in self.latches:
+                assignment[
+                    self.core.find_input(latch.state_input)
+                ] = state[latch.name]
+            values = self.core.evaluate(assignment)
+            outputs = {
+                name: values[self.core.find_output(name)]
+                for name in self.primary_outputs()
+            }
+            state = {
+                latch.name: values[
+                    self.core.find_output(latch.data_output)
+                ]
+                for latch in self.latches
+            }
+            yield outputs, dict(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SequentialCircuit {self.name!r}: {len(self.latches)} "
+            f"latches around {self.core.num_gates()} gates>"
+        )
+
+
+def kms_sequential(
+    machine: SequentialCircuit,
+    mode: str = "static",
+    model=None,
+    checked: bool = False,
+):
+    """The paper's sequential generalization: KMS on the extracted core.
+
+    Returns (new machine, KmsResult).  The new machine has the same
+    latch structure, a fully testable core (full-scan testability), and
+    a cycle time no longer than the original's.
+    """
+    from ..core import kms
+
+    core = machine.extract_combinational()
+    result = kms(core, mode=mode, model=model, checked=checked)
+    return machine.replace_core(result.circuit), result

@@ -1,0 +1,210 @@
+"""Event-driven timing simulation: the *true delay* oracle.
+
+Section V of the paper defines the true delay of a circuit as the maximum,
+over all input events, of the time between the input event and the last
+output change.  Computing it exactly requires simulating all input
+transitions -- "considered to be a formidable problem for most circuits" --
+which is precisely why the paper uses viability as a computed upper bound.
+
+For *small* circuits we can afford the formidable: this module simulates
+every ordered pair of input vectors under a transport-delay model and
+reports the exact settling time.  Tests use it to confirm that topological
+delay >= viability delay >= longest-statically-sensitizable-path delay and
+that viability delay >= true delay (upper-bound soundness, Theorem 7.2's
+frame).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..network import Circuit, GateType
+from ..network.gates import evaluate as eval_gate
+
+
+def settle_time(
+    circuit: Circuit,
+    before: Mapping[int, int],
+    after: Mapping[int, int],
+) -> float:
+    """Simulate the transition ``before -> after`` and return the time of
+    the last primary-output change (0.0 if no output changes).
+
+    Each primary input switches at its arrival time
+    (``circuit.input_arrival``).  Gates have transport delay ``d(g)``;
+    connections add ``d(c)``.
+    """
+    # steady state under `before`
+    values = circuit.evaluate(dict(before))
+    pin_values: Dict[int, int] = {
+        cid: values[conn.src] for cid, conn in circuit.conns.items()
+    }
+    out_change: float = 0.0
+    counter = itertools.count()
+    # event = (time, seq, kind, payload)
+    #   kind "pin":    payload = (cid, value)      connection value arrives
+    #   kind "output": payload = (gid, value)      gate output assumes value
+    heap: List[Tuple[float, int, str, tuple]] = []
+
+    def schedule_output(gid: int, value: int, at: float) -> None:
+        heapq.heappush(heap, (at, next(counter), "output", (gid, value)))
+
+    for gid in circuit.inputs:
+        if after[gid] != before[gid]:
+            at = circuit.input_arrival.get(gid, 0.0)
+            schedule_output(gid, after[gid], at)
+
+    while heap:
+        time, _, kind, payload = heapq.heappop(heap)
+        if kind == "output":
+            gid, value = payload
+            if values[gid] == value:
+                continue
+            values[gid] = value
+            gate = circuit.gates[gid]
+            if gate.gtype is GateType.OUTPUT:
+                out_change = max(out_change, time)
+            for cid in gate.fanout:
+                conn = circuit.conns[cid]
+                heapq.heappush(
+                    heap,
+                    (
+                        time + conn.delay,
+                        next(counter),
+                        "pin",
+                        (cid, value),
+                    ),
+                )
+        else:
+            cid, value = payload
+            if pin_values[cid] == value:
+                continue
+            pin_values[cid] = value
+            conn = circuit.conns[cid]
+            gate = circuit.gates[conn.dst]
+            if gate.gtype is GateType.INPUT:
+                continue
+            ins = [pin_values[c] for c in gate.fanin]
+            new_out = eval_gate(gate.gtype, ins)
+            if gate.gtype is GateType.OUTPUT:
+                # output markers are zero-delay observers
+                schedule_output(conn.dst, new_out, time)
+            else:
+                schedule_output(conn.dst, new_out, time + gate.delay)
+    return out_change
+
+
+def output_waveforms(
+    circuit: Circuit,
+    before: Mapping[int, int],
+    after: Mapping[int, int],
+) -> Dict[int, List[Tuple[float, int]]]:
+    """Simulate the transition and return each primary output's waveform.
+
+    The waveform is a list of (time, value) change events, starting with
+    (0.0, steady value under ``before``).  Sampling a waveform at time t
+    gives the output a flip-flop clocked at t would capture -- the
+    primitive under the speedtest analysis
+    (:mod:`repro.timing.speedtest`).
+    """
+    waves: Dict[int, List[Tuple[float, int]]] = {}
+    steady = circuit.evaluate(dict(before))
+    for po in circuit.outputs:
+        waves[po] = [(0.0, steady[po])]
+
+    values = dict(steady)
+    pin_values: Dict[int, int] = {
+        cid: values[conn.src] for cid, conn in circuit.conns.items()
+    }
+    counter = itertools.count()
+    heap: List[Tuple[float, int, str, tuple]] = []
+
+    def schedule_output(gid: int, value: int, at: float) -> None:
+        heapq.heappush(heap, (at, next(counter), "output", (gid, value)))
+
+    for gid in circuit.inputs:
+        if after[gid] != before[gid]:
+            schedule_output(
+                gid, after[gid], circuit.input_arrival.get(gid, 0.0)
+            )
+    while heap:
+        time, _, kind, payload = heapq.heappop(heap)
+        if kind == "output":
+            gid, value = payload
+            if values[gid] == value:
+                continue
+            values[gid] = value
+            gate = circuit.gates[gid]
+            if gate.gtype is GateType.OUTPUT:
+                waves[gid].append((time, value))
+            for cid in gate.fanout:
+                conn = circuit.conns[cid]
+                heapq.heappush(
+                    heap,
+                    (time + conn.delay, next(counter), "pin", (cid, value)),
+                )
+        else:
+            cid, value = payload
+            if pin_values[cid] == value:
+                continue
+            pin_values[cid] = value
+            conn = circuit.conns[cid]
+            gate = circuit.gates[conn.dst]
+            if gate.gtype is GateType.INPUT:
+                continue
+            ins = [pin_values[c] for c in gate.fanin]
+            new_out = eval_gate(gate.gtype, ins)
+            delay = 0.0 if gate.gtype is GateType.OUTPUT else gate.delay
+            schedule_output(conn.dst, new_out, time + delay)
+    return waves
+
+
+def sample_waveform(
+    waveform: List[Tuple[float, int]], at: float
+) -> int:
+    """Value of a waveform strictly sampled at time ``at`` (the value of
+    the last change at or before ``at``)."""
+    value = waveform[0][1]
+    for time, v in waveform:
+        if time <= at + 1e-12:
+            value = v
+        else:
+            break
+    return value
+
+
+def true_delay(
+    circuit: Circuit,
+    max_inputs: int = 10,
+    pairs: Optional[Iterable[Tuple[int, int]]] = None,
+) -> float:
+    """Exact circuit delay by exhaustive pair simulation.
+
+    Enumerates every ordered pair of distinct input vectors (or the given
+    ``pairs`` of integer-encoded vectors) and returns the maximum settle
+    time.  Exponential in both directions -- oracle use only, guarded by
+    ``max_inputs``.
+    """
+    pis = circuit.inputs
+    n = len(pis)
+    if n > max_inputs:
+        raise ValueError(
+            f"true_delay limited to {max_inputs} inputs; circuit has {n}"
+        )
+
+    def decode(bits: int) -> Dict[int, int]:
+        return {gid: (bits >> i) & 1 for i, gid in enumerate(pis)}
+
+    if pairs is None:
+        pairs = (
+            (a, b)
+            for a in range(1 << n)
+            for b in range(1 << n)
+            if a != b
+        )
+    worst = 0.0
+    for a, b in pairs:
+        worst = max(worst, settle_time(circuit, decode(a), decode(b)))
+    return worst

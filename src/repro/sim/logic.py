@@ -1,0 +1,164 @@
+"""Scalar logic simulation: 2-valued and 3-valued (0/1/X).
+
+The 3-valued simulator implements the paper's cube-application semantics
+(Section IV): "applying the cube x y' z to C is shorthand for applying
+u = X, w = X, x = 1, y = 0, z = 1 ... the value X denotes an unknown
+value".  Static sensitization and viability checks, as well as PODEM's
+implication engine, are built on these semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..network import Circuit, GateType
+
+#: The unknown value in 3-valued simulation.
+X = "X"
+
+Value3 = object  # 0 | 1 | X
+
+
+def v3_not(a):
+    """3-valued NOT."""
+    if a == X:
+        return X
+    return 1 - a
+
+
+def v3_and(values: Iterable) -> object:
+    """3-valued AND: any 0 dominates; else X if any X; else 1."""
+    saw_x = False
+    for v in values:
+        if v == 0:
+            return 0
+        if v == X:
+            saw_x = True
+    return X if saw_x else 1
+
+
+def v3_or(values: Iterable) -> object:
+    """3-valued OR: any 1 dominates; else X if any X; else 0."""
+    saw_x = False
+    for v in values:
+        if v == 1:
+            return 1
+        if v == X:
+            saw_x = True
+    return X if saw_x else 0
+
+
+def v3_xor(values: Iterable) -> object:
+    """3-valued XOR: X if any input is X, else parity."""
+    acc = 0
+    for v in values:
+        if v == X:
+            return X
+        acc ^= v
+    return acc
+
+
+def eval_gate3(gtype: GateType, inputs: Sequence) -> object:
+    """3-valued evaluation of a single gate."""
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype in (GateType.BUF, GateType.OUTPUT):
+        return inputs[0]
+    if gtype is GateType.NOT:
+        return v3_not(inputs[0])
+    if gtype is GateType.AND:
+        return v3_and(inputs)
+    if gtype is GateType.NAND:
+        return v3_not(v3_and(inputs))
+    if gtype is GateType.OR:
+        return v3_or(inputs)
+    if gtype is GateType.NOR:
+        return v3_not(v3_or(inputs))
+    if gtype is GateType.XOR:
+        return v3_xor(inputs)
+    if gtype is GateType.XNOR:
+        return v3_not(v3_xor(inputs))
+    raise ValueError(f"cannot evaluate {gtype}")
+
+
+def simulate3(
+    circuit: Circuit, assignment: Mapping[int, object]
+) -> Dict[int, object]:
+    """3-valued simulation.
+
+    ``assignment`` maps PI gid -> 0/1/X; unassigned PIs default to X
+    (cube semantics).  Returns values for every gate.
+    """
+    values: Dict[int, object] = {}
+    for gid in circuit.topological_order():
+        gate = circuit.gates[gid]
+        if gate.gtype is GateType.INPUT:
+            values[gid] = assignment.get(gid, X)
+        else:
+            ins = [values[circuit.conns[c].src] for c in gate.fanin]
+            values[gid] = eval_gate3(gate.gtype, ins)
+    return values
+
+
+def simulate_cube_by_name(
+    circuit: Circuit, cube: Mapping[str, object]
+) -> Dict[int, object]:
+    """3-valued simulation with the cube given by PI names."""
+    assignment = {
+        circuit.find_input(name): val for name, val in cube.items()
+    }
+    return simulate3(circuit, assignment)
+
+
+def truth_table(
+    circuit: Circuit, max_inputs: int = 20
+) -> Dict[Tuple[int, ...], Tuple[int, ...]]:
+    """Exhaustive truth table: PI-vector tuple -> PO-vector tuple.
+
+    Guarded by ``max_inputs`` -- exhaustive enumeration is a test oracle
+    for small circuits only.
+    """
+    pis = circuit.inputs
+    if len(pis) > max_inputs:
+        raise ValueError(
+            f"truth_table limited to {max_inputs} inputs; "
+            f"circuit has {len(pis)}"
+        )
+    table: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+    for bits in range(1 << len(pis)):
+        vec = tuple((bits >> i) & 1 for i in range(len(pis)))
+        assignment = dict(zip(pis, vec))
+        table[vec] = circuit.evaluate_outputs(assignment)
+    return table
+
+
+def outputs_equal_exhaustive(a: Circuit, b: Circuit) -> bool:
+    """Exhaustive functional equivalence for small circuits.
+
+    Circuits must share PI and PO *names* (order may differ).  This is the
+    slow, obviously-correct oracle used to validate SAT/BDD equivalence.
+    """
+    a_pis = {a.gates[g].name: g for g in a.inputs}
+    b_pis = {b.gates[g].name: g for g in b.inputs}
+    if set(a_pis) != set(b_pis):
+        return False
+    a_pos = {a.gates[g].name: g for g in a.outputs}
+    b_pos = {b.gates[g].name: g for g in b.outputs}
+    if set(a_pos) != set(b_pos):
+        return False
+    names = sorted(a_pis)
+    for bits in range(1 << len(names)):
+        assign_a = {}
+        assign_b = {}
+        for i, n in enumerate(names):
+            bit = (bits >> i) & 1
+            assign_a[a_pis[n]] = bit
+            assign_b[b_pis[n]] = bit
+        va = a.evaluate(assign_a)
+        vb = b.evaluate(assign_b)
+        for name in a_pos:
+            if va[a_pos[name]] != vb[b_pos[name]]:
+                return False
+    return True

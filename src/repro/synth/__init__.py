@@ -1,0 +1,76 @@
+"""Multilevel synthesis substrate: division, factoring, ISOP, speedup."""
+
+from .divide import (
+    AlgCube,
+    AlgExpr,
+    best_kernel,
+    cover_to_expr,
+    cube_free,
+    divide,
+    expr_to_cover,
+    kernels,
+    make_cube_free,
+)
+from .factor import (
+    build_expression,
+    cover_to_gates,
+    factor_cover,
+    factor_expr,
+    factored_literal_count,
+)
+from .isop import bdd_to_cover, isop
+from .synthesis import (
+    collapse_to_covers,
+    cone_function,
+    covers_to_circuit,
+    resynthesize,
+)
+from .bypass import (
+    BypassStats,
+    bypass_critical_output,
+    generalized_bypass,
+)
+from .extract import (
+    ExtractionResult,
+    extract_common_divisors,
+    shared_covers_to_circuit,
+)
+from .mapping import map_to_nand, map_to_nor
+from .optimize import area_optimize, strash
+from .speedup import SpeedupStats, speed_up, timing_decompose
+
+__all__ = [
+    "AlgCube",
+    "AlgExpr",
+    "BypassStats",
+    "ExtractionResult",
+    "bypass_critical_output",
+    "generalized_bypass",
+    "SpeedupStats",
+    "extract_common_divisors",
+    "shared_covers_to_circuit",
+    "area_optimize",
+    "bdd_to_cover",
+    "best_kernel",
+    "build_expression",
+    "collapse_to_covers",
+    "cone_function",
+    "cover_to_expr",
+    "cover_to_gates",
+    "covers_to_circuit",
+    "cube_free",
+    "divide",
+    "expr_to_cover",
+    "factor_cover",
+    "factor_expr",
+    "factored_literal_count",
+    "isop",
+    "kernels",
+    "make_cube_free",
+    "map_to_nand",
+    "map_to_nor",
+    "resynthesize",
+    "speed_up",
+    "strash",
+    "timing_decompose",
+]

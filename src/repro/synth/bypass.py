@@ -1,0 +1,190 @@
+"""The Shannon bypass transform -- redundancy-introducing restructuring.
+
+Given output f and an input x, build
+
+    f_new = MUX(x, f_original, f_{x=1})
+
+(dually with the x=0 cofactor).  Since f = x'·f₀ + x·f₁ this is
+functionally the identity; the x = 1 cofactor is realized as fresh flat
+logic while the original cone is *kept* on the other MUX leg.
+
+The transform's reproduction value is the paper's opening premise made
+concrete: "performance optimizations can, and do in practice, introduce
+single stuck-at-fault redundancies into designs."  The kept original
+cone overlaps heavily with the flat cofactor, so the bypassed circuit
+is massively redundant (64 untestable faults on a bypassed rd73 cone)
+-- a strong class-2 generator for the Table I benchmarks, and the
+structure KMS's cleanup phase exists to untangle.
+
+A note on what this transform does *not* reproduce: the carry-skip
+adder's class-1 signature (false longest paths).  There the skip
+condition is a function of *other* inputs (the propagate bits) whose
+side-input requirements contradict the select -- with a raw input as
+the select no such contradiction arises, and the kept cone's paths
+remain sensitizable.  Class-1 behaviour in this repository comes from
+the carry-skip family itself, as in the paper ("we have only found one
+real family of circuits ... with stuck-at-fault redundancies and no
+viable longest path").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd import circuit_bdds
+from ..network import Circuit, GateType
+from ..timing import AsBuiltDelayModel, DelayModel, analyze
+from .isop import bdd_to_cover
+from .speedup import _huffman_tree
+from ..twolevel import espresso
+
+
+@dataclass
+class BypassStats:
+    """What one bypass application did."""
+
+    output: str
+    selector: str
+    cofactor_value: int
+    arrival_before: float
+    arrival_after: float
+
+
+def generalized_bypass(
+    circuit: Circuit,
+    output_name: str,
+    input_name: str,
+    cofactor_value: int = 1,
+    model: Optional[DelayModel] = None,
+    gate_delay: float = 1.0,
+) -> BypassStats:
+    """Apply the bypass in place around ``input_name`` at
+    ``output_name``.
+
+    Unlike :func:`repro.synth.speed_up`, the original cone is kept (it
+    still drives the MUX's other leg), matching how bypass logic is
+    added in practice -- and creating the redundancies the paper
+    studies.
+    """
+    model = model if model is not None else AsBuiltDelayModel()
+    po = circuit.find_output(output_name)
+    sel_pi = circuit.find_input(input_name)
+    ann = analyze(circuit, model)
+    arrival_before = ann.arrival[po]
+
+    bdd, nodes = circuit_bdds(circuit)
+    po_func = nodes[po]
+    var_of = {gid: i for i, gid in enumerate(circuit.inputs)}
+    cof = bdd.restrict(po_func, var_of[sel_pi], cofactor_value)
+
+    # realize the cofactor as flat two-level logic over the PIs
+    if cof == bdd.ZERO:
+        cof_root = circuit.add_gate(GateType.CONST0, 0.0)
+    elif cof == bdd.ONE:
+        cof_root = circuit.add_gate(GateType.CONST1, 0.0)
+    else:
+        cover = bdd_to_cover(bdd, cof, len(circuit.inputs))
+        cover = espresso(cover).cover
+        pi_arrival = {
+            i: model.input_arrival(circuit, gid)
+            for i, gid in enumerate(circuit.inputs)
+        }
+        inverters: Dict[int, int] = {}
+
+        def literal(var: int, value: int) -> Tuple[float, int]:
+            gid = circuit.inputs[var]
+            if value:
+                return pi_arrival[var], gid
+            if gid not in inverters:
+                inverters[gid] = circuit.add_simple(
+                    GateType.NOT, [gid], gate_delay
+                )
+            return pi_arrival[var] + gate_delay, inverters[gid]
+
+        terms = []
+        for cube in cover.cubes:
+            lits = [literal(v, val) for v, val in cube.literals()]
+            terms.append(
+                _huffman_tree(circuit, GateType.AND, lits, gate_delay)
+            )
+        _, cof_root = _huffman_tree(
+            circuit, GateType.OR, terms, gate_delay
+        )
+
+    # MUX(sel, original, cofactor): sel' * f + sel * f_cof
+    old_conn = circuit.gates[po].fanin[0]
+    old_root = circuit.conns[old_conn].src
+    inv = circuit.add_simple(GateType.NOT, [sel_pi], gate_delay)
+    sel_lit = inv if cofactor_value == 1 else sel_pi
+    other_lit = sel_pi if cofactor_value == 1 else inv
+    keep = circuit.add_simple(
+        GateType.AND, [sel_lit, old_root], gate_delay
+    )
+    take = circuit.add_simple(
+        GateType.AND, [other_lit, cof_root], gate_delay
+    )
+    mux = circuit.add_simple(GateType.OR, [keep, take], gate_delay)
+    circuit.move_connection_source(old_conn, mux)
+
+    ann_after = analyze(circuit, model)
+    return BypassStats(
+        output=output_name,
+        selector=input_name,
+        cofactor_value=cofactor_value,
+        arrival_before=arrival_before,
+        arrival_after=ann_after.arrival[po],
+    )
+
+
+def bypass_critical_output(
+    circuit: Circuit,
+    model: Optional[DelayModel] = None,
+    gate_delay: float = 1.0,
+) -> Optional[BypassStats]:
+    """Bypass the latest-arriving input of the most critical output.
+
+    The automatic flavour used by the benchmark flow: find the PO with
+    the worst arrival, pick the support input with the latest arrival,
+    apply GBX around it.  Returns None when the circuit has no
+    bypassable output (constant outputs, empty support).
+    """
+    model = model if model is not None else AsBuiltDelayModel()
+    ann = analyze(circuit, model)
+    for po in sorted(
+        circuit.outputs, key=lambda g: -ann.arrival[g]
+    ):
+        bdd, nodes = circuit_bdds(circuit)
+        func = nodes[po]
+        if func in (bdd.ZERO, bdd.ONE):
+            continue
+        support_vars = _support_vars(bdd, func)
+        if not support_vars:
+            continue
+        latest = max(
+            support_vars,
+            key=lambda v: model.input_arrival(
+                circuit, circuit.inputs[v]
+            ),
+        )
+        name_in = circuit.gates[circuit.inputs[latest]].name
+        name_out = circuit.gates[po].name
+        return generalized_bypass(
+            circuit, name_out, name_in, 1, model, gate_delay
+        )
+    return None
+
+
+def _support_vars(bdd, node: int) -> List[int]:
+    seen = set()
+    support = set()
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if n <= 1 or n in seen:
+            continue
+        seen.add(n)
+        var, low, high = bdd._nodes[n]
+        support.add(var)
+        stack.extend((low, high))
+    return sorted(support)

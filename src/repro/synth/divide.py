@@ -1,0 +1,192 @@
+"""Algebraic division and kernel extraction (Brayton-McMullen).
+
+Multilevel synthesis treats an SOP as an *algebraic* expression: each
+literal (variable, polarity) is an opaque symbol and cubes are sets of
+symbols.  Division, kernels and co-kernels are then purely combinatorial.
+This is the machinery behind factoring (:mod:`repro.synth.factor`) and
+common-divisor extraction -- the "algebraic restructuring techniques"
+the paper's introduction cites as multifault-testability preserving.
+
+Literal encoding: ``2*var + polarity`` where polarity 1 = positive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..twolevel import Cover, Cube
+
+#: An algebraic cube: a frozenset of literal ids.
+AlgCube = FrozenSet[int]
+#: An algebraic expression: a list of algebraic cubes (an SOP).
+AlgExpr = List[AlgCube]
+
+
+def lit_id(var: int, positive: bool) -> int:
+    return 2 * var + (1 if positive else 0)
+
+
+def lit_var(lit: int) -> int:
+    return lit // 2
+
+
+def lit_positive(lit: int) -> bool:
+    return bool(lit & 1)
+
+
+def cover_to_expr(cover: Cover) -> AlgExpr:
+    """Convert a cube cover to algebraic form."""
+    expr: AlgExpr = []
+    for cube in cover.cubes:
+        expr.append(
+            frozenset(lit_id(v, bool(val)) for v, val in cube.literals())
+        )
+    return expr
+
+
+def expr_to_cover(expr: AlgExpr, num_vars: int) -> Cover:
+    """Convert back to a cube cover."""
+    cover = Cover(num_vars)
+    for acube in expr:
+        cube = Cube.universe(num_vars)
+        for lit in acube:
+            cube = cube.with_literal(lit_var(lit), int(lit_positive(lit)))
+        cover.add(cube)
+    return cover
+
+
+def divide(expr: AlgExpr, divisor: AlgExpr) -> Tuple[AlgExpr, AlgExpr]:
+    """Weak (algebraic) division: expr = divisor * quotient + remainder.
+
+    Standard algorithm: for each divisor cube d, collect
+    ``{c - d : c in expr, d subset of c}``; the quotient is the
+    intersection of those sets across all divisor cubes; the remainder is
+    whatever the product fails to reproduce.
+    """
+    if not divisor:
+        return [], list(expr)
+    quotient: Optional[Set[AlgCube]] = None
+    for dcube in divisor:
+        partials = {
+            frozenset(c - dcube) for c in expr if dcube <= c
+        }
+        quotient = partials if quotient is None else (quotient & partials)
+        if not quotient:
+            return [], list(expr)
+    assert quotient is not None
+    product = {q | d for q in quotient for d in divisor}
+    remainder = [c for c in expr if c not in product]
+    return sorted(quotient, key=sorted), remainder
+
+
+def literal_counts(expr: AlgExpr) -> Dict[int, int]:
+    """How many cubes each literal appears in."""
+    counts: Dict[int, int] = {}
+    for cube in expr:
+        for lit in cube:
+            counts[lit] = counts.get(lit, 0) + 1
+    return counts
+
+
+def most_common_literal(expr: AlgExpr) -> Optional[int]:
+    """The literal occurring in the most cubes (>= 2), else None."""
+    counts = literal_counts(expr)
+    best = None
+    best_count = 1
+    for lit, count in sorted(counts.items()):
+        if count > best_count:
+            best, best_count = lit, count
+    return best
+
+
+def cube_free(expr: AlgExpr) -> bool:
+    """An expression is cube-free if no literal appears in every cube."""
+    if not expr:
+        return False
+    common = set.intersection(*(set(c) for c in expr))
+    return not common
+
+
+def make_cube_free(expr: AlgExpr) -> AlgExpr:
+    """Divide out the largest common cube."""
+    if not expr:
+        return []
+    common = frozenset(set.intersection(*(set(c) for c in expr)))
+    if not common:
+        return list(expr)
+    return [frozenset(c - common) for c in expr]
+
+
+def kernels(
+    expr: AlgExpr, min_level: int = 0
+) -> List[Tuple[AlgCube, AlgExpr]]:
+    """All (co-kernel, kernel) pairs of an expression.
+
+    A kernel is a cube-free quotient of the expression by a cube (the
+    co-kernel).  Classic recursive enumeration with literal-order pruning.
+    The expression itself is included (with empty co-kernel) when it is
+    cube-free.
+    """
+    results: List[Tuple[AlgCube, AlgExpr]] = []
+    seen: Set[Tuple[AlgCube, ...]] = set()
+
+    all_lits = sorted(literal_counts(expr))
+
+    def recurse(current: AlgExpr, cokernel: AlgCube, min_lit_idx: int):
+        key = tuple(sorted(current, key=sorted))
+        for idx in range(min_lit_idx, len(all_lits)):
+            lit = all_lits[idx]
+            with_lit = [c for c in current if lit in c]
+            if len(with_lit) < 2:
+                continue
+            quotient = [frozenset(c - {lit}) for c in with_lit]
+            common = frozenset(
+                set.intersection(*(set(c) for c in quotient))
+            ) if quotient else frozenset()
+            # prune: if the common cube contains an earlier literal we
+            # will find (or already found) this kernel elsewhere
+            if any(all_lits.index(l) < idx for l in common if l in all_lits):
+                continue
+            new_cok = frozenset(cokernel | {lit} | common)
+            kernel = [frozenset(c - common) for c in quotient]
+            kkey = tuple(sorted(kernel, key=sorted))
+            if kkey not in seen:
+                seen.add(kkey)
+                results.append((new_cok, kernel))
+            recurse(kernel, new_cok, idx + 1)
+
+    recurse(make_cube_free(expr), frozenset(), 0)
+    # level-0 kernel: the cube-free form of the expression itself (with
+    # the divided-out common cube as its co-kernel)
+    if len(expr) >= 2:
+        base = make_cube_free(expr)
+        common = frozenset(
+            set.intersection(*(set(c) for c in expr))
+        )
+        key = tuple(sorted(base, key=sorted))
+        if key not in seen:
+            seen.add(key)
+            results.append((common, base))
+    return results
+
+
+def best_kernel(expr: AlgExpr) -> Optional[AlgExpr]:
+    """A kernel with maximal estimated literal savings, or None."""
+    candidates = kernels(expr)
+    best = None
+    best_value = 0
+    for _cok, kernel in candidates:
+        if len(kernel) < 2:
+            continue
+        quotient, _rem = divide(expr, kernel)
+        if len(quotient) < 1:
+            continue
+        # literals of the product cubes vs literals of the factored form
+        q_lits = sum(len(c) for c in quotient)
+        k_lits = sum(len(c) for c in kernel)
+        flat = len(kernel) * q_lits + len(quotient) * k_lits
+        factored = q_lits + k_lits
+        value = flat - factored
+        if value > best_value:
+            best, best_value = kernel, value
+    return best

@@ -1,0 +1,170 @@
+"""Common-divisor extraction across multiple functions (gcx-lite).
+
+Brayton-style multilevel area optimization: find a kernel shared by
+several output expressions (or used repeatedly inside one), pull it out
+as a new intermediate node, and substitute.  This is the "algebraic
+restructuring" the paper's introduction credits with preserving
+multifault testability, and it is what turns a forest of per-output
+factored trees into a genuinely multilevel network.
+
+Works on algebraic expressions (see :mod:`repro.synth.divide`); new
+nodes get fresh variable indices above the primary inputs, and the
+result lowers through the ordinary factoring path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..network import Builder, Circuit
+from ..twolevel import Cover, espresso
+from .divide import (
+    AlgCube,
+    AlgExpr,
+    cover_to_expr,
+    divide,
+    kernels,
+    lit_id,
+)
+from .factor import build_expression, factor_expr
+
+
+@dataclass
+class ExtractionResult:
+    """Outcome of common-divisor extraction.
+
+    Attributes:
+        outputs: output name -> rewritten expression (may reference
+            node variables).
+        nodes: node variable index -> defining expression, in creation
+            order (a node may reference earlier nodes).
+        literals_before / literals_after: SOP literal counts, counting
+            node definitions.
+    """
+
+    outputs: Dict[str, AlgExpr]
+    nodes: Dict[int, AlgExpr] = field(default_factory=dict)
+    literals_before: int = 0
+    literals_after: int = 0
+
+
+def _expr_literals(expr: AlgExpr) -> int:
+    return sum(len(c) for c in expr)
+
+
+def _kernel_value(
+    kernel: AlgExpr, exprs: List[AlgExpr]
+) -> Tuple[int, List[Tuple[int, AlgExpr, AlgExpr]]]:
+    """Total literal saving of extracting ``kernel`` across ``exprs``.
+
+    Returns (value, uses) where uses holds (index, quotient, remainder)
+    for each expression the kernel divides.
+    """
+    k_lits = _expr_literals(kernel)
+    value = -k_lits  # the node definition must be paid for once
+    uses = []
+    for idx, expr in enumerate(exprs):
+        quotient, remainder = divide(expr, kernel)
+        if not quotient:
+            continue
+        before = _expr_literals(expr)
+        after = (
+            _expr_literals(quotient)
+            + len(quotient)  # one node literal per quotient cube
+            + _expr_literals(remainder)
+        )
+        if before - after > 0:
+            value += before - after
+            uses.append((idx, quotient, remainder))
+    return value, uses
+
+
+def extract_common_divisors(
+    output_exprs: Dict[str, AlgExpr],
+    num_vars: int,
+    max_nodes: int = 50,
+    max_kernels_per_expr: int = 40,
+) -> ExtractionResult:
+    """Iteratively extract the most valuable shared kernel.
+
+    ``num_vars`` is the primary-input count; node variables are
+    allocated from ``num_vars`` upward.
+    """
+    names = list(output_exprs)
+    exprs: List[AlgExpr] = [list(output_exprs[n]) for n in names]
+    result = ExtractionResult(
+        outputs={},
+        literals_before=sum(_expr_literals(e) for e in exprs),
+    )
+    next_var = num_vars
+    for _ in range(max_nodes):
+        # kernels are gathered from (and substituted into) the output
+        # expressions only; node definitions are immutable once created,
+        # which keeps node dependencies in creation order
+        candidates: Dict[Tuple, AlgExpr] = {}
+        for expr in exprs:
+            for _cok, kernel in kernels(expr)[:max_kernels_per_expr]:
+                if len(kernel) < 2:
+                    continue
+                key = tuple(sorted(tuple(sorted(c)) for c in kernel))
+                candidates.setdefault(key, kernel)
+        best_kernel = None
+        best_value = 0
+        for kernel in candidates.values():
+            value, uses = _kernel_value(kernel, exprs)
+            if value > best_value and len(uses) >= 1:
+                best_kernel, best_value = kernel, value
+        if best_kernel is None:
+            break
+        node_var = next_var
+        next_var += 1
+        node_lit = lit_id(node_var, True)
+        _value, uses = _kernel_value(best_kernel, exprs)
+        for idx, quotient, remainder in uses:
+            exprs[idx] = [
+                frozenset(q | {node_lit}) for q in quotient
+            ] + list(remainder)
+        result.nodes[node_var] = list(best_kernel)
+    result.outputs = {n: exprs[i] for i, n in enumerate(names)}
+    result.literals_after = sum(
+        _expr_literals(e) for e in exprs
+    ) + sum(_expr_literals(e) for e in result.nodes.values())
+    return result
+
+
+def shared_covers_to_circuit(
+    name: str,
+    input_names: List[str],
+    output_covers: Dict[str, Cover],
+    minimize: bool = True,
+    gate_delay: float = 1.0,
+) -> Circuit:
+    """Like :func:`repro.synth.covers_to_circuit` but with common-divisor
+    extraction, producing a multilevel network with shared logic."""
+    num_vars = len(input_names)
+    prepared: Dict[str, AlgExpr] = {}
+    for out, cover in output_covers.items():
+        if cover.num_vars != num_vars:
+            raise ValueError(f"cover arity mismatch for {out!r}")
+        if minimize and cover.cubes:
+            cover = espresso(cover).cover
+        prepared[out] = cover_to_expr(cover)
+    extraction = extract_common_divisors(prepared, num_vars)
+
+    b = Builder(name)
+    leaf: Dict[int, int] = {
+        i: b.input(n) for i, n in enumerate(input_names)
+    }
+    # node definitions were created in dependency order
+    for node_var, expr in extraction.nodes.items():
+        root = build_expression(
+            b.circuit, factor_expr(expr), leaf, gate_delay, gate_delay
+        )
+        leaf[node_var] = root
+    for out, expr in extraction.outputs.items():
+        root = build_expression(
+            b.circuit, factor_expr(expr), leaf, gate_delay, gate_delay
+        )
+        b.output(out, root)
+    return b.done()

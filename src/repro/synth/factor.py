@@ -1,0 +1,145 @@
+"""Factoring: SOP covers to gate trees.
+
+``factor`` produces a factored form (the classic quick-factor recursion:
+divide by the best kernel, else by the most common literal), and
+``build_expression`` lowers a factored form onto a circuit as AND/OR/NOT
+gates.  This is the "tech decomposition" step that turns two-level
+covers into the simple-gate networks KMS operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..network import Circuit, GateType
+from ..twolevel import Cover
+from .divide import (
+    AlgCube,
+    AlgExpr,
+    best_kernel,
+    cover_to_expr,
+    divide,
+    lit_id,
+    lit_positive,
+    lit_var,
+    make_cube_free,
+    most_common_literal,
+)
+
+# A factored form is a tree:
+#   ("lit", literal_id)
+#   ("and", [children])
+#   ("or", [children])
+#   ("const", 0 or 1)
+Factored = Tuple
+
+
+def factor_expr(expr: AlgExpr) -> Factored:
+    """Quick-factor an algebraic expression."""
+    if not expr:
+        return ("const", 0)
+    if any(len(c) == 0 for c in expr):
+        return ("const", 1)
+    if len(expr) == 1:
+        lits = sorted(expr[0])
+        if len(lits) == 1:
+            return ("lit", lits[0])
+        return ("and", [("lit", l) for l in lits])
+    divisor = best_kernel(expr)
+    if divisor is None or len(divisor) < 2:
+        lit = most_common_literal(expr)
+        if lit is None:
+            # no sharing at all: plain sum of products
+            return (
+                "or",
+                [factor_expr([cube]) for cube in expr],
+            )
+        divisor = [frozenset({lit})]
+    quotient, remainder = divide(expr, divisor)
+    if not quotient:
+        return ("or", [factor_expr([cube]) for cube in expr])
+    parts: List[Factored] = [
+        ("and", [factor_expr(quotient), factor_expr(divisor)])
+    ]
+    if remainder:
+        parts.append(factor_expr(remainder))
+    if len(parts) == 1:
+        return parts[0]
+    return ("or", parts)
+
+
+def factor_cover(cover: Cover) -> Factored:
+    """Factor a cube cover."""
+    return factor_expr(cover_to_expr(cover))
+
+
+def factored_literal_count(tree: Factored) -> int:
+    """Number of literal leaves -- the classic factored-form cost."""
+    kind = tree[0]
+    if kind == "lit":
+        return 1
+    if kind == "const":
+        return 0
+    return sum(factored_literal_count(child) for child in tree[1])
+
+
+def build_expression(
+    circuit: Circuit,
+    tree: Factored,
+    leaf_of_var: Dict[int, int],
+    gate_delay: float = 1.0,
+    invert_delay: float = 1.0,
+) -> int:
+    """Lower a factored form onto ``circuit``.
+
+    ``leaf_of_var`` maps algebraic variable index -> driving gid.
+    Negative literals instantiate (shared) NOT gates.  Returns the gid of
+    the tree's root.
+    """
+    inverters: Dict[int, int] = {}
+
+    def leaf(lit: int) -> int:
+        var = lit_var(lit)
+        gid = leaf_of_var[var]
+        if lit_positive(lit):
+            return gid
+        if gid not in inverters:
+            inverters[gid] = circuit.add_simple(
+                GateType.NOT, [gid], invert_delay
+            )
+        return inverters[gid]
+
+    def lower(node: Factored) -> int:
+        kind = node[0]
+        if kind == "lit":
+            return leaf(node[1])
+        if kind == "const":
+            return circuit.add_gate(
+                GateType.CONST1 if node[1] else GateType.CONST0, 0.0
+            )
+        children = [lower(child) for child in node[1]]
+        flat: List[int] = []
+        for child in children:
+            flat.append(child)
+        if len(flat) == 1:
+            return flat[0]
+        gtype = GateType.AND if kind == "and" else GateType.OR
+        return circuit.add_simple(gtype, flat, gate_delay)
+
+    return lower(tree)
+
+
+def cover_to_gates(
+    circuit: Circuit,
+    cover: Cover,
+    leaf_of_var: Dict[int, int],
+    gate_delay: float = 1.0,
+) -> int:
+    """Factor a cover and lower it; returns the root gid.
+
+    Empty covers lower to constant 0; tautologies to constant 1.
+    """
+    return build_expression(
+        circuit, factor_cover(cover), leaf_of_var, gate_delay, gate_delay
+    )

@@ -1,0 +1,71 @@
+"""Irredundant sum-of-products from BDDs (Minato-Morreale ISOP).
+
+Used to collapse a circuit cone into a compact two-level cover: cone ->
+BDD -> ISOP -> (espresso polish) -> factored gates.  The ISOP recursion
+computes a cover f with L <= f <= U that is irredundant by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..bdd import BDD
+from ..twolevel import Cover, Cube
+
+
+def isop(bdd: BDD, lower: int, upper: int) -> Tuple[List[Dict[int, int]], int]:
+    """Minato-Morreale ISOP for the interval [lower, upper].
+
+    Returns (cubes, node) where cubes are var->value dicts and node is
+    the BDD of the cover (lower <= node <= upper).
+    """
+    cache: Dict[Tuple[int, int], Tuple[List[Dict[int, int]], int]] = {}
+
+    def rec(L: int, U: int) -> Tuple[List[Dict[int, int]], int]:
+        if L == bdd.ZERO:
+            return [], bdd.ZERO
+        if U == bdd.ONE:
+            return [{}], bdd.ONE
+        key = (L, U)
+        if key in cache:
+            return cache[key]
+        var = bdd._top_var(L, U)
+        L0, L1 = bdd._cofactors(L, var)
+        U0, U1 = bdd._cofactors(U, var)
+        # minterms that can only be covered by cubes containing x'
+        Lneg = bdd.apply_and(L0, bdd.negate(U1))
+        c0, f0 = rec(Lneg, U0)
+        # minterms that can only be covered by cubes containing x
+        Lpos = bdd.apply_and(L1, bdd.negate(U0))
+        c1, f1 = rec(Lpos, U1)
+        # what remains must be covered by x-free cubes
+        Lrest = bdd.apply_or(
+            bdd.apply_and(L0, bdd.negate(f0)),
+            bdd.apply_and(L1, bdd.negate(f1)),
+        )
+        Urest = bdd.apply_and(U0, U1)
+        cr, fr = rec(Lrest, Urest)
+        cubes: List[Dict[int, int]] = []
+        for cube in c0:
+            cubes.append({**cube, var: 0})
+        for cube in c1:
+            cubes.append({**cube, var: 1})
+        cubes.extend(cr)
+        node = bdd.ite(
+            bdd.var(var), bdd.apply_or(f1, fr), bdd.apply_or(f0, fr)
+        )
+        cache[key] = (cubes, node)
+        return cubes, node
+
+    return rec(lower, upper)
+
+
+def bdd_to_cover(bdd: BDD, node: int, num_vars: int) -> Cover:
+    """Exact irredundant cover of a BDD function over ``num_vars``
+    variables (variable index = cover variable index)."""
+    cubes, result = isop(bdd, node, node)
+    assert result == node, "ISOP must be exact when lower == upper"
+    cover = Cover(num_vars)
+    for assignment in cubes:
+        cover.add(Cube.from_assignment(num_vars, assignment))
+    return cover

@@ -1,0 +1,88 @@
+"""Synthesis entry points: covers -> circuits, cones -> covers.
+
+This is the pipeline standing in for the paper's MIS-II flow: PLA-style
+specifications are minimized (espresso-lite), factored, and lowered to
+simple-gate networks; circuit cones can be collapsed back to covers
+(BDD -> ISOP) for resynthesis, which is what the timing optimizer uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import BDD, circuit_bdds
+from ..network import Builder, Circuit, GateType
+from ..twolevel import Cover, espresso
+from .factor import cover_to_gates
+from .isop import bdd_to_cover
+
+
+def covers_to_circuit(
+    name: str,
+    input_names: Sequence[str],
+    output_covers: Dict[str, Cover],
+    minimize: bool = True,
+    gate_delay: float = 1.0,
+) -> Circuit:
+    """Build a multilevel simple-gate circuit from per-output covers.
+
+    Each cover is espresso-minimized (optionally), factored, and lowered.
+    Cover variable ``i`` corresponds to ``input_names[i]``.
+    """
+    b = Builder(name)
+    leaves = {i: b.input(n) for i, n in enumerate(input_names)}
+    for out_name, cover in output_covers.items():
+        if cover.num_vars != len(input_names):
+            raise ValueError(
+                f"cover for {out_name!r} has {cover.num_vars} vars, "
+                f"expected {len(input_names)}"
+            )
+        if minimize and cover.cubes:
+            cover = espresso(cover).cover
+        root = cover_to_gates(b.circuit, cover, leaves, gate_delay)
+        b.output(out_name, root)
+    return b.done()
+
+
+def collapse_to_covers(
+    circuit: Circuit, minimize: bool = False
+) -> Tuple[List[str], Dict[str, Cover]]:
+    """Collapse a whole circuit into per-output covers over its PIs.
+
+    Inverse of :func:`covers_to_circuit` up to minimization: the covers
+    are exact irredundant SOPs extracted from the circuit's BDDs.
+    Returns (input names in cover-variable order, output covers).
+    """
+    bdd, nodes = circuit_bdds(circuit)
+    num_vars = len(circuit.inputs)
+    input_names = circuit.input_names()
+    covers: Dict[str, Cover] = {}
+    for po in circuit.outputs:
+        name = circuit.gates[po].name or f"po{po}"
+        cover = bdd_to_cover(bdd, nodes[po], num_vars)
+        if minimize and cover.cubes:
+            cover = espresso(cover).cover
+        covers[name] = cover
+    return input_names, covers
+
+
+def resynthesize(circuit: Circuit, minimize: bool = True) -> Circuit:
+    """Collapse and rebuild a circuit (functionally equivalent)."""
+    input_names, covers = collapse_to_covers(circuit, minimize=False)
+    fresh = covers_to_circuit(
+        f"{circuit.name}#resyn", input_names, covers, minimize=minimize
+    )
+    for gid, fresh_gid in zip(circuit.inputs, fresh.inputs):
+        fresh.input_arrival[fresh_gid] = circuit.input_arrival.get(gid, 0.0)
+    return fresh
+
+
+def cone_function(
+    circuit: Circuit, gid: int
+) -> Tuple[BDD, int, List[int]]:
+    """BDD of one gate's function over the primary inputs.
+
+    Returns (manager, node, PI gids in cover-variable order).
+    """
+    bdd, nodes = circuit_bdds(circuit)
+    return bdd, nodes[gid], circuit.inputs

@@ -1,0 +1,174 @@
+"""Speedtest generation: the paper's open problem, made executable.
+
+Section III: "the design must undergo a *speedtest* in addition to the
+conventional stuck-at-fault testing ... The speedtest for a fault in the
+circuit involves finding a vector that distinguishes between the
+temporal behavior in the true and faulty circuits.  This problem has not
+been tackled yet by researchers."
+
+Here we tackle it the honest brute-force way the small benchmark
+circuits permit, following the tau-sampling framing of McGeer et al.'s
+r-(ir)redundancy [17]:
+
+* a fault is **tau-detected** by an input transition (v1 -> v2) if
+  sampling the faulty circuit's outputs at time tau yields a value
+  different from the good circuit's settled response to v2 (a logically
+  testable fault is tau-detected by its static test for large tau; the
+  interesting case is a *logically untestable* fault, like the
+  carry-skip adder's, that only misbehaves at speed);
+* a fault is **tau-redundant** if no transition tau-detects it -- a
+  part with that fault meets the clock despite being faulty.
+
+`find_speedtest` searches all transition pairs (exponential -- oracle
+grade, guarded); `needs_speedtest` asks the paper's headline question:
+is there a fault that ordinary stuck-at testing misses but that breaks
+the circuit at the clock period?  For KMS outputs the answer is
+provably no (every fault is logically testable), which is the
+algorithm's selling point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..atpg.faults import Fault, inject
+from ..network import Circuit
+from ..sim.events import output_waveforms, sample_waveform
+
+
+@dataclass
+class Speedtest:
+    """A transition that exposes a fault at the sampling time."""
+
+    fault: Fault
+    #: PI gid -> value, the settled previous vector.
+    before: Dict[int, int]
+    #: PI gid -> value, the launched vector.
+    after: Dict[int, int]
+    #: sampling time (the clock period).
+    tau: float
+    #: PO gid where good and faulty samples differ.
+    output: int
+
+
+def _decode(circuit: Circuit, bits: int) -> Dict[int, int]:
+    return {
+        gid: (bits >> i) & 1 for i, gid in enumerate(circuit.inputs)
+    }
+
+
+def tau_detects(
+    circuit: Circuit,
+    faulty: Circuit,
+    before: Dict[int, int],
+    after: Dict[int, int],
+    tau: float,
+) -> Optional[int]:
+    """PO gid where the faulty circuit, sampled at ``tau``, disagrees
+    with the good circuit's settled response; None if none."""
+    expected = circuit.evaluate(after)
+    faulty_waves = output_waveforms(faulty, before, after)
+    for po in circuit.outputs:
+        good_value = expected[po]
+        faulty_value = sample_waveform(faulty_waves[po], tau)
+        if faulty_value != good_value:
+            return po
+    return None
+
+
+def find_speedtest(
+    circuit: Circuit,
+    fault: Fault,
+    tau: float,
+    max_inputs: int = 10,
+) -> Optional[Speedtest]:
+    """Exhaustively search for a transition that tau-detects the fault.
+
+    Also returns static detections (a transition whose settled faulty
+    response is wrong); the speedtest-proper cases are those where the
+    fault is logically untestable yet a transition is found.
+    """
+    n = len(circuit.inputs)
+    if n > max_inputs:
+        raise ValueError(
+            f"find_speedtest is exhaustive; {n} inputs > {max_inputs}"
+        )
+    faulty = inject(circuit, fault)
+    for a in range(1 << n):
+        before = _decode(circuit, a)
+        for b in range(1 << n):
+            if a == b:
+                continue
+            after = _decode(circuit, b)
+            po = tau_detects(circuit, faulty, before, after, tau)
+            if po is not None:
+                return Speedtest(
+                    fault=fault,
+                    before=before,
+                    after=after,
+                    tau=tau,
+                    output=po,
+                )
+    return None
+
+
+def is_tau_redundant(
+    circuit: Circuit, fault: Fault, tau: float, max_inputs: int = 10
+) -> bool:
+    """True if no transition exposes the fault at sampling time tau
+    (the r-redundancy of [17], transition-pair flavour)."""
+    return find_speedtest(circuit, fault, tau, max_inputs) is None
+
+
+@dataclass
+class SpeedtestReport:
+    """Which faults need a speedtest at clock ``tau``."""
+
+    tau: float
+    #: logically untestable faults that a speedtest CAN catch.
+    speedtestable: List[Speedtest]
+    #: logically untestable faults invisible even at speed.
+    invisible: List[Fault]
+    #: logically testable faults (ordinary ATPG handles these).
+    testable: List[Fault]
+
+    @property
+    def needs_speedtest(self) -> bool:
+        """Does correct at-speed operation require more than stuck-at
+        testing?"""
+        return bool(self.speedtestable)
+
+
+def speedtest_report(
+    circuit: Circuit,
+    tau: float,
+    faults: Optional[Iterable[Fault]] = None,
+    max_inputs: int = 10,
+) -> SpeedtestReport:
+    """Classify every (collapsed) fault at clock period ``tau``.
+
+    On the redundant carry-skip block this exhibits the paper's hazard:
+    gate10's s-a-0 is logically untestable but speedtestable at tau = 8.
+    On a KMS output the ``speedtestable`` list is empty by construction.
+    """
+    from ..atpg.faults import collapsed_faults
+    from ..atpg.satatpg import SatAtpg
+
+    engine = SatAtpg(circuit)
+    report = SpeedtestReport(
+        tau=tau, speedtestable=[], invisible=[], testable=[]
+    )
+    worklist = (
+        list(faults) if faults is not None else collapsed_faults(circuit)
+    )
+    for fault in worklist:
+        if engine.is_testable(fault):
+            report.testable.append(fault)
+            continue
+        test = find_speedtest(circuit, fault, tau, max_inputs)
+        if test is not None:
+            report.speedtestable.append(test)
+        else:
+            report.invisible.append(fault)
+    return report

@@ -1,0 +1,145 @@
+"""Static timing analysis: arrival times, required times, slack.
+
+The *computed delay* (Section V) of a circuit under a delay model starts
+from the topological analysis here: the longest path ignoring logic
+("static timing verifiers ... the delay of a circuit is determined to be
+the longest path").  Sensitization-aware refinements (false-path aware
+delay) live in :mod:`repro.timing.sensitize` and
+:mod:`repro.timing.viability`, both of which consume this module's
+arrival annotations.
+
+Constant sources never transition, so their arrival time is -inf
+(:data:`repro.timing.models.NEVER`); a gate fed only by constants also
+never transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..network import Circuit, GateType
+from .models import AsBuiltDelayModel, DelayModel, NEVER
+
+
+@dataclass
+class TimingAnnotation:
+    """Arrival/required/slack annotations for one circuit + model pair.
+
+    Attributes:
+        arrival: gid -> time the gate's *output* settles.
+        dist_to_po: gid -> longest delay from the gate's output to any PO
+            (0 for OUTPUT markers; -inf if no PO is reachable).
+        delay: the circuit's topological delay = max PO arrival
+            (0.0 for circuits whose outputs are all constant).
+        required: gid -> latest output time tolerable without exceeding
+            ``delay``.
+        slack: gid -> required - arrival.
+    """
+
+    arrival: Dict[int, float]
+    dist_to_po: Dict[int, float]
+    delay: float
+    required: Dict[int, float] = field(default_factory=dict)
+    slack: Dict[int, float] = field(default_factory=dict)
+
+
+def analyze(
+    circuit: Circuit, model: Optional[DelayModel] = None
+) -> TimingAnnotation:
+    """Run STA and return the full annotation."""
+    model = model if model is not None else AsBuiltDelayModel()
+    order = circuit.topological_order()
+    arrival: Dict[int, float] = {}
+    for gid in order:
+        gate = circuit.gates[gid]
+        if gate.gtype is GateType.INPUT:
+            arrival[gid] = model.input_arrival(circuit, gid)
+            continue
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            arrival[gid] = NEVER
+            continue
+        best = NEVER
+        for cid in gate.fanin:
+            conn = circuit.conns[cid]
+            t = arrival[conn.src]
+            if t == NEVER:
+                continue
+            t += model.conn_delay(circuit, cid)
+            if t > best:
+                best = t
+        if best == NEVER:
+            arrival[gid] = NEVER
+        else:
+            arrival[gid] = best + model.gate_delay(circuit, gid)
+
+    dist: Dict[int, float] = {}
+    for gid in reversed(order):
+        gate = circuit.gates[gid]
+        if gate.gtype is GateType.OUTPUT:
+            dist[gid] = 0.0
+            continue
+        best = NEVER
+        for cid in gate.fanout:
+            conn = circuit.conns[cid]
+            down = dist[conn.dst]
+            if down == NEVER:
+                continue
+            t = (
+                model.conn_delay(circuit, cid)
+                + model.gate_delay(circuit, conn.dst)
+                + down
+            )
+            if t > best:
+                best = t
+        dist[gid] = best
+
+    delay = 0.0
+    for gid in circuit.outputs:
+        if arrival[gid] != NEVER:
+            delay = max(delay, arrival[gid])
+
+    ann = TimingAnnotation(arrival=arrival, dist_to_po=dist, delay=delay)
+    for gid in order:
+        a = arrival[gid]
+        d = dist[gid]
+        if a == NEVER or d == NEVER:
+            ann.required[gid] = float("inf")
+            ann.slack[gid] = float("inf")
+        else:
+            ann.required[gid] = delay - d
+            ann.slack[gid] = ann.required[gid] - a
+    return ann
+
+
+def topological_delay(
+    circuit: Circuit, model: Optional[DelayModel] = None
+) -> float:
+    """The length of the longest (topological) path -- the delay a plain
+    static timing verifier would report."""
+    return analyze(circuit, model).delay
+
+
+def critical_connections(
+    circuit: Circuit,
+    model: Optional[DelayModel] = None,
+    annotation: Optional[TimingAnnotation] = None,
+) -> List[int]:
+    """Connections lying on at least one topologically-longest path."""
+    model = model if model is not None else AsBuiltDelayModel()
+    ann = annotation if annotation is not None else analyze(circuit, model)
+    result = []
+    for cid, conn in circuit.conns.items():
+        a = ann.arrival[conn.src]
+        down = ann.dist_to_po[conn.dst]
+        if a == NEVER or down == NEVER:
+            continue
+        total = (
+            a
+            + model.conn_delay(circuit, cid)
+            + model.gate_delay(circuit, conn.dst)
+            + down
+        )
+        if total == ann.delay:
+            result.append(cid)
+    return result

@@ -1,0 +1,180 @@
+"""Viability analysis (Section V / 5.1, after McGeer-Brayton).
+
+A path is *viable under input cube c* if at each gate along the path all
+the **early** side-inputs carry noncontrolling values; **late**
+side-inputs ("have not settled to their final value before tau_i") are
+smoothed out -- no demand is placed on them.  The circuit's computed
+delay is the length of the longest viable path: a sound upper bound on
+true delay that is tighter than topological analysis and looser (safer)
+than the longest statically sensitizable path.
+
+Early/late classification: we call a side-input early at event time
+``tau`` only when its *topological latest arrival* is strictly earlier
+than ``tau`` -- i.e. when it has provably settled under every input cube.
+A side-input that merely *might* have settled is treated as late and
+smoothed.  This errs in the safe direction (more paths viable, larger
+computed delay) relative to exact McGeer-Brayton viability, preserving
+upper-bound soundness, and coincides with it on the paper's examples.
+Tests cross-check against the event-driven true-delay oracle.
+
+Every viability question is again a SAT query on the Tseitin encoding:
+the early side-inputs' settled values are static circuit values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..network import Circuit, GateType, noncontrolling_value
+from ..sat import CircuitEncoder, Solver
+from .models import AsBuiltDelayModel, DelayModel, NEVER
+from .paths import Path, iter_paths_longest_first
+from .sta import TimingAnnotation, analyze
+
+#: Tolerance for float time comparisons.
+EPS = 1e-9
+
+
+@dataclass
+class DelayReport:
+    """Result of a false-path-aware delay computation.
+
+    Attributes:
+        delay: length of the longest true (viable / sensitizable) path,
+            0.0 if no path qualifies (e.g. all-constant circuits).
+        path: a witness path of that length (None if none).
+        cube: a PI assignment witnessing the condition (None if none).
+        paths_examined: how many paths the longest-first scan visited.
+        exhausted: True if the scan hit ``max_paths`` before finding a
+            qualifying path -- the result is then only a lower bound
+            of the topological delay and callers should fall back to it.
+    """
+
+    delay: float
+    path: Optional[Path]
+    cube: Optional[Dict[int, int]]
+    paths_examined: int
+    exhausted: bool = False
+
+
+class ViabilityChecker:
+    """Reusable SAT context for viability queries on one circuit."""
+
+    def __init__(
+        self, circuit: Circuit, model: Optional[DelayModel] = None
+    ) -> None:
+        self.circuit = circuit
+        self.model = model if model is not None else AsBuiltDelayModel()
+        self.annotation = analyze(circuit, self.model)
+        encoder = CircuitEncoder()
+        self.var = encoder.encode(circuit)
+        self.solver = Solver(encoder.cnf)
+
+    def early_side_inputs(self, path: Path) -> List[Tuple[int, int, int]]:
+        """(cid, gate, required value) for each provably-early side-input.
+
+        A side-input connection ``s`` into path gate ``g_i`` is early when
+        ``latest_arrival(src(s)) + d(s) < tau_i``.
+        """
+        circuit, model = self.circuit, self.model
+        taus = path.event_times(circuit, model)
+        result: List[Tuple[int, int, int]] = []
+        for i, gid in enumerate(path.gates):
+            gate = circuit.gates[gid]
+            if gate.gtype in (GateType.NOT, GateType.BUF):
+                continue
+            if gate.gtype in (GateType.XOR, GateType.XNOR):
+                raise ValueError(
+                    "viability is undefined for undecomposed XOR gates"
+                )
+            on_path = path.conns[i]
+            ncv = noncontrolling_value(gate.gtype)
+            for cid in gate.fanin:
+                if cid == on_path:
+                    continue
+                conn = circuit.conns[cid]
+                settle = self.annotation.arrival[conn.src]
+                if settle != NEVER:
+                    settle += model.conn_delay(circuit, cid)
+                if settle == NEVER or settle < taus[i] - EPS:
+                    result.append((cid, gid, ncv))
+        return result
+
+    def viable_cube(self, path: Path) -> Optional[Dict[int, int]]:
+        """A PI assignment under which the path is viable, or None."""
+        lits = []
+        for cid, _gid, value in self.early_side_inputs(path):
+            src = self.circuit.conns[cid].src
+            v = self.var[src]
+            lits.append(v if value else -v)
+        if self.solver.solve(lits):
+            model = self.solver.model()
+            return {
+                gid: int(model.get(self.var[gid], False))
+                for gid in self.circuit.inputs
+            }
+        return None
+
+    def is_viable(self, path: Path) -> bool:
+        return self.viable_cube(path) is not None
+
+
+def viability_delay(
+    circuit: Circuit,
+    model: Optional[DelayModel] = None,
+    max_paths: int = 200000,
+) -> DelayReport:
+    """Computed delay = length of the longest viable path.
+
+    Scans paths longest-first, returning at the first viable one.  If the
+    scan exhausts ``max_paths`` the report is flagged ``exhausted`` and
+    carries the topological delay as the safe answer.
+    """
+    checker = ViabilityChecker(circuit, model)
+    return _scan(circuit, checker.model, checker.annotation,
+                 checker.viable_cube, max_paths)
+
+
+def sensitizable_delay(
+    circuit: Circuit,
+    model: Optional[DelayModel] = None,
+    max_paths: int = 200000,
+) -> DelayReport:
+    """Length of the longest statically sensitizable path.
+
+    The paper warns this can be *optimistic* as a delay estimate ("paths
+    which are not statically sensitizable may still contribute to the
+    delay"); it is reported for comparison and used by KMS only as the
+    (sound) termination test, never as the delay claim.
+    """
+    from .sensitize import SensitizationChecker
+
+    model = model if model is not None else AsBuiltDelayModel()
+    checker = SensitizationChecker(circuit)
+    ann = analyze(circuit, model)
+    return _scan(circuit, model, ann, checker.sensitizing_cube, max_paths)
+
+
+def _scan(circuit, model, annotation, cube_fn, max_paths) -> DelayReport:
+    examined = 0
+    for path in iter_paths_longest_first(
+        circuit, model, annotation, max_paths=max_paths
+    ):
+        examined += 1
+        cube = cube_fn(path)
+        if cube is not None:
+            return DelayReport(
+                delay=path.length,
+                path=path,
+                cube=cube,
+                paths_examined=examined,
+            )
+    exhausted = examined >= max_paths
+    return DelayReport(
+        delay=annotation.delay if exhausted else 0.0,
+        path=None,
+        cube=None,
+        paths_examined=examined,
+        exhausted=exhausted,
+    )

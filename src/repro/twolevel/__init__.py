@@ -1,0 +1,43 @@
+"""Two-level logic substrate: cube algebra, URP, espresso-lite."""
+
+from .cube import Cube, DC, ONE, ZERO
+from .cover import Cover, random_cover
+from .urp import (
+    complement,
+    covers_equal,
+    cube_covered,
+    is_tautology,
+)
+from .qm import (
+    minimize_cover_exact,
+    minimize_exact,
+    prime_implicants,
+)
+from .espresso import (
+    EspressoResult,
+    espresso,
+    expand,
+    irredundant,
+    reduce_cover,
+)
+
+__all__ = [
+    "Cover",
+    "Cube",
+    "DC",
+    "EspressoResult",
+    "ONE",
+    "ZERO",
+    "complement",
+    "covers_equal",
+    "cube_covered",
+    "espresso",
+    "expand",
+    "irredundant",
+    "is_tautology",
+    "minimize_cover_exact",
+    "minimize_exact",
+    "prime_implicants",
+    "random_cover",
+    "reduce_cover",
+]

@@ -1,0 +1,161 @@
+"""Covers: sums of cubes (single-output two-level logic)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .cube import Cube, DC
+
+
+class Cover:
+    """A sum-of-products over ``num_vars`` variables."""
+
+    def __init__(self, num_vars: int, cubes: Iterable[Cube] = ()) -> None:
+        self.num_vars = num_vars
+        self.cubes: List[Cube] = []
+        for cube in cubes:
+            self.add(cube)
+
+    @classmethod
+    def from_strings(cls, rows: Sequence[str]) -> "Cover":
+        if not rows:
+            raise ValueError("cannot infer variable count from empty rows")
+        return cls(len(rows[0]), [Cube.from_string(r) for r in rows])
+
+    @classmethod
+    def empty(cls, num_vars: int) -> "Cover":
+        return cls(num_vars)
+
+    @classmethod
+    def tautology(cls, num_vars: int) -> "Cover":
+        return cls(num_vars, [Cube.universe(num_vars)])
+
+    @classmethod
+    def from_minterms(cls, num_vars: int, minterms: Iterable[int]) -> "Cover":
+        cubes = []
+        for m in minterms:
+            assignment = {v: (m >> v) & 1 for v in range(num_vars)}
+            cubes.append(Cube.from_assignment(num_vars, assignment))
+        return cls(num_vars, cubes)
+
+    def add(self, cube: Cube) -> None:
+        if cube.num_vars != self.num_vars:
+            raise ValueError("cube arity mismatch")
+        if not cube.is_void():
+            self.cubes.append(cube)
+
+    def copy(self) -> "Cover":
+        return Cover(self.num_vars, list(self.cubes))
+
+    # -- semantics --------------------------------------------------------#
+
+    def evaluate(self, point: Sequence[int]) -> bool:
+        return any(cube.evaluate(point) for cube in self.cubes)
+
+    def minterms(self) -> Iterator[int]:
+        """All covered minterms (exponential; small-n oracle only)."""
+        for m in range(1 << self.num_vars):
+            point = [(m >> v) & 1 for v in range(self.num_vars)]
+            if self.evaluate(point):
+                yield m
+
+    def is_empty_cover(self) -> bool:
+        return not self.cubes
+
+    def num_literals(self) -> int:
+        return sum(cube.num_literals() for cube in self.cubes)
+
+    # -- structure ----------------------------------------------------------#
+
+    def cofactor_cube(self, cube: Cube) -> "Cover":
+        """Generalized (Shannon) cofactor of the cover w.r.t. a cube."""
+        result = Cover(self.num_vars)
+        for c in self.cubes:
+            if c.intersect(cube).is_void():
+                continue
+            out = c
+            for var, value in cube.literals():
+                cf = out.cofactor(var, value)
+                if cf is None:
+                    out = None
+                    break
+                out = cf
+            if out is not None:
+                result.add(out)
+        return result
+
+    def cofactor(self, var: int, value: int) -> "Cover":
+        cube = Cube.universe(self.num_vars).with_literal(var, value)
+        return self.cofactor_cube(cube)
+
+    def remove_contained(self) -> "Cover":
+        """Single-cube containment removal (cheap cleanup)."""
+        kept: List[Cube] = []
+        cubes = sorted(
+            self.cubes, key=lambda c: -c.minterm_count()
+        )
+        for cube in cubes:
+            if not any(other.contains(cube) for other in kept):
+                kept.append(cube)
+        return Cover(self.num_vars, kept)
+
+    def binate_select(self) -> Optional[int]:
+        """The most binate variable (appears in both polarities in the
+        most cubes); None when the cover is unate.  URP splitting rule."""
+        pos = [0] * self.num_vars
+        neg = [0] * self.num_vars
+        for cube in self.cubes:
+            for var, value in cube.literals():
+                if value:
+                    pos[var] += 1
+                else:
+                    neg[var] += 1
+        best, best_score = None, -1
+        for var in range(self.num_vars):
+            if pos[var] and neg[var]:
+                score = pos[var] + neg[var]
+                if score > best_score:
+                    best, best_score = var, score
+        return best
+
+    def most_bound_variable(self) -> Optional[int]:
+        """The variable bound in the most cubes (unate splitting)."""
+        counts = [0] * self.num_vars
+        for cube in self.cubes:
+            for var, _value in cube.literals():
+                counts[var] += 1
+        if not any(counts):
+            return None
+        return max(range(self.num_vars), key=lambda v: counts[v])
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def __repr__(self) -> str:
+        return f"<Cover {self.num_vars} vars, {len(self.cubes)} cubes>"
+
+
+def random_cover(
+    num_vars: int,
+    num_cubes: int,
+    literal_probability: float = 0.5,
+    seed: int = 0,
+) -> Cover:
+    """Deterministic pseudo-random cover (benchmark stand-ins)."""
+    rng = random.Random(seed)
+    cover = Cover(num_vars)
+    for _ in range(num_cubes):
+        cube = Cube.universe(num_vars)
+        bound = False
+        for var in range(num_vars):
+            if rng.random() < literal_probability:
+                cube = cube.with_literal(var, rng.getrandbits(1))
+                bound = True
+        if not bound:  # avoid accidental tautologies
+            cube = cube.with_literal(rng.randrange(num_vars), 1)
+        cover.add(cube)
+    return cover

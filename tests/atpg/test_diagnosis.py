@@ -1,0 +1,79 @@
+"""Fault diagnosis by dictionary matching."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg import collapsed_faults, inject
+from repro.atpg.diagnosis import FaultDictionary
+from repro.atpg.faultsim import random_vectors
+from repro.circuits import carry_skip_adder, random_circuit
+
+
+def _observe(circuit, fault, vectors):
+    """Simulate the faulty part over the test set, return its failure
+    signature against the good circuit."""
+    faulty = inject(circuit, fault)
+    observed = set()
+    for i, vec in enumerate(vectors):
+        assign = {g: vec.get(g, 0) for g in circuit.inputs}
+        good = circuit.evaluate(assign)
+        bad = faulty.evaluate({g: assign[g] for g in circuit.inputs})
+        for po in circuit.outputs:
+            if good[po] != bad[po]:
+                observed.add((i, po))
+    return frozenset(observed)
+
+
+class TestDictionary:
+    @given(seed=st.integers(0, 25), pick=st.integers(0, 1000))
+    @settings(max_examples=12, deadline=None)
+    def test_injected_fault_is_diagnosed(self, seed, pick):
+        circuit = random_circuit(num_inputs=4, num_gates=10, seed=seed)
+        vectors = random_vectors(circuit, 24, seed=seed)
+        faults = collapsed_faults(circuit)
+        dictionary = FaultDictionary(circuit, vectors, faults)
+        fault = faults[pick % len(faults)]
+        observed = _observe(circuit, fault, vectors)
+        if not observed:
+            return  # fault not detected by this set; nothing to match
+        result = dictionary.diagnose(observed)
+        # the true fault is among the exact candidates (possibly with
+        # equivalent siblings)
+        assert fault in result.exact
+
+    def test_empty_signature_has_no_candidates(self):
+        circuit = carry_skip_adder(2, 2)
+        vectors = random_vectors(circuit, 8, seed=1)
+        dictionary = FaultDictionary(circuit, vectors)
+        assert dictionary.diagnose(frozenset()).unexplained
+
+    def test_timing_only_defect_is_unexplained(self):
+        """A fabricated failure at a position no stuck-at fault flips
+        matches nothing: the test engineer's cue for a speed problem."""
+        circuit = carry_skip_adder(2, 2)
+        vectors = random_vectors(circuit, 16, seed=2)
+        dictionary = FaultDictionary(circuit, vectors)
+        impossible = frozenset(
+            {(i, po) for i in range(16) for po in circuit.outputs}
+        )
+        result = dictionary.diagnose(impossible)
+        assert result.exact == []
+
+    def test_diagnose_from_raw_responses(self):
+        circuit = carry_skip_adder(2, 2)
+        vectors = random_vectors(circuit, 16, seed=3)
+        faults = collapsed_faults(circuit)
+        dictionary = FaultDictionary(circuit, vectors, faults)
+        fault = next(
+            f for f in faults if dictionary.signature_of(f)
+        )
+        faulty = inject(circuit, fault)
+        responses = {po: [] for po in circuit.outputs}
+        for vec in vectors:
+            values = faulty.evaluate(
+                {g: vec.get(g, 0) for g in circuit.inputs}
+            )
+            for po in circuit.outputs:
+                responses[po].append(values[po])
+        result = dictionary.diagnose_responses(responses)
+        assert fault in result.exact

@@ -1,0 +1,87 @@
+"""Bit-parallel fault simulation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg import (
+    collapsed_faults,
+    conn_fault,
+    detecting_patterns,
+    detects,
+    fault_coverage,
+    inject,
+    random_vectors,
+    stem_fault,
+)
+from repro.circuits import random_circuit
+from repro.sim import simulate_packed
+
+
+@given(seed=st.integers(0, 40), bits=st.integers(0, 255))
+@settings(max_examples=30, deadline=None)
+def test_packed_fault_sim_matches_structural_injection(seed, bits):
+    """Fault simulation with on-the-fly injection must equal simulating
+    the structurally injected circuit."""
+    c = random_circuit(num_inputs=4, num_gates=10, seed=seed)
+    faults = collapsed_faults(c)
+    fault = faults[bits % len(faults)]
+    vector = {g: (bits >> i) & 1 for i, g in enumerate(c.inputs)}
+    expected_circuit = inject(c, fault)
+    expected = expected_circuit.evaluate(
+        {g: vector[g] for g in c.inputs}
+    )
+    got = detects(c, fault, vector)
+    golden = c.evaluate(vector)
+    differs = any(
+        expected[po] != golden[po] for po in c.outputs
+    )
+    assert got == differs
+
+
+def test_detecting_patterns_bitmask(and_or_circuit):
+    c = and_or_circuit
+    g1 = c.find_gate("g1")
+    fault = stem_fault(g1, 0)
+    # patterns: (a,b,c) = (1,1,0) detects; (0,0,0) does not
+    packed = {
+        c.find_input("a"): 0b01,
+        c.find_input("b"): 0b01,
+        c.find_input("c"): 0b00,
+    }
+    mask = detecting_patterns(c, fault, packed, 2)
+    assert mask == 0b01
+
+
+def test_fault_coverage_full_on_exhaustive_vectors(and_or_circuit):
+    c = and_or_circuit
+    vectors = [
+        {g: (bits >> i) & 1 for i, g in enumerate(c.inputs)}
+        for bits in range(8)
+    ]
+    report = fault_coverage(c, collapsed_faults(c), vectors)
+    assert report.coverage == 1.0
+    assert report.undetected_faults == []
+
+
+def test_fault_coverage_zero_vectors(and_or_circuit):
+    report = fault_coverage(
+        and_or_circuit, collapsed_faults(and_or_circuit), []
+    )
+    assert report.detected == 0
+    assert report.coverage < 1.0
+
+
+def test_coverage_counts_redundant_as_undetected(redundant_or_circuit):
+    c = redundant_or_circuit
+    vectors = [
+        {g: (bits >> i) & 1 for i, g in enumerate(c.inputs)}
+        for bits in range(4)
+    ]
+    report = fault_coverage(c, collapsed_faults(c), vectors)
+    assert report.coverage < 1.0  # the redundant fault is undetectable
+
+
+def test_random_vectors_deterministic(and_or_circuit):
+    a = random_vectors(and_or_circuit, 10, seed=3)
+    b = random_vectors(and_or_circuit, 10, seed=3)
+    assert a == b

@@ -1,0 +1,118 @@
+"""Robust path-delay-fault test generation."""
+
+import pytest
+
+from repro.atpg import (
+    FALLING,
+    PathDelayFault,
+    RISING,
+    RobustPdfAtpg,
+    on_path_values,
+    pdf_census,
+)
+from repro.circuits import fig4_c2_cone, ripple_carry_adder
+from repro.network import Builder
+from repro.sim.events import output_waveforms, sample_waveform
+from repro.timing import longest_paths, iter_paths_longest_first
+
+
+class TestOnPathValues:
+    def test_inversion_parity(self):
+        b = Builder()
+        x = b.input("x")
+        n = b.not_(x, name="n")
+        a = b.and_(n, b.input("y"), name="a")
+        b.output("o", a)
+        c = b.done()
+        path = next(
+            p for p in iter_paths_longest_first(c)
+            if c.gates[p.source].name == "x"
+        )
+        # rising at x: arrives rising at the NOT, falling at the AND
+        assert on_path_values(c, path, RISING) == [1, 0]
+        assert on_path_values(c, path, FALLING) == [0, 1]
+
+
+class TestRobustGeneration:
+    def _and_chain(self):
+        b = Builder()
+        x, y, z = b.inputs("x", "y", "z")
+        g1 = b.and_(x, y, name="g1")
+        g2 = b.or_(g1, z, name="g2")
+        b.output("o", g2)
+        return b.done()
+
+    def test_simple_chain_testable(self):
+        c = self._and_chain()
+        engine = RobustPdfAtpg(c)
+        path = next(
+            p for p in iter_paths_longest_first(c)
+            if c.gates[p.source].name == "x"
+        )
+        for direction in (RISING, FALLING):
+            test = engine.generate(PathDelayFault(path, direction))
+            assert test is not None
+            # launch encoded correctly
+            src = c.find_input("x")
+            want = 1 if direction == RISING else 0
+            assert test.v1[src] == 1 - want
+            assert test.v2[src] == want
+            # side inputs at noncontrolling final values
+            assert test.v2[c.find_input("y")] == 1
+            assert test.v2[c.find_input("z")] == 0
+
+    def test_robust_test_really_propagates(self):
+        """Simulate the returned vector pair: the output transition time
+        equals the path length -- the transition really rode the path."""
+        c = self._and_chain()
+        engine = RobustPdfAtpg(c)
+        path = next(
+            p for p in iter_paths_longest_first(c)
+            if c.gates[p.source].name == "x"
+        )
+        test = engine.generate(PathDelayFault(path, RISING))
+        waves = output_waveforms(c, test.v1, test.v2)
+        wave = waves[c.find_output("o")]
+        assert wave[-1][0] == path.length
+
+    def test_conflicting_requirements_untestable(self):
+        """y = (x AND a) OR a again: the path through the AND needs
+        a = 1 at the AND and a = 0 at the OR -- robust-untestable."""
+        b = Builder()
+        x, a = b.inputs("x", "a")
+        g1 = b.and_(x, a, name="g1")
+        g2 = b.or_(g1, a, name="g2")
+        b.output("y", g2)
+        c = b.done()
+        engine = RobustPdfAtpg(c)
+        path = next(
+            p for p in iter_paths_longest_first(c)
+            if c.gates[p.source].name == "x"
+        )
+        assert not engine.is_robustly_testable(
+            PathDelayFault(path, RISING)
+        )
+        assert not engine.is_robustly_testable(
+            PathDelayFault(path, FALLING)
+        )
+
+
+class TestCensus:
+    def test_carry_skip_long_pdfs_untestable(self):
+        """The carry cone's longest paths are false, so their PDFs are
+        robust-untestable -- the delay-fault mirror of the paper's
+        redundancy story."""
+        cone = fig4_c2_cone()
+        report = pdf_census(cone, max_paths=1)
+        assert report.coverage == 0.0
+
+    def test_ripple_carry_long_pdfs_testable(self):
+        rca = ripple_carry_adder(2)
+        report = pdf_census(rca, max_paths=4)
+        assert report.coverage > 0.5
+
+    def test_census_counts(self):
+        cone = fig4_c2_cone()
+        report = pdf_census(cone, max_paths=3)
+        assert report.total == 6  # 3 paths x 2 directions
+        assert report.testable + len(report.untestable_faults) == 6

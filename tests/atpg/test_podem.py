@@ -1,0 +1,103 @@
+"""PODEM: cross-checked against SAT-ATPG, fault simulation, and
+exhaustive analysis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg import (
+    Podem,
+    SatAtpg,
+    Status,
+    collapsed_faults,
+    detects,
+    generate_test,
+    stem_fault,
+)
+from repro.circuits import fig1_carry_skip_block, random_circuit
+from repro.network import Builder
+
+
+class TestBasics:
+    def test_simple_testable_fault(self, and_or_circuit):
+        c = and_or_circuit
+        result = generate_test(c, stem_fault(c.find_gate("g1"), 0))
+        assert result.status is Status.TESTABLE
+        # pad don't-cares with 0 and confirm detection
+        vector = {gid: result.test.get(gid, 0) for gid in c.inputs}
+        assert detects(c, stem_fault(c.find_gate("g1"), 0), vector)
+
+    def test_absorption_redundancy(self, redundant_or_circuit):
+        """y = a OR (a AND b): inner AND s-a-0 is untestable."""
+        c = redundant_or_circuit
+        result = generate_test(c, stem_fault(c.find_gate("inner"), 0))
+        assert result.status is Status.UNTESTABLE
+
+    def test_constant_site_untestable(self):
+        b = Builder()
+        x = b.input("x")
+        nx = b.not_(x, name="nx")
+        dead = b.and_(x, nx, name="dead")
+        b.output("o", b.or_(x, dead, name="root"))
+        c = b.done()
+        assert (
+            generate_test(c, stem_fault(c.find_gate("dead"), 0)).status
+            is Status.UNTESTABLE
+        )
+        assert (
+            generate_test(c, stem_fault(c.find_gate("dead"), 1)).status
+            is Status.TESTABLE
+        )
+
+    def test_fig1_gate10(self):
+        c = fig1_carry_skip_block()
+        g10 = c.find_gate("gate10")
+        assert generate_test(c, stem_fault(g10, 0)).status is Status.UNTESTABLE
+        r = generate_test(c, stem_fault(g10, 1))
+        assert r.status is Status.TESTABLE
+        vector = {gid: r.test.get(gid, 0) for gid in c.inputs}
+        assert detects(c, stem_fault(g10, 1), vector)
+
+
+class TestCrossCheck:
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_podem_agrees_with_sat_atpg(self, seed):
+        c = random_circuit(num_inputs=4, num_gates=10, seed=seed)
+        sat = SatAtpg(c)
+        podem = Podem(c)
+        for fault in collapsed_faults(c):
+            sat_testable = sat.is_testable(fault)
+            result = podem.generate(fault)
+            assert result.status is not Status.ABORTED
+            assert (result.status is Status.TESTABLE) == sat_testable, (
+                f"disagree on {fault}"
+            )
+
+    @given(seed=st.integers(41, 70))
+    @settings(max_examples=15, deadline=None)
+    def test_podem_tests_really_detect(self, seed):
+        c = random_circuit(num_inputs=5, num_gates=12, seed=seed)
+        podem = Podem(c)
+        for fault in collapsed_faults(c)[:20]:
+            result = podem.generate(fault)
+            if result.status is Status.TESTABLE:
+                vector = {
+                    gid: result.test.get(gid, 0) for gid in c.inputs
+                }
+                assert detects(c, fault, vector), f"bogus test for {fault}"
+
+    @given(seed=st.integers(0, 15))
+    @settings(max_examples=8, deadline=None)
+    def test_untestable_means_no_vector_exists(self, seed):
+        """Exhaustive confirmation on tiny circuits."""
+        c = random_circuit(num_inputs=3, num_gates=7, seed=seed)
+        podem = Podem(c)
+        for fault in collapsed_faults(c):
+            result = podem.generate(fault)
+            if result.status is Status.UNTESTABLE:
+                for bits in range(8):
+                    vector = {
+                        g: (bits >> i) & 1
+                        for i, g in enumerate(c.inputs)
+                    }
+                    assert not detects(c, fault, vector)

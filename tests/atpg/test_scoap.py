@@ -1,0 +1,111 @@
+"""SCOAP testability measures."""
+
+import pytest
+
+from repro.atpg import (
+    INF,
+    collapsed_faults,
+    compute_scoap,
+    rank_faults_by_difficulty,
+    stem_fault,
+)
+from repro.circuits import fig1_carry_skip_block
+from repro.network import Builder
+
+
+class TestControllability:
+    def test_primary_inputs_cost_one(self):
+        b = Builder()
+        x = b.input("x")
+        b.output("o", b.buf(x))
+        scoap = compute_scoap(b.done())
+        assert scoap.cc0[x] == 1.0
+        assert scoap.cc1[x] == 1.0
+
+    def test_and_gate(self):
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        g = b.and_(x, y, name="g")
+        b.output("o", g)
+        c = b.done()
+        scoap = compute_scoap(c)
+        gid = c.find_gate("g")
+        assert scoap.cc1[gid] == 3.0  # both inputs to 1, +1
+        assert scoap.cc0[gid] == 2.0  # one input to 0, +1
+
+    def test_not_swaps(self):
+        b = Builder()
+        x = b.input("x")
+        n = b.not_(x, name="n")
+        b.output("o", n)
+        c = b.done()
+        scoap = compute_scoap(c)
+        nid = c.find_gate("n")
+        assert scoap.cc0[nid] == scoap.cc1[nid] == 2.0
+
+    def test_constants_uncontrollable_other_way(self):
+        b = Builder()
+        x = b.input("x")
+        k = b.const(1)
+        b.output("o", b.and_(x, k))
+        c = b.done()
+        scoap = compute_scoap(c)
+        assert scoap.cc1[k] == 0.0
+        assert scoap.cc0[k] == INF
+
+    def test_xor_symmetric(self):
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        g = b.xor(x, y, name="g")
+        b.output("o", g)
+        c = b.done()
+        scoap = compute_scoap(c)
+        gid = c.find_gate("g")
+        assert scoap.cc0[gid] == scoap.cc1[gid] == 3.0
+
+
+class TestObservability:
+    def test_output_is_free(self):
+        b = Builder()
+        x = b.input("x")
+        g = b.not_(x, name="g")
+        b.output("o", g)
+        c = b.done()
+        scoap = compute_scoap(c)
+        assert scoap.co[c.find_gate("g")] == 0.0
+        assert scoap.co[x] == 1.0
+
+    def test_deeper_is_harder(self):
+        b = Builder()
+        x, y, z = b.inputs("x", "y", "z")
+        g1 = b.and_(x, y, name="g1")
+        g2 = b.and_(g1, z, name="g2")
+        b.output("o", g2)
+        c = b.done()
+        scoap = compute_scoap(c)
+        assert scoap.co[x] > scoap.co[c.find_gate("g1")]
+
+    def test_dead_logic_unobservable(self):
+        b = Builder()
+        x = b.input("x")
+        dead = b.not_(x, name="dead")  # no fanout
+        b.output("o", b.buf(x))
+        c = b.done()
+        scoap = compute_scoap(c)
+        assert scoap.co[c.find_gate("dead")] == INF
+
+
+class TestRanking:
+    def test_redundant_fault_ranks_hard(self):
+        """gate10's s-a-0 (the paper's redundancy) should rank in the
+        hard tail -- SCOAP smells redundancy without proving it."""
+        c = fig1_carry_skip_block()
+        faults = collapsed_faults(c)
+        ranked = rank_faults_by_difficulty(c, faults)
+        difficulties = {f: d for d, f in ranked}
+        g10 = c.find_gate("gate10")
+        target = stem_fault(g10, 0)
+        if target not in difficulties:
+            return  # collapsed onto an equivalent representative
+        hard_third = [f for _d, f in ranked[: len(ranked) // 3]]
+        assert target in hard_third

@@ -1,0 +1,150 @@
+"""ROBDD package: canonicity, connectives, quantification, circuits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, bdd_equivalent, circuit_bdds
+from repro.circuits import random_circuit
+from repro.network import Builder
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = BDD()
+        assert bdd.ZERO == 0
+        assert bdd.ONE == 1
+
+    def test_var_canonical(self):
+        bdd = BDD()
+        x = bdd.var(0)
+        assert bdd.var(0) == x  # hash-consed
+
+    def test_negation_involution(self):
+        bdd = BDD()
+        x = bdd.var(0)
+        assert bdd.negate(bdd.negate(x)) == x
+
+    def test_and_or_idempotent(self):
+        bdd = BDD()
+        x = bdd.var(0)
+        assert bdd.apply_and(x, x) == x
+        assert bdd.apply_or(x, x) == x
+
+    def test_xor_with_self_is_zero(self):
+        bdd = BDD()
+        x = bdd.var(1)
+        assert bdd.apply_xor(x, x) == bdd.ZERO
+
+    def test_canonicity_of_equivalent_formulas(self):
+        bdd = BDD()
+        x, y = bdd.var(0), bdd.var(1)
+        demorgan_a = bdd.negate(bdd.apply_and(x, y))
+        demorgan_b = bdd.apply_or(bdd.negate(x), bdd.negate(y))
+        assert demorgan_a == demorgan_b
+
+
+class TestSemantics:
+    @given(st.integers(0, 200), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_random_formula_evaluation(self, seed, point):
+        """Build a random 3-var formula both as a BDD and as a Python
+        lambda; they must agree on every point."""
+        import random
+
+        rng = random.Random(seed)
+        bdd = BDD()
+        nodes = [bdd.var(i) for i in range(3)]
+        funcs = [lambda p, i=i: bool((p >> i) & 1) for i in range(3)]
+        for _ in range(6):
+            op = rng.choice(["and", "or", "xor", "not"])
+            if op == "not":
+                i = rng.randrange(len(nodes))
+                nodes.append(bdd.negate(nodes[i]))
+                funcs.append(lambda p, f=funcs[i]: not f(p))
+            else:
+                i, j = rng.randrange(len(nodes)), rng.randrange(len(nodes))
+                node = {
+                    "and": bdd.apply_and,
+                    "or": bdd.apply_or,
+                    "xor": bdd.apply_xor,
+                }[op](nodes[i], nodes[j])
+                nodes.append(node)
+                fi, fj = funcs[i], funcs[j]
+                funcs.append(
+                    {
+                        "and": lambda p, a=fi, b=fj: a(p) and b(p),
+                        "or": lambda p, a=fi, b=fj: a(p) or b(p),
+                        "xor": lambda p, a=fi, b=fj: a(p) != b(p),
+                    }[op]
+                )
+        assignment = {i: (point >> i) & 1 for i in range(3)}
+        assert bool(bdd.evaluate(nodes[-1], assignment)) == funcs[-1](point)
+
+    def test_restrict(self):
+        bdd = BDD()
+        x, y = bdd.var(0), bdd.var(1)
+        f = bdd.apply_and(x, y)
+        assert bdd.restrict(f, 0, 1) == y
+        assert bdd.restrict(f, 0, 0) == bdd.ZERO
+
+    def test_exists(self):
+        bdd = BDD()
+        x, y = bdd.var(0), bdd.var(1)
+        f = bdd.apply_and(x, y)
+        assert bdd.exists(f, 0) == y
+
+    def test_count_sat(self):
+        bdd = BDD(num_vars=3)
+        x, y = bdd.var(0), bdd.var(1)
+        assert bdd.count_sat(bdd.apply_and(x, y)) == 2  # z free
+        assert bdd.count_sat(bdd.apply_or(x, y)) == 6
+        assert bdd.count_sat(bdd.ONE) == 8
+        assert bdd.count_sat(bdd.ZERO) == 0
+
+    def test_any_sat(self):
+        bdd = BDD()
+        x, y = bdd.var(0), bdd.var(1)
+        f = bdd.apply_and(x, bdd.negate(y))
+        model = bdd.any_sat(f)
+        assert model[0] == 1 and model[1] == 0
+        assert bdd.any_sat(bdd.ZERO) is None
+
+    def test_size(self):
+        bdd = BDD()
+        x, y = bdd.var(0), bdd.var(1)
+        assert bdd.size(bdd.apply_and(x, y)) >= 3
+
+
+class TestCircuitBdds:
+    @given(seed=st.integers(0, 40), bits=st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_simulation(self, seed, bits):
+        circuit = random_circuit(num_inputs=5, num_gates=12, seed=seed)
+        bdd, nodes = circuit_bdds(circuit)
+        assign = {g: (bits >> i) & 1 for i, g in enumerate(circuit.inputs)}
+        simulated = circuit.evaluate(assign)
+        var_assign = {i: assign[g] for i, g in enumerate(circuit.inputs)}
+        for po in circuit.outputs:
+            assert bdd.evaluate(nodes[po], var_assign) == simulated[po]
+
+    def test_bdd_equivalent_positive(self, and_or_circuit):
+        assert bdd_equivalent(and_or_circuit, and_or_circuit.copy())
+
+    def test_bdd_equivalent_negative(self):
+        def make(gate):
+            b = Builder()
+            x, y = b.inputs("x", "y")
+            b.output("o", getattr(b, gate)(x, y))
+            return b.done()
+
+        assert not bdd_equivalent(make("and_"), make("or_"))
+
+    @given(seed=st.integers(0, 25))
+    @settings(max_examples=15, deadline=None)
+    def test_bdd_and_sat_equivalence_agree(self, seed):
+        from repro.sat import check_equivalence
+
+        a = random_circuit(num_inputs=4, num_gates=10, seed=seed)
+        b = random_circuit(num_inputs=4, num_gates=10, seed=seed + 7)
+        assert bdd_equivalent(a, b) == check_equivalence(a, b).equivalent

@@ -1,0 +1,74 @@
+"""BDD variable ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import build_under_order, order_cost, sift_order
+from repro.circuits import random_circuit
+from repro.network import Builder
+
+
+def _interleave_sensitive_circuit():
+    """f = a0·b0 + a1·b1 + a2·b2: exponential under (a0,a1,a2,b0,b1,b2),
+    linear under the interleaved order -- the textbook example."""
+    b = Builder("mux_like")
+    a_bus = [b.input(f"a{i}") for i in range(3)]
+    b_bus = [b.input(f"b{i}") for i in range(3)]
+    terms = [b.and_(a_bus[i], b_bus[i]) for i in range(3)]
+    b.output("f", b.or_(*terms))
+    return b.done()
+
+
+class TestOrderCost:
+    def test_interleaved_beats_blocked(self):
+        c = _interleave_sensitive_circuit()
+        a = [c.find_input(f"a{i}") for i in range(3)]
+        bb = [c.find_input(f"b{i}") for i in range(3)]
+        blocked = a + bb
+        interleaved = [a[0], bb[0], a[1], bb[1], a[2], bb[2]]
+        assert order_cost(c, interleaved) < order_cost(c, blocked)
+
+    def test_bad_order_rejected(self):
+        c = _interleave_sensitive_circuit()
+        with pytest.raises(ValueError):
+            order_cost(c, c.inputs[:-1])
+
+
+class TestFunctionInvariance:
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_any_order_same_function(self, seed):
+        import random as rnd
+
+        c = random_circuit(num_inputs=4, num_gates=10, seed=seed)
+        rng = rnd.Random(seed)
+        order = list(c.inputs)
+        rng.shuffle(order)
+        bdd, nodes = build_under_order(c, order)
+        var_of = {gid: i for i, gid in enumerate(order)}
+        for bits in range(16):
+            assignment = {g: (bits >> i) & 1 for i, g in enumerate(c.inputs)}
+            simulated = c.evaluate(assignment)
+            bdd_assign = {var_of[g]: assignment[g] for g in c.inputs}
+            for po in c.outputs:
+                assert bdd.evaluate(nodes[po], bdd_assign) == simulated[po]
+
+
+class TestSifting:
+    def test_sift_finds_interleaved_quality(self):
+        c = _interleave_sensitive_circuit()
+        a = [c.find_input(f"a{i}") for i in range(3)]
+        bb = [c.find_input(f"b{i}") for i in range(3)]
+        blocked = a + bb
+        interleaved = [a[0], bb[0], a[1], bb[1], a[2], bb[2]]
+        _order, cost = sift_order(c, start=blocked)
+        assert cost <= order_cost(c, interleaved)
+
+    @given(seed=st.integers(0, 15))
+    @settings(max_examples=6, deadline=None)
+    def test_sift_never_worse_than_start(self, seed):
+        c = random_circuit(num_inputs=5, num_gates=12, seed=seed)
+        start_cost = order_cost(c, c.inputs)
+        _order, cost = sift_order(c)
+        assert cost <= start_cost

@@ -1,0 +1,60 @@
+"""The Table-I bench harness itself."""
+
+from repro.bench import (
+    CSA_SIZES,
+    PAPER_TABLE1,
+    carry_skip_rows,
+    classify_longest_paths,
+    optimized_mcnc,
+    render,
+    run_circuit_row,
+)
+from repro.circuits import carry_skip_adder, fig4_c2_cone
+from repro.timing import UnitDelayModel
+
+
+def test_paper_reference_values_complete():
+    """Every Table I row of the paper is recorded for comparison."""
+    assert len(PAPER_TABLE1) == 13
+    assert PAPER_TABLE1["csa 8.2"] == (8, 88, 88)
+    assert PAPER_TABLE1["misex1"] == (28, 79, 55)
+
+
+def test_csa_sizes_match_paper():
+    assert CSA_SIZES == [(2, 2), (4, 4), (8, 2), (8, 4)]
+
+
+def test_run_circuit_row_fields():
+    model = UnitDelayModel(use_arrival_times=False)
+    item = run_circuit_row("csa 2.2", carry_skip_adder(2, 2), model)
+    assert item.row.name == "csa 2.2"
+    assert item.row.redundancies == 2
+    assert item.seconds > 0
+    assert item.kms_iterations >= 0
+
+
+def test_render_includes_paper_reference():
+    model = UnitDelayModel(use_arrival_times=False)
+    rows = carry_skip_rows([(2, 2)], model)
+    text = render(rows, "check")
+    assert "paper: red 2" in text
+    assert "csa 2.2" in text
+
+
+def test_classify_carry_skip_is_class1():
+    """With the Section III arrival skew the carry cone's longest path
+    is false -- class 1."""
+    cone = fig4_c2_cone()
+    from repro.timing import AsBuiltDelayModel
+
+    assert classify_longest_paths(cone, AsBuiltDelayModel()) == "class1"
+
+
+def test_optimized_mcnc_deterministic():
+    model = UnitDelayModel()
+    a = optimized_mcnc("misex1", 6.0, model)
+    b = optimized_mcnc("misex1", 6.0, model)
+    assert a.num_gates() == b.num_gates()
+    from repro.sat import check_equivalence
+
+    assert check_equivalence(a, b).equivalent

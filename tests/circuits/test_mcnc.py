@@ -1,0 +1,112 @@
+"""The MCNC-like benchmark suite stand-ins."""
+
+import pytest
+
+from repro.circuits import MCNC_NAMES, mcnc_circuit, mcnc_pla, mcnc_shapes
+from repro.network import check
+
+
+class TestShapes:
+    def test_all_nine_names(self):
+        assert MCNC_NAMES == sorted(
+            ["5xp1", "clip", "duke2", "f51m", "misex1",
+             "misex2", "rd73", "sao2", "z4ml"]
+        )
+
+    def test_shapes_match_paper_circuits(self):
+        shapes = mcnc_shapes()
+        assert shapes["5xp1"] == (7, 10)
+        assert shapes["clip"] == (9, 5)
+        assert shapes["duke2"] == (22, 29)
+        assert shapes["f51m"] == (8, 8)
+        assert shapes["misex1"] == (8, 7)
+        assert shapes["misex2"] == (25, 18)
+        assert shapes["rd73"] == (7, 3)
+        assert shapes["sao2"] == (10, 4)
+        assert shapes["z4ml"] == (7, 4)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            mcnc_pla("c17")
+
+    def test_pla_interface_counts(self):
+        for name in MCNC_NAMES:
+            pla = mcnc_pla(name)
+            assert (pla.num_inputs, pla.num_outputs) == mcnc_shapes()[name]
+
+
+class TestDeterminism:
+    def test_seeded_suites_are_stable(self):
+        for name in ("duke2", "misex1", "misex2", "sao2"):
+            a, b = mcnc_pla(name), mcnc_pla(name)
+            for out in a.output_names:
+                assert [c.bits for c in a.on_sets[out].cubes] == [
+                    c.bits for c in b.on_sets[out].cubes
+                ]
+
+
+class TestArithmeticStandIns:
+    def _eval_word(self, circuit, x, num_in, num_out):
+        assign = {
+            circuit.find_input(f"x{i}"): (x >> i) & 1
+            for i in range(num_in)
+        }
+        values = circuit.evaluate(assign)
+        word = 0
+        for i in range(num_out):
+            if values[circuit.find_output(f"y{i}")]:
+                word |= 1 << i
+        return word
+
+    def test_5xp1_is_5x_plus_1(self):
+        c = mcnc_circuit("5xp1")
+        check(c)
+        for x in (0, 1, 17, 100, 127):
+            assert self._eval_word(c, x, 7, 10) == 5 * x + 1
+
+    def test_rd73_is_popcount(self):
+        c = mcnc_circuit("rd73")
+        for x in (0, 1, 0b1010101, 0b1111111):
+            assert self._eval_word(c, x, 7, 3) == bin(x).count("1")
+
+    def test_z4ml_is_adder(self):
+        c = mcnc_circuit("z4ml")
+        for x in (0, 0b1111111, 0b0101011):
+            a, b, cin = x & 7, (x >> 3) & 7, (x >> 6) & 1
+            assert self._eval_word(c, x, 7, 4) == a + b + cin
+
+    def test_f51m_is_multiplier(self):
+        c = mcnc_circuit("f51m")
+        for x in (0x00, 0xFF, 0x35, 0x7A):
+            lo, hi = x & 0xF, (x >> 4) & 0xF
+            assert self._eval_word(c, x, 8, 8) == (lo * hi) & 0xFF
+
+    def test_clip_clamps_magnitude(self):
+        c = mcnc_circuit("clip")
+        cases = {0: 0, 1: 1, 31: 31, 100: 31, 0x1FF: 1, 0x100: 31}
+        for x, want in cases.items():
+            assert self._eval_word(c, x, 9, 5) == want
+
+
+class TestSynthesizedCircuits:
+    @pytest.mark.parametrize("name", ["rd73", "misex1", "sao2", "z4ml"])
+    def test_circuit_matches_pla(self, name):
+        pla = mcnc_pla(name)
+        circuit = mcnc_circuit(name)
+        check(circuit)
+        assert circuit.is_simple_gate_network()
+        import random
+
+        rng = random.Random(1)
+        for _ in range(200):
+            x = rng.getrandbits(pla.num_inputs)
+            point = [(x >> i) & 1 for i in range(pla.num_inputs)]
+            assign = {
+                circuit.find_input(n): point[i]
+                for i, n in enumerate(pla.input_names)
+            }
+            values = circuit.evaluate(assign)
+            for out in pla.output_names:
+                assert values[circuit.find_output(out)] == int(
+                    pla.on_sets[out].evaluate(point)
+                )

@@ -1,0 +1,138 @@
+"""Every numeric claim the paper makes about its figures."""
+
+import pytest
+
+from repro.atpg import SatAtpg, count_redundancies, inject, is_irredundant, stem_fault
+from repro.circuits import (
+    C0_ARRIVAL,
+    fig1_carry_skip_block,
+    fig2_irredundant_block,
+    fig4_c2_cone,
+    fig5_after_first_edge,
+    fig6_final,
+    section3_fault_demo,
+)
+from repro.sat import check_equivalence
+from repro.sim import outputs_equal_exhaustive
+from repro.timing import (
+    analyze,
+    sensitizable_delay,
+    topological_delay,
+    viability_delay,
+)
+
+
+class TestFig1:
+    """Section III on the redundant block."""
+
+    def test_arrival_assumptions(self):
+        c = fig1_carry_skip_block()
+        assert c.input_arrival[c.find_input("c0")] == C0_ARRIVAL == 5.0
+        for name in ("a0", "a1", "b0", "b1"):
+            assert c.input_arrival[c.find_input(name)] == 0.0
+
+    def test_critical_path_is_8(self):
+        """'the critical path and its output is available after 8 gate
+        delays' (on the carry cone; the full block's s1 needs 9)."""
+        assert viability_delay(fig4_c2_cone()).delay == 8.0
+
+    def test_longest_path_is_11(self):
+        """'The longest path ... available after 11 gate delays. Note
+        that the length of the longest path is the delay of a
+        ripple-carry adder' -- i.e. of the circuit the block degenerates
+        to when the skip fault is present."""
+        c = fig1_carry_skip_block()
+        assert topological_delay(c) == 11.0
+        degenerate = inject(c, stem_fault(c.find_gate("gate10"), 0))
+        assert viability_delay(degenerate).delay == 11.0
+
+    def test_single_redundancy_pair(self):
+        """'the carry-skip adder has a single redundancy ... the single
+        stuck-at-0 fault on the output of the gate 10' (plus one inside
+        the MUX after decomposition to simple gates)."""
+        c = fig1_carry_skip_block()
+        engine = SatAtpg(c)
+        assert engine.is_redundant(
+            stem_fault(c.find_gate("gate10"), 0)
+        )
+        assert count_redundancies(c) == 2
+
+
+class TestSection3Speedtest:
+    def test_faulty_circuit_needs_11(self):
+        """'Consider the case where the output of gate 10 is stuck-at-0
+        ... The critical path is now the longest path and its output is
+        available after 11 gate delays.'"""
+        circuit, gate10 = section3_fault_demo()
+        faulty = inject(circuit, stem_fault(gate10, 0))
+        assert viability_delay(faulty).delay == 11.0
+        assert sensitizable_delay(faulty).delay == 11.0
+
+    def test_clock_violation_scenario(self):
+        """A clock set at the fault-free critical path (8 on the carry
+        cone) is violated by the faulty circuit (11) -- the speedtest
+        argument."""
+        cone = fig4_c2_cone()
+        good_clock = viability_delay(cone).delay
+        faulty = inject(
+            cone, stem_fault(cone.find_gate("gate10"), 0)
+        )
+        assert viability_delay(faulty).delay > good_clock
+
+
+class TestFig2:
+    def test_same_function(self):
+        assert check_equivalence(
+            fig1_carry_skip_block(), fig2_irredundant_block()
+        ).equivalent
+
+    def test_no_slower(self):
+        fig1 = fig1_carry_skip_block()
+        fig2 = fig2_irredundant_block()
+        assert (
+            viability_delay(fig2).delay <= viability_delay(fig1).delay
+        )
+
+    def test_fully_testable(self):
+        assert is_irredundant(fig2_irredundant_block())
+
+    def test_no_area_overhead(self):
+        assert (
+            fig2_irredundant_block().num_gates()
+            == fig1_carry_skip_block().num_gates()
+        )
+
+
+class TestFigs4To6:
+    def test_fig4_has_four_fewer_gates_than_fig1(self):
+        # the two sum XORs (3 simple gates each) are dropped
+        assert (
+            fig1_carry_skip_block().num_gates()
+            - fig4_c2_cone().num_gates()
+            == 6
+        )
+
+    def test_fig5_equivalent_to_fig4(self):
+        assert check_equivalence(
+            fig4_c2_cone(), fig5_after_first_edge()
+        ).equivalent
+
+    def test_fig5_longest_path_now_sensitizable(self):
+        """Section 6.3: 'The longest path in the resulting circuit is
+        now statically sensitizable'."""
+        c = fig5_after_first_edge()
+        assert sensitizable_delay(c).delay == topological_delay(c)
+
+    def test_fig5_still_has_redundancies(self):
+        assert count_redundancies(fig5_after_first_edge()) >= 1
+
+    def test_fig6_irredundant_and_equivalent(self):
+        fig6 = fig6_final()
+        assert is_irredundant(fig6)
+        assert check_equivalence(fig4_c2_cone(), fig6).equivalent
+
+    def test_fig6_no_slower_than_fig4(self):
+        assert (
+            viability_delay(fig6_final()).delay
+            <= viability_delay(fig4_c2_cone()).delay
+        )

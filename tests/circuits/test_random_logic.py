@@ -1,0 +1,38 @@
+"""Random circuit generators."""
+
+from repro.atpg import count_redundancies
+from repro.circuits import random_circuit, random_redundant_circuit
+from repro.network import check
+from repro.sim import outputs_equal_exhaustive
+
+
+def test_deterministic():
+    a = random_circuit(seed=9)
+    b = random_circuit(seed=9)
+    check(a)
+    assert outputs_equal_exhaustive(a, b)
+
+
+def test_different_seeds_differ_structurally():
+    a = random_circuit(seed=1)
+    b = random_circuit(seed=2)
+    assert a.stats() != b.stats() or not outputs_equal_exhaustive(a, b)
+
+
+def test_shape_parameters():
+    c = random_circuit(num_inputs=6, num_gates=9, num_outputs=3, seed=0)
+    assert len(c.inputs) == 6
+    assert len(c.outputs) == 3
+    assert c.num_gates() == 9
+
+
+def test_arrival_randomization():
+    c = random_circuit(seed=4, max_arrival=5.0)
+    assert any(v > 0 for v in c.input_arrival.values())
+
+
+def test_redundant_generator_guarantees_redundancy():
+    for seed in range(5):
+        c = random_redundant_circuit(seed=seed)
+        check(c)
+        assert count_redundancies(c) >= 1

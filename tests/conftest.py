@@ -1,0 +1,52 @@
+"""Shared fixtures: small canonical circuits used across suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import Builder, Circuit
+
+
+@pytest.fixture
+def and_or_circuit() -> Circuit:
+    """y = (a AND b) OR c -- the smallest interesting network."""
+    b = Builder("and_or")
+    a, bb, c = b.inputs("a", "b", "c")
+    g1 = b.and_(a, bb, name="g1")
+    g2 = b.or_(g1, c, name="g2")
+    b.output("y", g2)
+    return b.done()
+
+
+@pytest.fixture
+def two_output_circuit() -> Circuit:
+    """y0 = a AND b, y1 = NOT(a AND b) sharing the AND gate."""
+    b = Builder("two_out")
+    a, bb = b.inputs("a", "b")
+    g = b.and_(a, bb, name="shared")
+    n = b.not_(g, name="inv")
+    b.output("y0", g)
+    b.output("y1", n)
+    return b.done()
+
+
+@pytest.fixture
+def redundant_or_circuit() -> Circuit:
+    """y = a OR (a AND b): the AND is redundant (absorption)."""
+    b = Builder("absorb")
+    a, bb = b.inputs("a", "b")
+    g1 = b.and_(a, bb, name="inner")
+    g2 = b.or_(a, g1, name="outer")
+    b.output("y", g2)
+    return b.done()
+
+
+@pytest.fixture
+def chain_circuit() -> Circuit:
+    """x -> NOT -> NOT -> y with distinct delays for timing tests."""
+    b = Builder("chain")
+    x = b.input("x")
+    n1 = b.not_(x, delay=2.0, name="n1")
+    n2 = b.not_(n1, delay=3.0, name="n2")
+    b.output("y", n2)
+    return b.done()

@@ -1,0 +1,132 @@
+"""The KMS algorithm end to end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg import is_irredundant
+from repro.circuits import (
+    carry_skip_adder,
+    fig1_carry_skip_block,
+    fig4_c2_cone,
+    random_circuit,
+    random_redundant_circuit,
+)
+from repro.core import KmsError, kms, verify_transformation
+from repro.network import check
+from repro.sat import check_equivalence
+from repro.timing import UnitDelayModel, viability_delay
+
+
+class TestPaperWalkthrough:
+    def test_fig4_single_iteration_no_duplication(self):
+        """Section 6.3: 'None of the edges in P have fan out greater
+        than 1, hence, no duplication is required.'"""
+        result = kms(fig4_c2_cone(), checked=True, trace=True)
+        assert result.iterations == 1
+        assert result.duplicated_gates == 0
+        event = result.events[0]
+        assert event.constant_value == 0
+        assert "c0" in event.path and "gate6" in event.path
+
+    def test_fig4_result_verifies(self):
+        c = fig4_c2_cone()
+        result = kms(c)
+        report = verify_transformation(c, result.circuit)
+        assert report.ok
+        assert report.redundancies_after == 0
+        assert report.delays_after.viability <= 8.0
+
+    def test_fig1_multioutput_requires_duplication(self):
+        """On the full block gate7 fans out to the sum logic, so the
+        chain up to gate7 must be duplicated."""
+        c = fig1_carry_skip_block()
+        result = kms(c, checked=True)
+        assert result.duplicated_gates >= 1
+        report = verify_transformation(c, result.circuit)
+        assert report.ok
+
+    def test_fig1_no_area_explosion(self):
+        """The paper's multi-output 2-b result: same gate count ballpark."""
+        c = fig1_carry_skip_block()
+        result = kms(c)
+        assert result.circuit.num_gates() <= c.num_gates()
+
+
+class TestModes:
+    def test_viability_mode_also_safe(self):
+        c = fig4_c2_cone()
+        result = kms(c, mode="viability", checked=True)
+        assert is_irredundant(result.circuit)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            kms(fig4_c2_cone(), mode="psychic")
+
+    def test_complex_gates_rejected(self):
+        from repro.network import Builder
+
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.xor(x, y))
+        with pytest.raises(ValueError):
+            kms(b.done())
+
+    def test_input_not_mutated(self):
+        c = fig4_c2_cone()
+        gates_before = c.num_gates()
+        kms(c)
+        assert c.num_gates() == gates_before
+
+
+class TestCarrySkipFamily:
+    @pytest.mark.parametrize("nbits,block", [(2, 2), (4, 2), (4, 4)])
+    def test_small_adders(self, nbits, block):
+        model = UnitDelayModel(use_arrival_times=False)
+        c = carry_skip_adder(nbits, block)
+        result = kms(c, model=model)
+        report = verify_transformation(c, result.circuit, model)
+        assert report.ok, report.notes
+        assert report.redundancies_before >= 2
+
+    def test_late_carry_in(self):
+        """With the Section III arrival skew the longest path is false
+        and the loop must fire."""
+        c = carry_skip_adder(2, 2, cin_arrival=5.0)
+        result = kms(c, checked=True)
+        report = verify_transformation(c, result.circuit)
+        assert report.ok
+
+
+class TestRandomizedProperties:
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_random_circuits(self, seed):
+        c = random_circuit(
+            num_inputs=4, num_gates=12, seed=seed, max_arrival=3.0
+        )
+        result = kms(c, checked=True)  # checked raises on any violation
+        check(result.circuit)
+        assert check_equivalence(c, result.circuit).equivalent
+        assert is_irredundant(result.circuit)
+        assert (
+            viability_delay(result.circuit).delay
+            <= viability_delay(c).delay + 1e-9
+        )
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=8, deadline=None)
+    def test_random_redundant_circuits(self, seed):
+        c = random_redundant_circuit(num_inputs=4, num_gates=10, seed=seed)
+        result = kms(c, checked=True)
+        assert is_irredundant(result.circuit)
+        assert check_equivalence(c, result.circuit).equivalent
+
+
+class TestTrace:
+    def test_snapshots_recorded(self):
+        result = kms(fig4_c2_cone(), trace=True)
+        assert all(e.snapshot is not None for e in result.events)
+        # each snapshot is a valid circuit
+        for e in result.events:
+            check(e.snapshot)

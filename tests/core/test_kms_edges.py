@@ -1,0 +1,91 @@
+"""KMS edge cases and guard rails."""
+
+import pytest
+
+from repro.circuits import fig4_c2_cone
+from repro.core import KmsError, kms
+from repro.network import Builder
+from repro.sat import check_equivalence
+
+
+class TestDegenerateInputs:
+    def test_empty_logic(self):
+        b = Builder()
+        x = b.input("x")
+        b.output("o", x)
+        c = b.done()
+        result = kms(c)
+        assert result.iterations == 0
+        assert check_equivalence(c, result.circuit).equivalent
+
+    def test_constant_output(self):
+        b = Builder()
+        b.input("x")
+        b.output("o", b.const(1))
+        c = b.done()
+        result = kms(c)
+        assert result.circuit.evaluate_outputs(
+            {result.circuit.find_input("x"): 0}
+        ) == (1,)
+
+    def test_single_gate(self):
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.and_(x, y))
+        c = b.done()
+        result = kms(c, checked=True)
+        assert result.iterations == 0
+        assert result.cleanup_steps == 0
+
+    def test_wire_only_paths_are_sensitizable(self):
+        """PI -> BUF -> PO: no side inputs, trivially sensitizable, so
+        the loop must not fire (firing would tie the output!)."""
+        b = Builder()
+        x = b.input("x")
+        b.output("o", b.buf(x, delay=1.0))
+        c = b.done()
+        result = kms(c)
+        assert result.iterations == 0
+        assert check_equivalence(c, result.circuit).equivalent
+
+
+class TestGuards:
+    def test_max_longest_paths_cap_is_safe(self):
+        """An absurdly small cap still yields a correct (just possibly
+        less lazy) result."""
+        c = fig4_c2_cone()
+        result = kms(c, max_longest_paths=1)
+        assert check_equivalence(c, result.circuit).equivalent
+
+    def test_max_iterations_raises(self):
+        c = fig4_c2_cone()
+        with pytest.raises(KmsError):
+            kms(c, max_iterations=0)
+
+    def test_choose_path_hook(self):
+        chosen = []
+
+        def choose(candidates):
+            chosen.append(len(candidates))
+            return candidates[-1]
+
+        c = fig4_c2_cone()
+        result = kms(c, choose_path=choose)
+        assert chosen  # the hook ran
+        assert check_equivalence(c, result.circuit).equivalent
+
+    def test_trace_off_means_no_snapshots(self):
+        c = fig4_c2_cone()
+        result = kms(c, trace=False)
+        assert all(e.snapshot is None for e in result.events)
+
+
+def test_max_iterations_zero_ok_when_no_work_needed():
+    """A circuit whose longest path is already sensitizable completes
+    even with max_iterations=0 (the guard fires only on real work)."""
+    b = Builder()
+    x, y = b.inputs("x", "y")
+    b.output("o", b.and_(x, y))
+    c = b.done()
+    result = kms(c, max_iterations=0)
+    assert result.iterations == 0

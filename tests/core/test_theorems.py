@@ -1,0 +1,132 @@
+"""Executable Theorems 7.1 and 7.2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import fig4_c2_cone, random_circuit
+from repro.core import duplicate_gate_for_edge, set_path_constant
+from repro.network import CircuitError, check
+from repro.sat import check_equivalence
+from repro.timing import (
+    longest_paths,
+    topological_delay,
+    viability_delay,
+)
+
+
+def _multifanout_sites(circuit):
+    for gid, gate in circuit.gates.items():
+        if gate.gtype.value in ("input", "output", "const0", "const1"):
+            continue
+        if len(gate.fanout) > 1:
+            for cid in gate.fanout:
+                yield gid, cid
+
+
+class TestTheorem71:
+    """Duplication preserves function and every delay measure."""
+
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_duplication_preserves_everything(self, seed):
+        c = random_circuit(num_inputs=4, num_gates=12, seed=seed)
+        sites = list(_multifanout_sites(c))
+        if not sites:
+            return
+        gid, cid = sites[seed % len(sites)]
+        evidence = duplicate_gate_for_edge(c, gid, cid)
+        dup = evidence.circuit
+        check(dup)
+        assert check_equivalence(c, dup).equivalent
+        assert topological_delay(dup) == pytest.approx(
+            topological_delay(c)
+        )
+        # the paper's stronger claim: the viability delay is unchanged
+        assert viability_delay(dup).delay == pytest.approx(
+            viability_delay(c).delay
+        )
+
+    def test_duplicate_has_single_fanout(self, two_output_circuit):
+        c = two_output_circuit
+        shared = c.find_gate("shared")
+        cid = c.gates[shared].fanout[0]
+        ev = duplicate_gate_for_edge(c, shared, cid)
+        assert ev.circuit.fanout_size(ev.duplicate_gate) == 1
+        # original lost exactly that one edge
+        assert (
+            ev.circuit.fanout_size(ev.original_gate)
+            == c.fanout_size(shared) - 1
+        )
+
+    def test_requires_multifanout(self, chain_circuit):
+        n1 = chain_circuit.find_gate("n1")
+        cid = chain_circuit.gates[n1].fanout[0]
+        with pytest.raises(CircuitError):
+            duplicate_gate_for_edge(chain_circuit, n1, cid)
+
+    def test_edge_must_belong_to_gate(self, two_output_circuit):
+        c = two_output_circuit
+        shared = c.find_gate("shared")
+        inv = c.find_gate("inv")
+        foreign = c.gates[inv].fanout[0]
+        with pytest.raises(CircuitError):
+            duplicate_gate_for_edge(c, shared, foreign)
+
+
+class TestTheorem72:
+    """Constant-setting on an unsensitizable single-fanout longest path."""
+
+    def test_fig4_walkthrough(self):
+        c = fig4_c2_cone()
+        path = longest_paths(c)[0]
+        evidence = set_path_constant(c, path, 0)
+        after = evidence.circuit
+        check(after)
+        # function preserved (the fault on the first edge was untestable)
+        assert check_equivalence(c, after).equivalent
+        # delay did not increase -- in fact it dropped below 8
+        assert (
+            viability_delay(after).delay
+            <= viability_delay(c).delay + 1e-9
+        )
+        assert topological_delay(after) < topological_delay(c)
+        assert evidence.precondition_notes
+
+    def test_precondition_single_fanout_enforced(self):
+        from repro.circuits import fig1_carry_skip_block
+
+        c = fig1_carry_skip_block()
+        path = longest_paths(c)[0]  # gate7 has multiple fanout here
+        with pytest.raises(CircuitError):
+            set_path_constant(c, path, 0)
+
+    def test_precondition_longest_enforced(self):
+        c = fig4_c2_cone()
+        from repro.timing import iter_paths_longest_first
+
+        shorter = None
+        delay = topological_delay(c)
+        for p in iter_paths_longest_first(c):
+            if p.length < delay - 1e-9:
+                shorter = p
+                break
+        assert shorter is not None
+        if all(c.fanout_size(g) == 1 for g in shorter.gates):
+            with pytest.raises(CircuitError):
+                set_path_constant(c, shorter, 0)
+
+    def test_precondition_sensitizable_enforced(self, chain_circuit):
+        path = longest_paths(chain_circuit)[0]
+        # a NOT chain is trivially sensitizable
+        with pytest.raises(CircuitError):
+            set_path_constant(chain_circuit, path, 0)
+
+    def test_unchecked_mode_skips_preconditions(self, chain_circuit):
+        path = longest_paths(chain_circuit)[0]
+        evidence = set_path_constant(
+            chain_circuit, path, 0, require_preconditions=False
+        )
+        # function is NOT preserved here -- that is the point of the
+        # preconditions; the circuit must still be structurally valid
+        check(evidence.circuit)

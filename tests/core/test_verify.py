@@ -1,0 +1,59 @@
+"""The verification harness and report formatting."""
+
+from repro.circuits import fig1_carry_skip_block, fig2_irredundant_block
+from repro.core import (
+    TableRow,
+    format_table,
+    measure_delays,
+    verify_transformation,
+)
+
+
+def test_fig1_to_fig2_report():
+    """Fig. 2 is the paper's hand-crafted KMS result: equivalent,
+    irredundant, no slower, no area overhead."""
+    fig1 = fig1_carry_skip_block()
+    fig2 = fig2_irredundant_block()
+    report = verify_transformation(fig1, fig2)
+    assert report.equivalent
+    assert report.irredundant
+    assert report.delay_preserved
+    assert report.ok
+    assert report.redundancies_before == 2
+    assert report.redundancies_after == 0
+    assert report.gates_after == report.gates_before  # zero overhead
+
+
+def test_non_equivalent_pair_reported():
+    from repro.network import Builder
+
+    def make(gate):
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        b.output("o", getattr(b, gate)(x, y))
+        return b.done()
+
+    report = verify_transformation(make("and_"), make("or_"))
+    assert not report.equivalent
+    assert not report.ok
+    assert report.notes
+
+
+def test_measure_delays_triple():
+    triple = measure_delays(fig1_carry_skip_block())
+    d = triple.as_dict()
+    assert d["topological"] == 11.0
+    assert d["viability"] == 9.0
+    assert d["sensitizable"] == 9.0
+
+
+def test_format_table_layout():
+    rows = [
+        TableRow("csa 2.2", 2, 22, 21, 8.0, 6.0),
+        TableRow("rd73", 9, 91, 80, 13.0, 13.0, extra="note"),
+    ]
+    text = format_table(rows)
+    assert "csa 2.2" in text
+    assert "note" in text
+    lines = text.splitlines()
+    assert any("Red." in line for line in lines)

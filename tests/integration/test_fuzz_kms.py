@@ -1,0 +1,114 @@
+"""KMS torture: randomized circuits across design styles and models.
+
+Each case runs the full verification triangle -- SAT-miter equivalence,
+irredundancy, delay non-increase under the viability model -- on inputs
+chosen to stress different code paths: arrival skews (late side-input
+classification), guaranteed-redundant structures (cleanup phase),
+NAND/NOR-mapped netlists (inverting-gate chains and duplication through
+them), and both loop modes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg import is_irredundant
+from repro.circuits import (
+    carry_skip_adder,
+    random_circuit,
+    random_redundant_circuit,
+)
+from repro.core import kms
+from repro.sat import check_equivalence
+from repro.synth import map_to_nand, map_to_nor
+from repro.timing import UnitDelayModel, viability_delay
+
+
+def _verify(before, after, model=None):
+    assert check_equivalence(before, after).equivalent
+    assert is_irredundant(after)
+    assert (
+        viability_delay(after, model).delay
+        <= viability_delay(before, model).delay + 1e-9
+    )
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    arrivals=st.sampled_from([0.0, 3.0, 7.5]),
+    mode=st.sampled_from(["static", "viability"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_circuits_all_modes(seed, arrivals, mode):
+    circuit = random_circuit(
+        num_inputs=4, num_gates=11, seed=seed, max_arrival=arrivals
+    )
+    result = kms(circuit, mode=mode)
+    _verify(circuit, result.circuit)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_redundant_circuits_cleanup_path(seed):
+    circuit = random_redundant_circuit(
+        num_inputs=4, num_gates=9, seed=seed
+    )
+    result = kms(circuit)
+    _verify(circuit, result.circuit)
+
+
+@given(seed=st.integers(0, 10_000), style=st.sampled_from(["nand", "nor"]))
+@settings(max_examples=8, deadline=None)
+def test_mapped_netlists(seed, style):
+    base = random_circuit(
+        num_inputs=4, num_gates=9, seed=seed, max_arrival=2.0
+    )
+    mapped = (map_to_nand if style == "nand" else map_to_nor)(base)
+    result = kms(mapped)
+    _verify(mapped, result.circuit)
+
+
+@given(
+    nbits=st.sampled_from([2, 4]),
+    block=st.sampled_from([2]),
+    cin_arrival=st.sampled_from([0.0, 5.0]),
+)
+@settings(max_examples=6, deadline=None)
+def test_carry_skip_matrix(nbits, block, cin_arrival):
+    model = UnitDelayModel()
+    circuit = carry_skip_adder(nbits, block, cin_arrival=cin_arrival)
+    result = kms(circuit, model=model)
+    assert check_equivalence(circuit, result.circuit).equivalent
+    assert is_irredundant(result.circuit)
+    assert (
+        viability_delay(result.circuit, model).delay
+        <= viability_delay(circuit, model).delay + 1e-9
+    )
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=6, deadline=None)
+def test_checked_mode_never_trips(seed):
+    """checked=True raises on any internal invariant violation; the
+    fuzzer's job is to make it trip (it must not)."""
+    circuit = random_circuit(
+        num_inputs=4, num_gates=12, seed=seed, max_arrival=4.0
+    )
+    kms(circuit, checked=True)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=6, deadline=None)
+def test_idempotence(seed):
+    """Running KMS on its own output is a no-op transformation: already
+    irredundant, so only the (empty) cleanup phase runs."""
+    circuit = random_redundant_circuit(
+        num_inputs=4, num_gates=8, seed=seed
+    )
+    first = kms(circuit)
+    second = kms(first.circuit)
+    assert second.cleanup_steps == 0
+    assert check_equivalence(first.circuit, second.circuit).equivalent
+    assert (
+        second.circuit.num_gates() <= first.circuit.num_gates()
+    )

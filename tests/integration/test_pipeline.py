@@ -1,0 +1,79 @@
+"""End-to-end flows: the full Section VIII pipeline on small workloads."""
+
+import pytest
+
+from repro.atpg import count_redundancies, is_irredundant
+from repro.bench import classify_longest_paths, optimized_mcnc, run_circuit_row
+from repro.circuits import carry_skip_adder, mcnc_circuit
+from repro.core import kms, verify_transformation
+from repro.io import parse_blif, write_blif
+from repro.sat import check_equivalence
+from repro.synth import speed_up
+from repro.timing import UnitDelayModel, viability_delay
+
+
+class TestMcncFlow:
+    """PLA -> espresso -> factor -> speed_up -> KMS -> verify."""
+
+    @pytest.mark.parametrize("name", ["z4ml", "misex1"])
+    def test_full_flow(self, name):
+        model = UnitDelayModel()
+        optimized = optimized_mcnc(name, late_arrival=6.0, model=model)
+        area_only = mcnc_circuit(name)
+        # delay optimization preserved function
+        area_only.input_arrival[area_only.inputs[0]] = 6.0
+        assert check_equivalence(area_only, optimized).equivalent
+        # KMS on the optimized circuit
+        result = kms(optimized, model=model)
+        report = verify_transformation(optimized, result.circuit, model)
+        assert report.ok, report.notes
+
+    def test_z4ml_flow_exhibits_redundancy(self):
+        """The arrival-skewed z4ml optimization introduces a bypass
+        redundancy -- the Section VIII class-2 phenomenon."""
+        model = UnitDelayModel()
+        optimized = optimized_mcnc("z4ml", late_arrival=6.0, model=model)
+        assert count_redundancies(optimized) >= 1
+        result = kms(optimized, model=model)
+        assert is_irredundant(result.circuit)
+
+    def test_classify(self):
+        model = UnitDelayModel()
+        label = classify_longest_paths(
+            optimized_mcnc("misex1", 6.0, model), model
+        )
+        assert label in ("class1", "class2")
+
+
+class TestCsaFlow:
+    def test_table1_row_runner(self):
+        model = UnitDelayModel(use_arrival_times=False)
+        row = run_circuit_row(
+            "csa 2.2", carry_skip_adder(2, 2), model
+        )
+        assert row.row.redundancies == 2
+        assert row.row.gates_final <= row.row.gates_initial
+        assert row.row.delay_final <= row.row.delay_initial
+
+    def test_blif_export_of_kms_result(self):
+        c = carry_skip_adder(2, 2)
+        result = kms(c, model=UnitDelayModel(use_arrival_times=False))
+        text = write_blif(result.circuit)
+        back = parse_blif(text)
+        assert check_equivalence(result.circuit, back).equivalent
+
+
+class TestDelayContractAcrossFlow:
+    def test_speedup_then_kms_never_slower(self):
+        """The combined optimize-then-make-testable flow keeps the
+        viability delay monotonically non-increasing."""
+        model = UnitDelayModel()
+        c = mcnc_circuit("rd73")
+        c.input_arrival[c.inputs[0]] = 6.0
+        d0 = viability_delay(c, model).delay
+        fast, _ = speed_up(c, model)
+        d1 = viability_delay(fast, model).delay
+        result = kms(fast, model=model)
+        d2 = viability_delay(result.circuit, model).delay
+        assert d1 <= d0 + 1e-9
+        assert d2 <= d1 + 1e-9

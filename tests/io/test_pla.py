@@ -1,0 +1,100 @@
+"""PLA format and function tabulation."""
+
+import pytest
+
+from repro.io import Pla, PlaError, parse_pla, pla_from_function, write_pla
+from repro.twolevel import Cover
+
+
+SAMPLE = """# 2-bit AND/OR
+.i 2
+.o 2
+.ilb a b
+.ob f g
+.p 3
+11 10
+1- 01
+-1 01
+.e
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        pla = parse_pla(SAMPLE, name="sample")
+        assert pla.input_names == ["a", "b"]
+        assert pla.output_names == ["f", "g"]
+        assert sorted(pla.on_sets["f"].minterms()) == [3]
+        assert sorted(pla.on_sets["g"].minterms()) == [1, 2, 3]
+
+    def test_default_labels(self):
+        pla = parse_pla(".i 1\n.o 1\n1 1\n")
+        assert pla.input_names == ["x0"]
+        assert pla.output_names == ["y0"]
+
+    def test_missing_io_rejected(self):
+        with pytest.raises(PlaError):
+            parse_pla("11 1\n")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n111 1\n")
+
+    def test_dash_outputs_become_dontcares(self):
+        pla = parse_pla(".i 1\n.o 1\n.type fd\n1 -\n0 1\n")
+        assert sorted(pla.dc_sets["y0"].minterms()) == [1]
+        assert sorted(pla.on_sets["y0"].minterms()) == [0]
+
+    def test_joined_row_format(self):
+        # some PLA files omit the space between input and output parts
+        pla = parse_pla(".i 2\n.o 1\n111\n")
+        assert sorted(pla.on_sets["y0"].minterms()) == [3]
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        pla = parse_pla(SAMPLE, name="s")
+        back = parse_pla(write_pla(pla), name="s2")
+        for out in pla.output_names:
+            assert sorted(back.on_sets[out].minterms()) == sorted(
+                pla.on_sets[out].minterms()
+            )
+
+
+class TestTabulation:
+    def test_pla_from_function(self):
+        pla = pla_from_function("sq", 3, 6, lambda x: x * x)
+        for x in range(8):
+            point = [(x >> i) & 1 for i in range(3)]
+            word = 0
+            for pos, out in enumerate(pla.output_names):
+                if pla.on_sets[out].evaluate(point):
+                    word |= 1 << pos
+            assert word == x * x
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pla_from_function("bad", 2, 1, lambda x: 5)
+
+    def test_too_many_inputs_guarded(self):
+        with pytest.raises(ValueError):
+            pla_from_function("big", 17, 1, lambda x: 0)
+
+
+class TestToCircuit:
+    def test_circuit_matches_pla(self):
+        pla = parse_pla(SAMPLE, name="s")
+        circuit = pla.to_circuit()
+        for bits in range(4):
+            point = [bits & 1, (bits >> 1) & 1]
+            assign = {
+                circuit.find_input("a"): point[0],
+                circuit.find_input("b"): point[1],
+            }
+            values = circuit.evaluate(assign)
+            assert values[circuit.find_output("f")] == int(
+                pla.on_sets["f"].evaluate(point)
+            )
+            assert values[circuit.find_output("g")] == int(
+                pla.on_sets["g"].evaluate(point)
+            )

@@ -1,0 +1,68 @@
+"""Structural Verilog export."""
+
+import re
+
+from repro.circuits import carry_skip_adder, fig1_carry_skip_block
+from repro.io import write_verilog
+from repro.network import Builder
+
+
+def test_module_structure():
+    text = write_verilog(fig1_carry_skip_block())
+    assert text.startswith("module fig1_csa2(")
+    assert "input a0, b0, a1, b1, c0;" in text.replace("  ", " ") or (
+        "input" in text
+    )
+    assert text.rstrip().endswith("endmodule")
+
+
+def test_all_ports_declared():
+    c = carry_skip_adder(2, 2)
+    text = write_verilog(c)
+    header = text.splitlines()[0]
+    for name in c.input_names() + c.output_names():
+        assert name in header
+
+
+def test_primitives_used():
+    b = Builder("m")
+    x, y = b.inputs("x", "y")
+    b.output("o", b.nand(x, y))
+    text = write_verilog(b.done())
+    assert re.search(r"\bnand u\d+ \(", text)
+
+
+def test_constants_become_assigns():
+    b = Builder("k")
+    x = b.input("x")
+    b.output("o", b.or_(x, b.const(1)))
+    text = write_verilog(b.done())
+    assert "assign" in text and "1'b1" in text
+
+
+def test_name_sanitization():
+    b = Builder("weird name!")
+    x = b.input("in.0")
+    b.output("out-0", b.not_(x))
+    text = write_verilog(b.done())
+    assert "module weird_name_(" in text
+    assert "in_0" in text
+    assert "out_0" in text
+
+
+def test_name_collisions_resolved():
+    b = Builder("m")
+    x = b.input("sig$a")
+    y = b.input("sig.a")  # sanitizes to the same string
+    b.output("o", b.and_(x, y))
+    text = write_verilog(b.done())
+    header = text.splitlines()[0]
+    ports = header[header.index("(") + 1 : header.rindex(")")].split(", ")
+    assert len(set(ports)) == len(ports)
+
+
+def test_delay_comments():
+    b = Builder("m")
+    x = b.input("x")
+    b.output("o", b.not_(x, delay=2.5))
+    assert "// d=2.5" in write_verilog(b.done())

@@ -1,0 +1,75 @@
+"""Builder: the fluent construction API."""
+
+from repro.network import Builder, GateType, check
+from repro.sim import truth_table
+
+
+def test_input_bus_names_lsb_first():
+    b = Builder()
+    bus = b.input_bus("a", 3)
+    c = b.circuit
+    assert [c.gates[g].name for g in bus] == ["a0", "a1", "a2"]
+
+
+def test_output_bus():
+    b = Builder()
+    x = b.input("x")
+    b.output_bus("y", [x, b.not_(x)])
+    c = b.done()
+    assert c.output_names() == ["y0", "y1"]
+
+
+def test_gate_factories_build_expected_types():
+    b = Builder()
+    x, y = b.inputs("x", "y")
+    pairs = [
+        (b.and_(x, y), GateType.AND),
+        (b.or_(x, y), GateType.OR),
+        (b.nand(x, y), GateType.NAND),
+        (b.nor(x, y), GateType.NOR),
+        (b.not_(x), GateType.NOT),
+        (b.buf(x), GateType.BUF),
+        (b.xor(x, y), GateType.XOR),
+        (b.xnor(x, y), GateType.XNOR),
+    ]
+    for gid, expected in pairs:
+        assert b.circuit.gates[gid].gtype is expected
+
+
+def test_xor_simple_is_three_simple_gates_matching_xor():
+    b = Builder()
+    x, y = b.inputs("x", "y")
+    b.output("o", b.xor_simple(x, y))
+    c = b.done()
+    check(c)
+    assert c.is_simple_gate_network()
+    assert c.num_gates() == 3
+    tt = truth_table(c)
+    for bits, (out,) in tt.items():
+        assert out == bits[0] ^ bits[1]
+
+
+def test_mux_through_builder():
+    b = Builder()
+    s, p, q = b.inputs("s", "p", "q")
+    b.output("o", b.mux(s, p, q))
+    c = b.done()
+    for bits, (out,) in truth_table(c).items():
+        sv, pv, qv = bits
+        assert out == (qv if sv else pv)
+
+
+def test_const():
+    b = Builder()
+    x = b.input("x")
+    b.output("o", b.or_(x, b.const(1)))
+    c = b.done()
+    assert c.evaluate_outputs({c.find_input("x"): 0}) == (1,)
+
+
+def test_arrival_passthrough():
+    b = Builder()
+    x = b.input("late", arrival=4.5)
+    b.output("o", b.buf(x))
+    c = b.done()
+    assert c.input_arrival[c.find_input("late")] == 4.5

@@ -1,0 +1,46 @@
+"""DOT export and pretty printing."""
+
+from repro.circuits import fig4_c2_cone
+from repro.network import pretty, to_dot
+from repro.timing import longest_paths
+
+
+def test_dot_contains_all_nodes_and_edges(and_or_circuit):
+    c = and_or_circuit
+    dot = to_dot(c)
+    assert dot.startswith('digraph "and_or"')
+    for gid in c.gates:
+        assert f"n{gid} [" in dot
+    assert dot.count("->") == len(c.conns)
+
+
+def test_dot_highlights_path():
+    c = fig4_c2_cone()
+    path = longest_paths(c)[0]
+    dot = to_dot(c, highlight_conns=path.conns, highlight_gates=path.gates)
+    assert "color=red" in dot
+
+
+def test_dot_shows_delays():
+    c = fig4_c2_cone()
+    assert "d=2" in to_dot(c)  # the XOR-carrying AND gates
+    assert "d=2" not in to_dot(c, show_delays=False)
+
+
+def test_pretty_levels(and_or_circuit):
+    text = pretty(and_or_circuit)
+    assert "[0] a = input" in text
+    assert "[1] g1 = and(a, b)" in text
+    assert "[2] g2 = or(g1, c)" in text
+
+
+def test_pretty_arrival_notes():
+    c = fig4_c2_cone()
+    text = pretty(c)
+    assert "c0 = input @t=5" in text
+
+
+def test_pretty_truncation():
+    c = fig4_c2_cone()
+    text = pretty(c, max_gates=3)
+    assert "more)" in text

@@ -1,0 +1,113 @@
+"""Gate-type semantics (Definitions 4.9 and the simple-gate vocabulary)."""
+
+import pytest
+
+from repro.network import GateType
+from repro.network.gates import (
+    SIMPLE_TYPES,
+    SOURCE_TYPES,
+    controlled_output,
+    controlling_value,
+    degenerate_single_input_type,
+    evaluate,
+    has_controlling_value,
+    is_simple,
+    max_fanin,
+    min_fanin,
+    noncontrolling_value,
+)
+
+
+class TestControllingValues:
+    def test_and_controlling_is_zero(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+
+    def test_or_controlling_is_one(self):
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+
+    def test_noncontrolling_is_complement(self):
+        for t in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            assert noncontrolling_value(t) == 1 - controlling_value(t)
+
+    def test_xor_has_no_controlling_value(self):
+        assert not has_controlling_value(GateType.XOR)
+        with pytest.raises(ValueError):
+            controlling_value(GateType.XOR)
+
+    def test_not_has_no_controlling_value(self):
+        assert not has_controlling_value(GateType.NOT)
+
+    def test_controlled_output(self):
+        assert controlled_output(GateType.AND) == 0
+        assert controlled_output(GateType.NAND) == 1
+        assert controlled_output(GateType.OR) == 1
+        assert controlled_output(GateType.NOR) == 0
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "gtype,inputs,expected",
+        [
+            (GateType.AND, [1, 1, 1], 1),
+            (GateType.AND, [1, 0, 1], 0),
+            (GateType.NAND, [1, 1], 0),
+            (GateType.NAND, [0, 1], 1),
+            (GateType.OR, [0, 0], 0),
+            (GateType.OR, [0, 1], 1),
+            (GateType.NOR, [0, 0], 1),
+            (GateType.NOR, [1, 0], 0),
+            (GateType.XOR, [1, 1, 1], 1),
+            (GateType.XOR, [1, 1], 0),
+            (GateType.XNOR, [1, 0], 0),
+            (GateType.XNOR, [1, 1], 1),
+            (GateType.NOT, [0], 1),
+            (GateType.NOT, [1], 0),
+            (GateType.BUF, [1], 1),
+            (GateType.OUTPUT, [0], 0),
+        ],
+    )
+    def test_gate_functions(self, gtype, inputs, expected):
+        assert evaluate(gtype, inputs) == expected
+
+    def test_constants(self):
+        assert evaluate(GateType.CONST0, []) == 0
+        assert evaluate(GateType.CONST1, []) == 1
+
+    def test_input_cannot_evaluate(self):
+        with pytest.raises(ValueError):
+            evaluate(GateType.INPUT, [])
+
+    def test_single_input_and_or_act_as_buffer(self):
+        assert evaluate(GateType.AND, [1]) == 1
+        assert evaluate(GateType.AND, [0]) == 0
+        assert evaluate(GateType.OR, [1]) == 1
+
+
+class TestVocabulary:
+    def test_simple_types_are_the_kms_alphabet(self):
+        assert GateType.AND in SIMPLE_TYPES
+        assert GateType.XOR not in SIMPLE_TYPES
+        assert is_simple(GateType.NOR)
+        assert not is_simple(GateType.XNOR)
+
+    def test_source_types(self):
+        assert GateType.INPUT in SOURCE_TYPES
+        assert GateType.CONST0 in SOURCE_TYPES
+        assert GateType.AND not in SOURCE_TYPES
+
+    def test_fanin_bounds(self):
+        assert min_fanin(GateType.INPUT) == 0
+        assert max_fanin(GateType.INPUT) == 0
+        assert min_fanin(GateType.NOT) == 1
+        assert max_fanin(GateType.NOT) == 1
+        assert max_fanin(GateType.AND) == float("inf")
+
+    def test_degenerate_types(self):
+        assert degenerate_single_input_type(GateType.AND) is GateType.BUF
+        assert degenerate_single_input_type(GateType.OR) is GateType.BUF
+        assert degenerate_single_input_type(GateType.NAND) is GateType.NOT
+        assert degenerate_single_input_type(GateType.NOR) is GateType.NOT
+        with pytest.raises(ValueError):
+            degenerate_single_input_type(GateType.INPUT)

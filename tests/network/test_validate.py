@@ -1,0 +1,99 @@
+"""Structural validation catches each class of corruption."""
+
+import pytest
+
+from repro.network import (
+    Builder,
+    Circuit,
+    CircuitError,
+    GateType,
+    check,
+    collect_errors,
+)
+
+
+def test_valid_circuit_passes(and_or_circuit):
+    check(and_or_circuit)
+    assert collect_errors(and_or_circuit) == []
+
+
+def test_dangling_connection_src(and_or_circuit):
+    c = and_or_circuit
+    cid = next(iter(c.conns))
+    c.conns[cid].src = 9999
+    assert any("dangling src" in e for e in collect_errors(c))
+
+
+def test_stale_fanin_list(and_or_circuit):
+    c = and_or_circuit
+    g2 = c.find_gate("g2")
+    c.gates[g2].fanin.append(12345)
+    assert any("stale" in e for e in collect_errors(c))
+
+
+def test_negative_delay(and_or_circuit):
+    c = and_or_circuit
+    c.gates[c.find_gate("g1")].delay = -1.0
+    with pytest.raises(CircuitError):
+        check(c)
+
+
+def test_illegal_arity_not(and_or_circuit):
+    c = and_or_circuit
+    a = c.find_input("a")
+    n = c.add_simple(GateType.NOT, [a], 1.0)
+    c.connect(c.find_input("b"), n)
+    assert any("arity" in e for e in collect_errors(c))
+
+
+def test_source_with_fanin():
+    c = Circuit()
+    a = c.add_input("a")
+    b = c.add_input("b")
+    # force an illegal edge around the public API
+    g = c.add_gate(GateType.AND, 1.0)
+    cid = c.connect(a, g)
+    c.conns[cid].dst = b
+    c.gates[b].fanin.append(cid)
+    c.gates[g].fanin.remove(cid)
+    errors = collect_errors(c)
+    assert errors
+
+
+def test_duplicate_input_names():
+    c = Circuit()
+    c.add_input("a")
+    c.add_input("a")
+    assert any("unique" in e for e in collect_errors(c))
+
+
+def test_unnamed_input():
+    c = Circuit()
+    c.add_gate(GateType.INPUT)
+    assert any("named" in e for e in collect_errors(c))
+
+
+def test_output_driving_something(and_or_circuit):
+    c = and_or_circuit
+    y = c.find_output("y")
+    g = c.add_gate(GateType.BUF, 0.0)
+    c.gates[y].fanout.append(
+        c.connect(c.find_input("a"), g)
+    ) if False else None
+    # manual corruption: register a fanout on the OUTPUT marker
+    cid = c.connect(c.find_input("a"), g)
+    c.conns[cid].src = y
+    c.gates[c.find_input("a")].fanout.remove(cid)
+    c.gates[y].fanout.append(cid)
+    assert any("must not drive" in e for e in collect_errors(c))
+
+
+def test_cycle_reported():
+    c = Circuit()
+    a = c.add_input("a")
+    g1 = c.add_gate(GateType.AND, 1.0)
+    g2 = c.add_gate(GateType.AND, 1.0)
+    c.connect(a, g1)
+    c.connect(g1, g2)
+    c.connect(g2, g1)
+    assert any("cycle" in e for e in collect_errors(c))

@@ -1,0 +1,53 @@
+"""CNF container."""
+
+import pytest
+
+from repro.sat import CNF
+
+
+def test_new_var_monotonic():
+    cnf = CNF()
+    assert cnf.new_var() == 1
+    assert cnf.new_var() == 2
+    assert cnf.num_vars == 2
+
+
+def test_add_clause_grows_vars():
+    cnf = CNF()
+    cnf.add_clause([3, -5])
+    assert cnf.num_vars == 5
+    assert len(cnf) == 1
+
+
+def test_literal_zero_rejected():
+    cnf = CNF()
+    with pytest.raises(ValueError):
+        cnf.add_clause([0])
+
+
+def test_evaluate_partial_and_total():
+    cnf = CNF()
+    cnf.add_clause([1, 2])
+    cnf.add_clause([-1])
+    assert cnf.evaluate({1: False, 2: True}) is True
+    assert cnf.evaluate({1: True}) is False
+    assert cnf.evaluate({1: False}) is None
+
+
+def test_dimacs_roundtrip():
+    cnf = CNF()
+    cnf.add_clause([1, -2, 3])
+    cnf.add_unit(-3)
+    text = cnf.to_dimacs()
+    assert text.startswith("p cnf 3 2")
+    back = CNF.from_dimacs(text)
+    assert back.clauses == cnf.clauses
+
+
+def test_copy_is_independent():
+    cnf = CNF()
+    cnf.add_clause([1, 2])
+    other = cnf.copy()
+    other.add_clause([-1])
+    assert len(cnf) == 1
+    assert len(other) == 2

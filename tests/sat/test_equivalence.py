@@ -1,0 +1,65 @@
+"""Miter-based equivalence checking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuit
+from repro.network import Builder
+from repro.sat import assert_equivalent, check_equivalence
+from repro.sim import outputs_equal_exhaustive
+
+
+def _two_gate(gate):
+    b = Builder()
+    x, y = b.inputs("x", "y")
+    b.output("o", getattr(b, gate)(x, y))
+    return b.done()
+
+
+def test_identical_circuits_equivalent(and_or_circuit):
+    result = check_equivalence(and_or_circuit, and_or_circuit.copy())
+    assert result.equivalent
+    assert result.counterexample is None
+
+
+def test_demorgan_equivalence():
+    b1 = Builder()
+    x, y = b1.inputs("x", "y")
+    b1.output("o", b1.nand(x, y))
+    b2 = Builder()
+    x2, y2 = b2.inputs("x", "y")
+    b2.output("o", b2.or_(b2.not_(x2), b2.not_(y2)))
+    assert check_equivalence(b1.done(), b2.done()).equivalent
+
+
+def test_inequivalence_gives_real_counterexample():
+    a, b = _two_gate("and_"), _two_gate("or_")
+    result = check_equivalence(a, b)
+    assert not result.equivalent
+    assert result.differing_output == "o"
+    cex = result.counterexample
+    va = a.evaluate_outputs({a.find_input(k): v for k, v in cex.items()})
+    vb = b.evaluate_outputs({b.find_input(k): v for k, v in cex.items()})
+    assert va != vb
+
+
+def test_interface_mismatch_raises(and_or_circuit):
+    other = _two_gate("and_")
+    with pytest.raises(ValueError):
+        check_equivalence(and_or_circuit, other)
+
+
+def test_assert_equivalent_raises_with_details():
+    with pytest.raises(AssertionError):
+        assert_equivalent(_two_gate("and_"), _two_gate("nor"))
+
+
+@given(seed=st.integers(0, 40))
+@settings(max_examples=20, deadline=None)
+def test_sat_equivalence_matches_exhaustive(seed):
+    a = random_circuit(num_inputs=4, num_gates=10, seed=seed)
+    b = random_circuit(num_inputs=4, num_gates=10, seed=seed + 1000)
+    # align interfaces by construction (same names)
+    expected = outputs_equal_exhaustive(a, b)
+    assert check_equivalence(a, b).equivalent == expected

@@ -1,0 +1,164 @@
+"""CDCL solver: correctness against brute force, assumptions, UNSAT."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CNF, Solver, solve_cnf
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    n = cnf.num_vars
+    for bits in range(1 << n):
+        assign = {v: bool((bits >> (v - 1)) & 1) for v in range(1, n + 1)}
+        if cnf.evaluate(assign) is True:
+            return True
+    return False
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(1, 6))
+    num_clauses = draw(st.integers(1, 14))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, 3))
+        clause = []
+        for _ in range(width):
+            var = draw(st.integers(1, num_vars))
+            sign = draw(st.booleans())
+            clause.append(var if sign else -var)
+        clauses.append(clause)
+    cnf = CNF()
+    cnf.num_vars = num_vars
+    for cl in clauses:
+        cnf.add_clause(cl)
+    return cnf
+
+
+@given(random_cnf())
+@settings(max_examples=200, deadline=None)
+def test_solver_matches_brute_force(cnf):
+    expected = brute_force_sat(cnf)
+    sat, model = solve_cnf(cnf)
+    assert sat == expected
+    if sat:
+        assert cnf.evaluate(model) is True
+
+
+def test_trivial_sat():
+    cnf = CNF()
+    cnf.add_clause([1])
+    assert solve_cnf(cnf)[0] is True
+
+
+def test_trivial_unsat():
+    cnf = CNF()
+    cnf.add_clause([1])
+    cnf.add_clause([-1])
+    assert solve_cnf(cnf)[0] is False
+
+
+def test_empty_clause_unsat():
+    cnf = CNF()
+    cnf.add_clause([1, 2])
+    cnf.clauses.append(())
+    assert solve_cnf(cnf)[0] is False
+
+
+def test_pigeonhole_2_into_1_unsat():
+    # two pigeons, one hole: p1 and p2 both in hole, but not together
+    cnf = CNF()
+    cnf.add_clause([1])
+    cnf.add_clause([2])
+    cnf.add_clause([-1, -2])
+    assert solve_cnf(cnf)[0] is False
+
+
+class TestAssumptions:
+    def _xor_cnf(self):
+        # y = a xor b, vars a=1 b=2 y=3
+        cnf = CNF()
+        cnf.add_clause([-1, -2, -3])
+        cnf.add_clause([1, 2, -3])
+        cnf.add_clause([-1, 2, 3])
+        cnf.add_clause([1, -2, 3])
+        return cnf
+
+    def test_sat_under_assumptions(self):
+        solver = Solver(self._xor_cnf())
+        assert solver.solve([1, -2]) is True
+        model = solver.model()
+        assert model[3] is True
+
+    def test_unsat_under_assumptions_but_sat_globally(self):
+        solver = Solver(self._xor_cnf())
+        assert solver.solve([1, -2, -3]) is False
+        # the formula itself is still satisfiable afterwards
+        assert solver.solve([]) is True
+
+    def test_contradictory_assumptions(self):
+        solver = Solver(self._xor_cnf())
+        assert solver.solve([1, -1]) is False
+
+    def test_repeated_queries_reuse_solver(self):
+        solver = Solver(self._xor_cnf())
+        for a in (1, -1):
+            for b in (2, -2):
+                assert solver.solve([a, b]) is True
+                m = solver.model()
+                assert m[3] == ((a > 0) != (b > 0))
+
+
+@given(random_cnf(), st.integers(1, 6), st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_assumptions_equal_added_units(cnf, var, sign):
+    """solve(assumptions=[l]) must agree with solving cnf + unit l."""
+    if var > cnf.num_vars:
+        var = cnf.num_vars
+    lit = var if sign else -var
+    solver = Solver(cnf.copy())
+    under_assumption = solver.solve([lit])
+    with_unit = cnf.copy()
+    with_unit.add_clause([lit])
+    assert under_assumption == solve_cnf(with_unit)[0]
+
+
+class TestBranchingHints:
+    def _circuit_cnf(self):
+        from repro.circuits import random_circuit
+        from repro.sat import encode_circuit
+
+        circuit = random_circuit(num_inputs=5, num_gates=15, seed=11)
+        return circuit, encode_circuit(circuit)
+
+    def test_prefer_variables_does_not_change_answers(self):
+        circuit, enc = self._circuit_cnf()
+        plain = Solver(enc.cnf.copy())
+        hinted = Solver(enc.cnf.copy())
+        hinted.prefer_variables(enc.var[g] for g in circuit.inputs)
+        for gid in circuit.outputs:
+            for value in (1, -1):
+                lit = value * enc.var[gid]
+                assert plain.solve([lit]) == hinted.solve([lit])
+
+    def test_preferred_vars_decided_first(self):
+        cnf = CNF()
+        # three free variables, no constraints binding them
+        cnf.add_clause([1, 2, 3, 4])
+        solver = Solver(cnf)
+        solver.prefer_variables([4])
+        assert solver.solve() is True
+        # with everything at activity 0 the preferred var is decided
+        # first; with default negative phase the clause forces others,
+        # so just verify a model exists and var 4 is assigned
+        assert 4 in solver.model()
+
+    def test_bump_variable_raises_priority(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        solver = Solver(cnf)
+        solver.bump_variable(2, amount=5.0)
+        assert solver.solve() is True
+        assert cnf.evaluate(solver.model()) is True

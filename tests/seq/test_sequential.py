@@ -1,0 +1,166 @@
+"""Sequential circuits and the Section I reduction."""
+
+import pytest
+
+from repro.atpg import count_redundancies, is_irredundant
+from repro.network import Builder, CircuitError
+from repro.sat import check_equivalence
+from repro.seq import (
+    Latch,
+    SequentialCircuit,
+    accumulator,
+    kms_sequential,
+    mod_counter,
+)
+
+
+def _toggle_machine():
+    """state <- NOT state; out = state."""
+    b = Builder("toggle")
+    q = b.input("q")
+    b.output("d", b.not_(q))
+    b.output("out", b.buf(q))
+    core = b.done()
+    return SequentialCircuit(
+        core, [Latch("ff", data_output="d", state_input="q", init=0)]
+    )
+
+
+class TestModel:
+    def test_interface_partition(self):
+        m = _toggle_machine()
+        assert m.primary_inputs() == []
+        assert m.primary_outputs() == ["out"]
+        assert m.initial_state() == {"ff": 0}
+
+    def test_validation_catches_bad_wiring(self):
+        b = Builder()
+        q = b.input("q")
+        b.output("d", b.not_(q))
+        core = b.done()
+        with pytest.raises(CircuitError):
+            SequentialCircuit(
+                core, [Latch("ff", data_output="nope", state_input="q")]
+            )
+        with pytest.raises(CircuitError):
+            SequentialCircuit(
+                core, [Latch("ff", data_output="d", state_input="nope")]
+            )
+
+    def test_duplicate_latch_names_rejected(self):
+        b = Builder()
+        q = b.input("q")
+        p = b.input("p")
+        b.output("d", b.not_(q))
+        b.output("e", b.not_(p))
+        core = b.done()
+        with pytest.raises(CircuitError):
+            SequentialCircuit(
+                core,
+                [
+                    Latch("ff", data_output="d", state_input="q"),
+                    Latch("ff", data_output="e", state_input="p"),
+                ],
+            )
+
+
+class TestSimulation:
+    def test_toggle(self):
+        m = _toggle_machine()
+        trace = list(m.simulate([{}] * 4))
+        outs = [o["out"] for o, _s in trace]
+        assert outs == [0, 1, 0, 1]
+
+    def test_counter_counts(self):
+        m = mod_counter(3)
+        seq = [{"en": 1}] * 9
+        states = [s for _o, s in m.simulate(seq)]
+        values = [
+            s["q0_ff"] + 2 * s["q1_ff"] + 4 * s["q2_ff"] for s in states
+        ]
+        assert values == [1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_counter_hold(self):
+        m = mod_counter(3)
+        states = [s for _o, s in m.simulate([{"en": 0}] * 3)]
+        assert all(
+            s == {"q0_ff": 0, "q1_ff": 0, "q2_ff": 0} for s in states
+        )
+
+    def test_accumulator_accumulates(self):
+        m = accumulator(4, block_size=2)
+        seq = [
+            {"b0": 1, "b1": 1, "b2": 0, "b3": 0, "cin": 0},  # +3
+            {"b0": 0, "b1": 0, "b2": 1, "b3": 0, "cin": 0},  # +4
+        ]
+        states = [s for _o, s in m.simulate(seq)]
+        def value(s):
+            return sum(s[f"r{i}"] << i for i in range(4))
+        assert value(states[0]) == 3
+        assert value(states[1]) == 7
+
+
+class TestKmsSequential:
+    def test_carry_skip_accumulator(self):
+        """The paper's reduction on a machine whose core is redundant."""
+        m = accumulator(4, block_size=2)
+        core = m.extract_combinational()
+        assert count_redundancies(core) == 4  # 2 per skip block
+        new_machine, result = kms_sequential(m)
+        # cycle time did not grow
+        assert new_machine.cycle_time() <= m.cycle_time() + 1e-9
+        # core fully testable (full-scan assumption)
+        assert is_irredundant(new_machine.core)
+        # the machine still computes the same function cycle-for-cycle
+        assert check_equivalence(m.core, new_machine.core).equivalent
+        seq = [
+            {"b0": 1, "b1": 0, "b2": 1, "b3": 0, "cin": 1}
+        ] * 3
+        old_trace = list(m.simulate(seq))
+        new_trace = list(new_machine.simulate(seq))
+        assert [o for o, _ in old_trace] == [o for o, _ in new_trace]
+        assert [s for _, s in old_trace] == [s for _, s in new_trace]
+
+    def test_counter_core_is_already_irredundant(self):
+        m = mod_counter(3)
+        _new, result = kms_sequential(m)
+        assert result.cleanup_steps == 0
+
+
+class TestGoldenModels:
+    def test_accumulator_matches_python_golden_model(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        # defined inline so hypothesis wraps a closure with fixtures
+        @given(
+            adds=st.lists(st.integers(0, 15), min_size=1, max_size=8)
+        )
+        @settings(max_examples=20, deadline=None)
+        def run(adds):
+            m = accumulator(4, block_size=2)
+            stimulus = [
+                {
+                    "b0": v & 1,
+                    "b1": (v >> 1) & 1,
+                    "b2": (v >> 2) & 1,
+                    "b3": (v >> 3) & 1,
+                    "cin": 0,
+                }
+                for v in adds
+            ]
+            expected = 0
+            for (outs, state), v in zip(m.simulate(stimulus), adds):
+                expected = (expected + v) & 0xF
+                got = sum(state[f"r{i}"] << i for i in range(4))
+                assert got == expected
+
+        run()
+
+    def test_counter_wraps_like_modular_arithmetic(self):
+        m = mod_counter(4)
+        states = [s for _o, s in m.simulate([{"en": 1}] * 20)]
+        values = [
+            sum(s[f"q{i}_ff"] << i for i in range(4)) for s in states
+        ]
+        assert values == [(i + 1) % 16 for i in range(20)]

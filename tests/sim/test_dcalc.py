@@ -1,0 +1,69 @@
+"""5-valued composite (D-calculus) simulation."""
+
+from repro.network import Builder, GateType
+from repro.sim import D, DBAR, ONE, XX, ZERO, eval_gate5, is_d_or_dbar, simulate5
+from repro.sim.dcalc import composite, is_known
+
+
+class TestAlgebra:
+    def test_d_propagates_through_and_with_noncontrolling(self):
+        assert eval_gate5(GateType.AND, [D, ONE]) == D
+        assert eval_gate5(GateType.AND, [D, ZERO]) == ZERO
+
+    def test_d_inverts_through_not(self):
+        assert eval_gate5(GateType.NOT, [D]) == DBAR
+        assert eval_gate5(GateType.NOT, [DBAR]) == D
+
+    def test_d_meets_dbar(self):
+        # D AND D' = (1*0, 0*1) = (0, 0) = ZERO
+        assert eval_gate5(GateType.AND, [D, DBAR]) == ZERO
+        assert eval_gate5(GateType.OR, [D, DBAR]) == ONE
+
+    def test_x_blocks(self):
+        assert eval_gate5(GateType.AND, [D, XX])[0] == "X" or eval_gate5(
+            GateType.AND, [D, XX]
+        ) == (composite("X", 0))
+
+    def test_predicates(self):
+        assert is_d_or_dbar(D)
+        assert is_d_or_dbar(DBAR)
+        assert not is_d_or_dbar(ONE)
+        assert is_known(D)
+        assert not is_known(XX)
+
+
+class TestSimulate5:
+    def _circuit(self):
+        b = Builder()
+        a, c = b.inputs("a", "c")
+        g = b.and_(a, c, name="g")
+        b.output("y", g)
+        return b.done()
+
+    def test_stem_fault_injection(self):
+        c = self._circuit()
+        g = c.find_gate("g")
+        values = simulate5(
+            c,
+            {c.find_input("a"): ONE, c.find_input("c"): ONE},
+            fault_gate=g,
+            stuck_value=0,
+        )
+        assert values[c.find_output("y")] == D
+
+    def test_conn_fault_injection_is_branch_local(self, two_output_circuit):
+        c = two_output_circuit
+        inv = c.find_gate("inv")
+        cid = c.gates[inv].fanin[0]
+        a, b = c.inputs
+        values = simulate5(
+            c, {a: ONE, b: ONE}, fault_conn=cid, stuck_value=0
+        )
+        # y0 sees the healthy stem; y1 sees the faulty branch
+        assert values[c.find_output("y0")] == ONE
+        assert values[c.find_output("y1")] == DBAR
+
+    def test_unassigned_inputs_are_xx(self):
+        c = self._circuit()
+        values = simulate5(c, {}, fault_gate=c.find_gate("g"), stuck_value=1)
+        assert values[c.find_output("y")][0] == "X"

@@ -1,0 +1,79 @@
+"""Event-driven true-delay oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuit
+from repro.network import Builder
+from repro.sim import settle_time, true_delay
+from repro.timing import topological_delay
+
+
+class TestSettleTime:
+    def test_chain_delay(self, chain_circuit):
+        c = chain_circuit
+        x = c.find_input("x")
+        assert settle_time(c, {x: 0}, {x: 1}) == 5.0
+
+    def test_no_change_settles_at_zero(self, chain_circuit):
+        c = chain_circuit
+        x = c.find_input("x")
+        assert settle_time(c, {x: 0}, {x: 0}) == 0.0
+
+    def test_masked_transition(self):
+        """A transition blocked by a controlling side input produces no
+        output event."""
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.and_(x, y, delay=1.0))
+        c = b.done()
+        xv, yv = c.find_input("x"), c.find_input("y")
+        # y stays 0: x's change is invisible
+        assert settle_time(c, {xv: 0, yv: 0}, {xv: 1, yv: 0}) == 0.0
+
+    def test_input_arrival_offsets_events(self):
+        b = Builder()
+        x = b.input("x", arrival=5.0)
+        b.output("o", b.not_(x, delay=1.0))
+        c = b.done()
+        xv = c.find_input("x")
+        assert settle_time(c, {xv: 0}, {xv: 1}) == 6.0
+
+    def test_connection_delay_counts(self):
+        b = Builder()
+        x = b.input("x")
+        g = b.circuit.add_gate(
+            __import__("repro.network", fromlist=["GateType"]).GateType.NOT,
+            1.0,
+        )
+        b.circuit.connect(x, g, delay=2.5)
+        b.output("o", g)
+        c = b.done()
+        xv = c.find_input("x")
+        assert settle_time(c, {xv: 0}, {xv: 1}) == 3.5
+
+
+class TestTrueDelay:
+    def test_guard(self):
+        c = random_circuit(num_inputs=11, num_gates=5, seed=1)
+        try:
+            true_delay(c, max_inputs=10)
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_true_delay_bounded_by_topological(self, seed):
+        """Soundness frame of Section V: true delay <= computed
+        (topological) delay."""
+        c = random_circuit(num_inputs=4, num_gates=8, seed=seed)
+        assert true_delay(c) <= topological_delay(c) + 1e-9
+
+    def test_carry_skip_cone_true_delay_is_8(self):
+        """Section III: accurate analysis gives 8 for the c2 cone --
+        the 11-unit path is false."""
+        from repro.circuits import fig4_c2_cone
+
+        c = fig4_c2_cone()
+        assert true_delay(c) == 8.0

@@ -1,0 +1,116 @@
+"""3-valued simulation and exhaustive oracles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import Builder, GateType
+from repro.sim import (
+    X,
+    eval_gate3,
+    outputs_equal_exhaustive,
+    simulate3,
+    simulate_cube_by_name,
+    truth_table,
+    v3_and,
+    v3_not,
+    v3_or,
+    v3_xor,
+)
+
+
+class TestPrimitives:
+    def test_not(self):
+        assert v3_not(0) == 1
+        assert v3_not(1) == 0
+        assert v3_not(X) == X
+
+    def test_and_dominance(self):
+        assert v3_and([0, X, 1]) == 0
+        assert v3_and([1, X]) == X
+        assert v3_and([1, 1]) == 1
+
+    def test_or_dominance(self):
+        assert v3_or([1, X]) == 1
+        assert v3_or([0, X]) == X
+        assert v3_or([0, 0]) == 0
+
+    def test_xor_strict(self):
+        assert v3_xor([1, X]) == X
+        assert v3_xor([1, 1, 1]) == 1
+        assert v3_xor([1, 0]) == 1
+
+    @pytest.mark.parametrize(
+        "gtype", [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR]
+    )
+    def test_eval_gate3_agrees_with_binary(self, gtype):
+        from repro.network.gates import evaluate
+
+        for a in (0, 1):
+            for b in (0, 1):
+                assert eval_gate3(gtype, [a, b]) == evaluate(gtype, [a, b])
+
+
+class TestSimulate3:
+    def test_unassigned_inputs_default_to_x(self, and_or_circuit):
+        c = and_or_circuit
+        values = simulate3(c, {})
+        assert values[c.find_output("y")] == X
+
+    def test_controlling_value_resolves_through_x(self, and_or_circuit):
+        c = and_or_circuit
+        # c=1 forces y=1 regardless of a, b
+        values = simulate3(c, {c.find_input("c"): 1})
+        assert values[c.find_output("y")] == 1
+
+    def test_cube_by_name(self, and_or_circuit):
+        values = simulate_cube_by_name(and_or_circuit, {"a": 1, "b": 1})
+        y = and_or_circuit.find_output("y")
+        assert values[y] == 1
+
+    @given(st.integers(0, 7))
+    def test_binary_agrees_with_evaluate(self, bits):
+        b = Builder()
+        x, y, z = b.inputs("x", "y", "z")
+        g = b.or_(b.and_(x, y), b.nor(y, z))
+        b.output("o", g)
+        c = b.done()
+        assign = {
+            c.inputs[i]: (bits >> i) & 1 for i in range(3)
+        }
+        assert simulate3(c, assign)[c.outputs[0]] == c.evaluate(assign)[
+            c.outputs[0]
+        ]
+
+
+class TestOracles:
+    def test_truth_table_size(self, and_or_circuit):
+        tt = truth_table(and_or_circuit)
+        assert len(tt) == 8
+
+    def test_truth_table_guard(self):
+        b = Builder()
+        bus = b.input_bus("x", 21)
+        b.output("o", b.or_(*bus))
+        with pytest.raises(ValueError):
+            truth_table(b.done())
+
+    def test_outputs_equal_positive(self, and_or_circuit):
+        assert outputs_equal_exhaustive(
+            and_or_circuit, and_or_circuit.copy()
+        )
+
+    def test_outputs_equal_negative(self):
+        def make(gate):
+            b = Builder()
+            x, y = b.inputs("x", "y")
+            b.output("o", getattr(b, gate)(x, y))
+            return b.done()
+
+        assert not outputs_equal_exhaustive(make("and_"), make("or_"))
+
+    def test_outputs_equal_interface_mismatch(self, and_or_circuit):
+        b = Builder()
+        x = b.input("x")
+        b.output("y", b.not_(x))
+        assert not outputs_equal_exhaustive(and_or_circuit, b.done())

@@ -1,0 +1,64 @@
+"""Bit-parallel simulation agrees with scalar simulation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuit
+from repro.network import Builder
+from repro.sim import (
+    pack_vectors,
+    random_equivalence_check,
+    simulate_packed,
+)
+
+
+@given(seed=st.integers(0, 50), width=st.integers(1, 70))
+@settings(max_examples=25, deadline=None)
+def test_packed_matches_scalar(seed, width):
+    circuit = random_circuit(num_inputs=4, num_gates=12, seed=seed)
+    rng = random.Random(seed)
+    vectors = [
+        {gid: rng.getrandbits(1) for gid in circuit.inputs}
+        for _ in range(width)
+    ]
+    packed, w = pack_vectors(circuit, vectors)
+    values = simulate_packed(circuit, packed, w)
+    for i, vec in enumerate(vectors):
+        scalar = circuit.evaluate(vec)
+        for po in circuit.outputs:
+            assert ((values[po] >> i) & 1) == scalar[po]
+
+
+def test_overrides_force_gate_value(and_or_circuit):
+    c = and_or_circuit
+    g1 = c.find_gate("g1")
+    packed = {gid: 0 for gid in c.inputs}  # all zeros
+    forced = simulate_packed(c, packed, 4, overrides={g1: 0b1111})
+    assert forced[c.find_output("y")] == 0b1111
+
+
+def test_random_equivalence_check_equal(two_output_circuit):
+    assert (
+        random_equivalence_check(
+            two_output_circuit, two_output_circuit.copy(), patterns=64
+        )
+        is None
+    )
+
+
+def test_random_equivalence_check_finds_difference():
+    def make(gate):
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        b.output("o", getattr(b, gate)(x, y))
+        return b.done()
+
+    cex = random_equivalence_check(make("and_"), make("or_"), patterns=64)
+    assert cex is not None
+    # the counterexample must actually distinguish the circuits
+    a, b = make("and_"), make("or_")
+    va = a.evaluate_outputs({a.find_input(k): v for k, v in cex.items()})
+    vb = b.evaluate_outputs({b.find_input(k): v for k, v in cex.items()})
+    assert va != vb

@@ -1,0 +1,89 @@
+"""The generalized bypass transform (GBX)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg import count_redundancies
+from repro.circuits import mcnc_circuit, random_circuit
+from repro.network import check
+from repro.sat import check_equivalence
+from repro.synth.bypass import bypass_critical_output, generalized_bypass
+from repro.timing import (
+    UnitDelayModel,
+    sensitizable_delay,
+    topological_delay,
+)
+
+
+class TestGeneralizedBypass:
+    @given(seed=st.integers(0, 40), value=st.integers(0, 1))
+    @settings(max_examples=15, deadline=None)
+    def test_function_preserved(self, seed, value):
+        c = random_circuit(num_inputs=4, num_gates=10, seed=seed)
+        original = c.copy()
+        out = c.output_names()[0]
+        inp = c.input_names()[0]
+        generalized_bypass(c, out, inp, cofactor_value=value)
+        check(c)
+        assert check_equivalence(original, c).equivalent
+
+    def test_stats_record_arrivals(self):
+        model = UnitDelayModel()
+        c = mcnc_circuit("rd73")
+        c.input_arrival[c.inputs[0]] = 8.0
+        stats = generalized_bypass(
+            c, c.output_names()[0], "x0", model=model
+        )
+        check(c)
+        assert stats.selector == "x0"
+        assert stats.arrival_before > 0
+        assert stats.arrival_after > 0
+
+    def test_creates_redundancies(self):
+        """The paper's opening premise: restructuring for speed
+        introduces stuck-at redundancies.  Bypassing keeps the original
+        cone next to an overlapping flat cofactor -- heavily redundant.
+        """
+        from repro.network.transform import sweep
+
+        model = UnitDelayModel()
+        c = mcnc_circuit("rd73")
+        for name in c.output_names()[:-1]:
+            c.remove_gate(c.find_output(name))
+        sweep(c)
+        c.input_arrival[c.inputs[0]] = 8.0
+        generalized_bypass(c, c.output_names()[0], "x0", model=model)
+        assert count_redundancies(c) >= 10
+
+    def test_kms_handles_bypassed_circuit(self):
+        from repro.atpg import is_irredundant
+        from repro.core import kms, verify_transformation
+
+        model = UnitDelayModel()
+        c = mcnc_circuit("z4ml")
+        c.input_arrival[c.inputs[0]] = 8.0
+        generalized_bypass(c, c.output_names()[0], "x0", model=model)
+        result = kms(c, model=model)
+        report = verify_transformation(c, result.circuit, model)
+        assert report.ok, report.notes
+
+
+class TestAutomaticBypass:
+    def test_targets_critical_output(self):
+        model = UnitDelayModel()
+        c = mcnc_circuit("misex1")
+        c.input_arrival[c.inputs[0]] = 8.0
+        original = c.copy()
+        stats = bypass_critical_output(c, model)
+        assert stats is not None
+        assert check_equivalence(original, c).equivalent
+
+    def test_constant_outputs_skipped(self):
+        from repro.network import Builder
+
+        b = Builder()
+        b.input("x")
+        b.output("o", b.const(1))
+        c = b.done()
+        assert bypass_critical_output(c) is None

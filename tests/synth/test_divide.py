@@ -1,0 +1,118 @@
+"""Algebraic division and kernels."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.divide import (
+    cover_to_expr,
+    cube_free,
+    divide,
+    expr_to_cover,
+    kernels,
+    lit_id,
+    make_cube_free,
+    most_common_literal,
+    best_kernel,
+)
+from repro.twolevel import Cover, Cube
+
+
+def _expr(*cubes):
+    return [frozenset(c) for c in cubes]
+
+
+class TestDivide:
+    def test_textbook_example(self):
+        # f = ab + ac + d ; divide by (b + c) -> quotient a, remainder d
+        a, b, c, d = (lit_id(i, True) for i in range(4))
+        expr = _expr({a, b}, {a, c}, {d})
+        quotient, remainder = divide(expr, _expr({b}, {c}))
+        assert quotient == [frozenset({a})]
+        assert remainder == [frozenset({d})]
+
+    def test_no_division(self):
+        a, b, c = (lit_id(i, True) for i in range(3))
+        expr = _expr({a}, {b})
+        quotient, remainder = divide(expr, _expr({c}))
+        assert quotient == []
+        assert remainder == expr
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_division_identity(self, seed):
+        """expr == divisor*quotient + remainder as cube sets."""
+        import random
+
+        rng = random.Random(seed)
+        lits = [lit_id(i, rng.random() < 0.5) for i in range(4)]
+        expr = [
+            frozenset(rng.sample(lits, rng.randint(1, 3)))
+            for _ in range(rng.randint(1, 6))
+        ]
+        divisor = [
+            frozenset(rng.sample(lits, rng.randint(1, 2)))
+            for _ in range(rng.randint(1, 2))
+        ]
+        quotient, remainder = divide(expr, divisor)
+        rebuilt = {q | d for q in quotient for d in divisor} | set(remainder)
+        assert rebuilt <= set(expr)
+        # every expr cube not in remainder must come from the product
+        assert set(expr) <= rebuilt | set(remainder)
+
+
+class TestCubeFree:
+    def test_cube_free(self):
+        a, b, c = (lit_id(i, True) for i in range(3))
+        assert cube_free(_expr({a, b}, {c}))
+        assert not cube_free(_expr({a, b}, {a, c}))
+        assert not cube_free([])
+
+    def test_make_cube_free(self):
+        a, b, c = (lit_id(i, True) for i in range(3))
+        result = make_cube_free(_expr({a, b}, {a, c}))
+        assert frozenset({b}) in result and frozenset({c}) in result
+
+
+class TestKernels:
+    def test_kernels_are_cube_free(self):
+        # f = adf + aef + bdf + bef + cdf + cef + g (classic example)
+        a, b, c, d, e, f, g = (lit_id(i, True) for i in range(7))
+        expr = _expr(
+            {a, d, f}, {a, e, f}, {b, d, f}, {b, e, f},
+            {c, d, f}, {c, e, f}, {g},
+        )
+        result = kernels(expr)
+        assert result
+        for _cok, kernel in result:
+            assert cube_free(kernel)
+
+    def test_known_kernel_present(self):
+        a, b, d, e = (lit_id(i, True) for i in range(4))
+        expr = _expr({a, d}, {a, e}, {b, d}, {b, e})
+        kernel_sets = [
+            tuple(sorted(tuple(sorted(c)) for c in k))
+            for _ck, k in kernels(expr)
+        ]
+        want = tuple(sorted([(d,), (e,)]))
+        assert want in kernel_sets
+
+    def test_best_kernel_on_sharable_expression(self):
+        a, b, d, e = (lit_id(i, True) for i in range(4))
+        expr = _expr({a, d}, {a, e}, {b, d}, {b, e})
+        best = best_kernel(expr)
+        assert best is not None and len(best) >= 2
+
+
+class TestConversion:
+    def test_cover_expr_roundtrip(self):
+        cover = Cover.from_strings(["10-", "0-1"])
+        expr = cover_to_expr(cover)
+        back = expr_to_cover(expr, 3)
+        assert sorted(c.bits for c in back.cubes) == sorted(
+            c.bits for c in cover.cubes
+        )
+
+    def test_most_common_literal(self):
+        a, b = lit_id(0, True), lit_id(1, True)
+        assert most_common_literal(_expr({a, b}, {a}, {b})) in (a, b)
+        assert most_common_literal(_expr({a})) is None

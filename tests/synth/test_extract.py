@@ -1,0 +1,116 @@
+"""Common-divisor extraction across outputs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import check
+from repro.synth.divide import cover_to_expr, lit_id
+from repro.synth.extract import (
+    extract_common_divisors,
+    shared_covers_to_circuit,
+)
+from repro.twolevel import Cover, Cube
+
+
+def _eval_expr(expr, leaf_values):
+    """Evaluate an algebraic expression under var -> bool values."""
+    from repro.synth.divide import lit_positive, lit_var
+
+    def cube_true(cube):
+        return all(
+            leaf_values[lit_var(l)] == (1 if lit_positive(l) else 0)
+            for l in cube
+        )
+
+    return any(cube_true(c) for c in expr)
+
+
+def _eval_extraction(result, num_vars, point):
+    values = {i: point[i] for i in range(num_vars)}
+    for var, expr in result.nodes.items():
+        values[var] = 1 if _eval_expr(expr, values) else 0
+    return {
+        name: _eval_expr(expr, values)
+        for name, expr in result.outputs.items()
+    }
+
+
+class TestExtraction:
+    def test_shared_kernel_pulled_out(self):
+        # f = ad + ae,  g = bd + be: kernel (d + e) shared
+        f = Cover.from_strings(["1-1-", "1--1"])
+        g = Cover.from_strings(["-11-", "-1-1"])
+        exprs = {"f": cover_to_expr(f), "g": cover_to_expr(g)}
+        result = extract_common_divisors(exprs, 4)
+        assert result.nodes  # something was extracted
+        assert result.literals_after < result.literals_before
+
+    def test_function_preserved(self):
+        f = Cover.from_strings(["1-1-", "1--1"])
+        g = Cover.from_strings(["-11-", "-1-1"])
+        exprs = {"f": cover_to_expr(f), "g": cover_to_expr(g)}
+        result = extract_common_divisors(exprs, 4)
+        for bits in range(16):
+            point = [(bits >> i) & 1 for i in range(4)]
+            values = _eval_extraction(result, 4, point)
+            assert values["f"] == f.evaluate(point)
+            assert values["g"] == g.evaluate(point)
+
+    @given(seed=st.integers(0, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_random_functions_preserved(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        covers = {}
+        for name in ("f", "g", "h"):
+            rows = []
+            for _ in range(rng.randint(1, 5)):
+                rows.append(
+                    "".join(rng.choice("01-") for _ in range(4))
+                )
+            covers[name] = Cover(
+                4, [Cube.from_string(r) for r in rows]
+            )
+        exprs = {n: cover_to_expr(c) for n, c in covers.items()}
+        result = extract_common_divisors(exprs, 4)
+        for bits in range(16):
+            point = [(bits >> i) & 1 for i in range(4)]
+            values = _eval_extraction(result, 4, point)
+            for name, cover in covers.items():
+                assert values[name] == cover.evaluate(point)
+
+
+class TestSharedLowering:
+    def test_circuit_semantics(self):
+        f = Cover.from_strings(["1-1-", "1--1"])
+        g = Cover.from_strings(["-11-", "-1-1"])
+        circuit = shared_covers_to_circuit(
+            "shared", ["a", "b", "d", "e"], {"f": f, "g": g}
+        )
+        check(circuit)
+        for bits in range(16):
+            point = [(bits >> i) & 1 for i in range(4)]
+            assign = {
+                circuit.find_input(n): point[i]
+                for i, n in enumerate(["a", "b", "d", "e"])
+            }
+            values = circuit.evaluate(assign)
+            assert values[circuit.find_output("f")] == int(
+                f.evaluate(point)
+            )
+            assert values[circuit.find_output("g")] == int(
+                g.evaluate(point)
+            )
+
+    def test_sharing_saves_gates(self):
+        from repro.synth import covers_to_circuit
+
+        f = Cover.from_strings(["1-1-", "1--1"])
+        g = Cover.from_strings(["-11-", "-1-1"])
+        names = ["a", "b", "d", "e"]
+        flat = covers_to_circuit("flat", names, {"f": f, "g": g})
+        shared = shared_covers_to_circuit(
+            "shared", names, {"f": f, "g": g}
+        )
+        assert shared.num_gates() <= flat.num_gates()

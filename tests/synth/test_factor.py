@@ -1,0 +1,76 @@
+"""Factoring and lowering to gates preserve function."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import Builder, check
+from repro.synth import factor_cover, factored_literal_count
+from repro.synth.factor import cover_to_gates
+from repro.twolevel import Cover, Cube
+
+
+def covers(num_vars=4, max_cubes=6):
+    return st.lists(
+        st.text(alphabet="01-", min_size=num_vars, max_size=num_vars),
+        min_size=0,
+        max_size=max_cubes,
+    ).map(
+        lambda rows: Cover(num_vars, [Cube.from_string(r) for r in rows])
+    )
+
+
+def _lower(cover):
+    b = Builder("lowered")
+    leaves = {i: b.input(f"x{i}") for i in range(cover.num_vars)}
+    root = cover_to_gates(b.circuit, cover, leaves)
+    b.output("y", root)
+    return b.done()
+
+
+@given(covers())
+@settings(max_examples=120, deadline=None)
+def test_lowered_circuit_computes_cover(cover):
+    circuit = _lower(cover)
+    check(circuit)
+    assert circuit.is_simple_gate_network()
+    for bits in range(16):
+        point = [(bits >> i) & 1 for i in range(4)]
+        assign = {
+            circuit.find_input(f"x{i}"): point[i] for i in range(4)
+        }
+        assert circuit.evaluate_outputs(assign) == (
+            int(cover.evaluate(point)),
+        )
+
+
+@given(covers())
+@settings(max_examples=60, deadline=None)
+def test_factored_cost_not_worse_than_sop(cover):
+    tree = factor_cover(cover)
+    sop_literals = cover.num_literals()
+    assert factored_literal_count(tree) <= max(sop_literals, 1)
+
+
+def test_factor_shares_common_subexpression():
+    # ad + ae + bd + be = (a+b)(d+e): 4 literals factored vs 8 flat
+    cover = Cover.from_strings(
+        ["1-1-", "1--1", "-11-", "-1-1"]
+    )
+    tree = factor_cover(cover)
+    assert factored_literal_count(tree) == 4
+
+
+def test_constants():
+    assert factor_cover(Cover.empty(2)) == ("const", 0)
+    assert factor_cover(Cover.tautology(2)) == ("const", 1)
+
+
+def test_negative_literals_share_inverters():
+    cover = Cover.from_strings(["0-", "-0"])
+    circuit = _lower(cover)
+    from repro.network import GateType
+
+    nots = [
+        g for g in circuit.gates.values() if g.gtype is GateType.NOT
+    ]
+    assert len(nots) == 2  # one per input, not per occurrence

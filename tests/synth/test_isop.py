@@ -1,0 +1,68 @@
+"""Minato-Morreale ISOP extraction from BDDs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD
+from repro.synth import bdd_to_cover
+from repro.synth.isop import isop
+from repro.twolevel import Cover, Cube, cube_covered
+
+
+def _random_bdd(seed):
+    import random
+
+    rng = random.Random(seed)
+    bdd = BDD(num_vars=4)
+    node = bdd.ZERO
+    for _ in range(5):
+        cube = bdd.ONE
+        for var in rng.sample(range(4), rng.randint(1, 3)):
+            leaf = bdd.var(var) if rng.random() < 0.5 else bdd.nvar(var)
+            cube = bdd.apply_and(cube, leaf)
+        node = bdd.apply_or(node, cube)
+    return bdd, node
+
+
+@given(seed=st.integers(0, 120))
+@settings(max_examples=80, deadline=None)
+def test_isop_exact(seed):
+    bdd, node = _random_bdd(seed)
+    cover = bdd_to_cover(bdd, node, 4)
+    for point_bits in range(16):
+        point = [(point_bits >> i) & 1 for i in range(4)]
+        assignment = {i: point[i] for i in range(4)}
+        assert cover.evaluate(point) == bool(bdd.evaluate(node, assignment))
+
+
+@given(seed=st.integers(0, 60))
+@settings(max_examples=40, deadline=None)
+def test_isop_is_irredundant(seed):
+    """Every cube contains a minterm no other cube covers."""
+    bdd, node = _random_bdd(seed)
+    cover = bdd_to_cover(bdd, node, 4)
+    for i, cube in enumerate(cover.cubes):
+        rest = Cover(
+            4, [c for j, c in enumerate(cover.cubes) if j != i]
+        )
+        assert not cube_covered(cube, rest)
+
+
+def test_isop_interval_respected():
+    """With lower < upper the result stays inside the interval."""
+    bdd = BDD(num_vars=2)
+    x, y = bdd.var(0), bdd.var(1)
+    lower = bdd.apply_and(x, y)
+    upper = bdd.apply_or(x, y)
+    cubes, node = isop(bdd, lower, upper)
+    # lower <= node <= upper
+    assert bdd.apply_and(lower, bdd.negate(node)) == bdd.ZERO
+    assert bdd.apply_and(node, bdd.negate(upper)) == bdd.ZERO
+
+
+def test_isop_terminals():
+    bdd = BDD(num_vars=2)
+    assert isop(bdd, bdd.ZERO, bdd.ZERO) == ([], bdd.ZERO)
+    cubes, node = isop(bdd, bdd.ONE, bdd.ONE)
+    assert node == bdd.ONE
+    assert cubes == [{}]

@@ -1,0 +1,111 @@
+"""NAND/NOR technology mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import fig4_c2_cone, random_circuit
+from repro.network import Builder, GateType, check
+from repro.sat import check_equivalence
+from repro.synth.mapping import map_to_nand, map_to_nor
+
+
+def _cell_census(circuit):
+    kinds = {}
+    for gate in circuit.gates.values():
+        kinds.setdefault(gate.gtype, 0)
+        kinds[gate.gtype] += 1
+    return kinds
+
+
+class TestNandMapping:
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_equivalence(self, seed):
+        c = random_circuit(num_inputs=4, num_gates=12, seed=seed)
+        mapped = map_to_nand(c)
+        check(mapped)
+        assert check_equivalence(c, mapped).equivalent
+
+    def test_only_nand_and_not(self):
+        c = fig4_c2_cone()
+        mapped = map_to_nand(c)
+        census = _cell_census(mapped)
+        logic_kinds = {
+            k
+            for k in census
+            if k
+            not in (
+                GateType.INPUT,
+                GateType.OUTPUT,
+                GateType.CONST0,
+                GateType.CONST1,
+                GateType.BUF,
+            )
+        }
+        assert logic_kinds <= {GateType.NAND, GateType.NOT}
+        # all NANDs are 2-input
+        for gate in mapped.gates.values():
+            if gate.gtype is GateType.NAND:
+                assert len(gate.fanin) == 2
+
+    def test_arrivals_preserved(self):
+        c = fig4_c2_cone()
+        mapped = map_to_nand(c)
+        c0 = mapped.find_input("c0")
+        assert mapped.input_arrival[c0] == 5.0
+
+    def test_wide_gates(self):
+        b = Builder()
+        ins = b.inputs("a", "b", "c", "d", "e")
+        b.output("o", b.nor(*ins))
+        c = b.done()
+        mapped = map_to_nand(c)
+        assert check_equivalence(c, mapped).equivalent
+
+    def test_complex_gates_rejected(self):
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.xor(x, y))
+        with pytest.raises(ValueError):
+            map_to_nand(b.done())
+
+
+class TestNorMapping:
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_equivalence(self, seed):
+        c = random_circuit(num_inputs=4, num_gates=10, seed=seed)
+        mapped = map_to_nor(c)
+        assert check_equivalence(c, mapped).equivalent
+
+    def test_only_nor_and_not(self):
+        mapped = map_to_nor(fig4_c2_cone())
+        kinds = _cell_census(mapped)
+        logic_kinds = {
+            k
+            for k in kinds
+            if k
+            not in (
+                GateType.INPUT,
+                GateType.OUTPUT,
+                GateType.CONST0,
+                GateType.CONST1,
+                GateType.BUF,
+            )
+        }
+        assert logic_kinds <= {GateType.NOR, GateType.NOT}
+
+
+class TestKmsOnMappedCircuits:
+    def test_kms_runs_after_mapping(self):
+        """Mapped networks are simple-gate networks: the algorithm's
+        precondition survives technology mapping."""
+        from repro.atpg import is_irredundant
+        from repro.core import kms
+
+        c = fig4_c2_cone()
+        mapped = map_to_nand(c)
+        result = kms(mapped)
+        assert check_equivalence(mapped, result.circuit).equivalent
+        assert is_irredundant(result.circuit)

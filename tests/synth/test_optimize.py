@@ -1,0 +1,72 @@
+"""Structural hashing and area cleanup."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuit
+from repro.network import Builder, check
+from repro.sat import check_equivalence
+from repro.synth import area_optimize, strash
+
+
+def test_strash_merges_identical_gates():
+    b = Builder()
+    x, y = b.inputs("x", "y")
+    g1 = b.and_(x, y, name="g1")
+    g2 = b.and_(x, y, name="g2")  # structural twin
+    b.output("o", b.or_(g1, g2))
+    c = b.done()
+    merged = strash(c)
+    assert merged == 1
+    check(c)
+
+
+def test_strash_cascades():
+    """Merging twins can expose second-level twins."""
+    b = Builder()
+    x, y = b.inputs("x", "y")
+    a1 = b.and_(x, y)
+    a2 = b.and_(x, y)
+    o1 = b.not_(a1)
+    o2 = b.not_(a2)
+    b.output("p", b.or_(o1, o2))
+    c = b.done()
+    assert strash(c) == 2
+
+
+def test_strash_respects_delay_differences():
+    b = Builder()
+    x, y = b.inputs("x", "y")
+    g1 = b.and_(x, y, delay=1.0)
+    g2 = b.and_(x, y, delay=2.0)  # different delay: not a twin
+    b.output("o", b.or_(g1, g2))
+    c = b.done()
+    assert strash(c) == 0
+
+
+def test_strash_is_order_insensitive():
+    b = Builder()
+    x, y = b.inputs("x", "y")
+    g1 = b.and_(x, y)
+    g2 = b.and_(y, x)  # symmetric gate, swapped pins
+    b.output("o", b.or_(g1, g2))
+    assert strash(b.done()) == 1
+
+
+@given(seed=st.integers(0, 40))
+@settings(max_examples=20, deadline=None)
+def test_area_optimize_preserves_function(seed):
+    c = random_circuit(num_inputs=4, num_gates=15, seed=seed)
+    original = c.copy()
+    area_optimize(c)
+    check(c)
+    assert check_equivalence(original, c).equivalent
+
+
+@given(seed=st.integers(0, 40))
+@settings(max_examples=20, deadline=None)
+def test_area_optimize_never_grows(seed):
+    c = random_circuit(num_inputs=4, num_gates=15, seed=seed)
+    before = c.num_gates()
+    area_optimize(c)
+    assert c.num_gates() <= before

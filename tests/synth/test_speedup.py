@@ -1,0 +1,84 @@
+"""Timing optimization: equivalence and delay non-increase."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import mcnc_circuit, random_circuit
+from repro.network import Builder, check
+from repro.sat import check_equivalence
+from repro.synth import speed_up, timing_decompose
+from repro.synth.speedup import _huffman_tree
+from repro.network import GateType
+from repro.timing import AsBuiltDelayModel, UnitDelayModel, topological_delay
+
+
+class TestHuffmanTree:
+    def test_late_signal_near_root(self):
+        b = Builder()
+        sigs = [(0.0, b.input("a")), (0.0, b.input("b")), (9.0, b.input("c"))]
+        arrival, root = _huffman_tree(b.circuit, GateType.AND, sigs, 1.0)
+        assert arrival == 10.0  # late signal passes one gate only
+
+    def test_balanced_when_equal(self):
+        b = Builder()
+        sigs = [(0.0, b.input(f"i{k}")) for k in range(4)]
+        arrival, _ = _huffman_tree(b.circuit, GateType.OR, sigs, 1.0)
+        assert arrival == 2.0
+
+
+class TestTimingDecompose:
+    def test_splits_wide_gates(self):
+        b = Builder()
+        ins = b.inputs("a", "b", "c", "d", "e")
+        g = b.and_(*ins, delay=1.0)
+        b.output("o", g)
+        c = b.done()
+        original = c.copy()
+        split = timing_decompose(c)
+        check(c)
+        assert split == 1
+        assert all(len(g.fanin) <= 2 for g in c.gates.values()
+                   if g.gtype is GateType.AND)
+        assert check_equivalence(original, c).equivalent
+
+    def test_respects_arrivals(self):
+        b = Builder()
+        late = b.input("late", arrival=5.0)
+        e1, e2, e3 = b.inputs("e1", "e2", "e3")
+        g = b.and_(e1, e2, e3, late, delay=1.0)
+        b.output("o", g)
+        c = b.done()
+        timing_decompose(c)
+        # late input must feed the root gate directly
+        root = c.fanin_gates(c.find_output("o"))[0]
+        assert c.find_input("late") in c.fanin_gates(root)
+
+
+class TestSpeedUp:
+    @given(seed=st.integers(0, 25))
+    @settings(max_examples=10, deadline=None)
+    def test_equivalence_and_no_slowdown(self, seed):
+        c = random_circuit(num_inputs=4, num_gates=14, seed=seed)
+        model = AsBuiltDelayModel()
+        fast, stats = speed_up(c, model)
+        check(fast)
+        assert check_equivalence(c, fast).equivalent
+        assert stats.delay_after <= stats.delay_before + 1e-9
+
+    def test_bypass_fires_on_late_input(self):
+        """A late-arriving input triggers the Shannon bypass -- the
+        generalized carry-skip transform."""
+        c = mcnc_circuit("rd73")
+        c.input_arrival[c.inputs[0]] = 6.0
+        model = UnitDelayModel()
+        fast, stats = speed_up(c, model)
+        assert stats.bypassed_inputs  # bypass used
+        assert stats.delay_after < stats.delay_before
+        assert check_equivalence(c, fast).equivalent
+
+    def test_large_input_counts_fall_back_to_decomposition(self):
+        c = mcnc_circuit("misex2", minimize=False)
+        model = UnitDelayModel()
+        fast, stats = speed_up(c, model, collapse_limit=10)
+        assert stats.delay_after <= stats.delay_before + 1e-9
+        assert check_equivalence(c, fast).equivalent

@@ -1,0 +1,76 @@
+"""covers -> circuit -> covers round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuit
+from repro.sat import check_equivalence
+from repro.synth import (
+    collapse_to_covers,
+    covers_to_circuit,
+    resynthesize,
+)
+from repro.twolevel import Cover, Cube
+
+
+def covers(num_vars=4, max_cubes=5):
+    return st.lists(
+        st.text(alphabet="01-", min_size=num_vars, max_size=num_vars),
+        min_size=0,
+        max_size=max_cubes,
+    ).map(
+        lambda rows: Cover(num_vars, [Cube.from_string(r) for r in rows])
+    )
+
+
+@given(covers(), covers())
+@settings(max_examples=50, deadline=None)
+def test_covers_to_circuit_semantics(f, g):
+    circuit = covers_to_circuit(
+        "m", ["x0", "x1", "x2", "x3"], {"f": f, "g": g}
+    )
+    for bits in range(16):
+        point = [(bits >> i) & 1 for i in range(4)]
+        assign = {
+            circuit.find_input(f"x{i}"): point[i] for i in range(4)
+        }
+        values = circuit.evaluate(assign)
+        assert values[circuit.find_output("f")] == int(f.evaluate(point))
+        assert values[circuit.find_output("g")] == int(g.evaluate(point))
+
+
+def test_cover_arity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        covers_to_circuit("m", ["a"], {"f": Cover(2)})
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=15, deadline=None)
+def test_collapse_then_rebuild_is_equivalent(seed):
+    circuit = random_circuit(num_inputs=4, num_gates=12, seed=seed)
+    rebuilt = resynthesize(circuit)
+    assert check_equivalence(circuit, rebuilt).equivalent
+
+
+def test_collapse_covers_are_exact(and_or_circuit):
+    names, covs = collapse_to_covers(and_or_circuit)
+    assert names == ["a", "b", "c"]
+    y = covs["y"]
+    # y = ab + c
+    for bits in range(8):
+        point = [(bits >> i) & 1 for i in range(3)]
+        expected = (point[0] and point[1]) or point[2]
+        assert y.evaluate(point) == expected
+
+
+def test_resynthesize_keeps_arrivals():
+    from repro.network import Builder
+
+    b = Builder()
+    x = b.input("x", arrival=3.0)
+    y = b.input("y")
+    b.output("o", b.and_(x, y))
+    c = b.done()
+    r = resynthesize(c)
+    assert r.input_arrival[r.find_input("x")] == 3.0

@@ -1,0 +1,90 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import parse_blif
+from repro.sat import check_equivalence
+
+
+@pytest.fixture
+def csa_blif(tmp_path):
+    path = tmp_path / "csa.blif"
+    assert main(["generate", "csa2.2", "-o", str(path)]) == 0
+    return path
+
+
+def test_generate_and_roundtrip(csa_blif):
+    circuit = parse_blif(csa_blif.read_text())
+    assert len(circuit.inputs) == 5
+    assert len(circuit.outputs) == 3
+
+
+def test_generate_figures(tmp_path):
+    for name in ("fig1", "fig2", "fig4", "rca2", "cla2", "rd73"):
+        out = tmp_path / f"{name}.blif"
+        assert main(["generate", name, "-o", str(out)]) == 0
+        assert out.read_text().startswith(".model")
+
+
+def test_generate_unknown():
+    assert main(["generate", "c17"]) == 2
+
+
+def test_kms_command(csa_blif, tmp_path, capsys):
+    out = tmp_path / "irr.blif"
+    code = main(
+        ["kms", str(csa_blif), "-o", str(out), "--zero-arrivals"]
+    )
+    assert code == 0
+    before = parse_blif(csa_blif.read_text())
+    after = parse_blif(out.read_text())
+    assert check_equivalence(before, after).equivalent
+
+
+def test_timing_command(csa_blif, capsys):
+    assert main(["timing", str(csa_blif), "--paths", "3"]) == 0
+    captured = capsys.readouterr().out
+    assert "topological delay" in captured
+    assert "sensitizable" in captured or "false" in captured
+
+
+def test_atpg_command(csa_blif, capsys):
+    assert main(["atpg", str(csa_blif), "--tests"]) == 0
+    captured = capsys.readouterr().out
+    assert "redundant faults : 2" in captured
+    assert "fault coverage" in captured
+
+
+def test_table1_quick(capsys):
+    assert main(["table1", "--which", "csa", "--quick"]) == 0
+    captured = capsys.readouterr().out
+    assert "csa 2.2" in captured
+
+
+def test_generate_verilog(tmp_path):
+    out = tmp_path / "fig4.v"
+    assert main(
+        ["generate", "fig4", "-o", str(out), "--format", "verilog"]
+    ) == 0
+    text = out.read_text()
+    assert text.startswith("module fig4_c2_cone(")
+    assert "endmodule" in text
+
+
+def test_kms_verilog_output(tmp_path):
+    blif = tmp_path / "in.blif"
+    assert main(["generate", "csa2.2", "-o", str(blif)]) == 0
+    out = tmp_path / "out.v"
+    assert main(
+        [
+            "kms",
+            str(blif),
+            "-o",
+            str(out),
+            "--zero-arrivals",
+            "--format",
+            "verilog",
+        ]
+    ) == 0
+    assert "module" in out.read_text()

@@ -1,0 +1,114 @@
+"""Exact (McGeer-Brayton) viability vs the production approximation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import fig4_c2_cone, random_circuit
+from repro.network import Builder
+from repro.sim import true_delay
+from repro.timing import (
+    exact_viability_delay,
+    longest_paths,
+    path_viable_exact,
+    sensitizable_delay,
+    topological_delay,
+    viability_delay,
+    viable_lengths_under,
+)
+
+
+class TestSandwich:
+    """sensitizable <= exact viable <= approx viable <= topological,
+    and true delay <= exact viable."""
+
+    @given(seed=st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_orderings(self, seed):
+        c = random_circuit(
+            num_inputs=4, num_gates=10, seed=seed, max_arrival=3.0
+        )
+        topo = topological_delay(c)
+        approx = viability_delay(c).delay
+        exact = exact_viability_delay(c).delay
+        sens = sensitizable_delay(c).delay
+        assert sens <= exact + 1e-9
+        assert exact <= approx + 1e-9
+        assert approx <= topo + 1e-9
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=12, deadline=None)
+    def test_exact_upper_bounds_true_delay(self, seed):
+        c = random_circuit(num_inputs=4, num_gates=9, seed=seed)
+        assert true_delay(c) <= exact_viability_delay(c).delay + 1e-9
+
+
+class TestPaperExample:
+    def test_fig4_exact_is_8(self):
+        """All three false-path-aware measures agree on the carry cone."""
+        cone = fig4_c2_cone()
+        report = exact_viability_delay(cone)
+        assert report.delay == 8.0
+        assert report.witness is not None
+
+    def test_fig4_longest_path_not_viable_exactly(self):
+        cone = fig4_c2_cone()
+        path = longest_paths(cone)[0]
+        n = len(cone.inputs)
+        for bits in range(1 << n):
+            minterm = {
+                g: (bits >> i) & 1 for i, g in enumerate(cone.inputs)
+            }
+            assert not path_viable_exact(cone, path, minterm)
+
+
+class TestViableLengths:
+    def test_chain(self, chain_circuit):
+        c = chain_circuit
+        x = c.find_input("x")
+        lengths = viable_lengths_under(c, {x: 0})
+        y = c.find_output("y")
+        assert lengths[y] == frozenset({5.0})
+
+    def test_constants_carry_no_events(self):
+        b = Builder()
+        x = b.input("x")
+        g = b.or_(x, b.const(0), delay=1.0)
+        b.output("o", g)
+        c = b.done()
+        lengths = viable_lengths_under(c, {c.find_input("x"): 1})
+        o = c.find_output("o")
+        assert lengths[o] == frozenset({1.0})
+
+    def test_controlling_side_input_blocks(self):
+        """An early controlling side input kills the path; the exact
+        analysis sees it per-minterm."""
+        b = Builder()
+        fast = b.input("fast")
+        slow = b.input("slow")
+        delayed = b.not_(b.not_(slow, delay=2.0), delay=2.0)
+        g = b.and_(delayed, fast, delay=1.0)
+        b.output("o", g)
+        c = b.done()
+        f, s = c.find_input("fast"), c.find_input("slow")
+        # fast = 0 is controlling and settles at t=0 < 4: the slow path
+        # is not viable under that minterm
+        lengths0 = viable_lengths_under(c, {f: 0, s: 0})
+        o = c.find_output("o")
+        assert 5.0 not in lengths0[o]
+        # fast = 1 is noncontrolling: the slow path is viable
+        lengths1 = viable_lengths_under(c, {f: 1, s: 0})
+        assert 5.0 in lengths1[o]
+
+    def test_guard(self):
+        c = random_circuit(num_inputs=13, num_gates=5, seed=0)
+        with pytest.raises(ValueError):
+            exact_viability_delay(c, max_inputs=12)
+
+    def test_xor_rejected(self):
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.xor(x, y))
+        c = b.done()
+        with pytest.raises(ValueError):
+            viable_lengths_under(c, {g: 0 for g in c.inputs})

@@ -1,0 +1,82 @@
+"""Delay model strategies."""
+
+import pytest
+
+from repro.network import Builder, GateType
+from repro.timing import (
+    AsBuiltDelayModel,
+    FanoutDelayModel,
+    LibraryDelayModel,
+    PAPER_SECTION3_TABLE,
+    UnitDelayModel,
+    topological_delay,
+)
+
+
+def _one_gate():
+    b = Builder()
+    x, y = b.inputs("x", "y")
+    g = b.and_(x, y, delay=3.5, name="g")
+    b.output("o", g)
+    return b.done(), g
+
+
+def test_as_built_uses_stored_delays():
+    c, g = _one_gate()
+    assert AsBuiltDelayModel().gate_delay(c, g) == 3.5
+    assert topological_delay(c) == 3.5
+
+
+def test_unit_model_flattens_delays():
+    c, g = _one_gate()
+    m = UnitDelayModel()
+    assert m.gate_delay(c, g) == 1.0
+    assert topological_delay(c, m) == 1.0
+
+
+def test_unit_model_buffers_free():
+    b = Builder()
+    x = b.input("x")
+    b.output("o", b.buf(x, delay=9.0))
+    c = b.done()
+    assert topological_delay(c, UnitDelayModel()) == 0.0
+
+
+def test_unit_model_arrival_switch():
+    b = Builder()
+    x = b.input("x", arrival=5.0)
+    b.output("o", b.not_(x))
+    c = b.done()
+    assert topological_delay(c, UnitDelayModel()) == 6.0
+    assert (
+        topological_delay(c, UnitDelayModel(use_arrival_times=False)) == 1.0
+    )
+
+
+def test_library_model_table_lookup():
+    c, g = _one_gate()
+    m = LibraryDelayModel({GateType.AND: 0.7})
+    assert m.gate_delay(c, g) == pytest.approx(0.7)
+
+
+def test_library_model_falls_back_to_stored():
+    c, g = _one_gate()
+    m = LibraryDelayModel({GateType.OR: 0.7})
+    assert m.gate_delay(c, g) == 3.5
+
+
+def test_paper_table_values():
+    assert PAPER_SECTION3_TABLE[GateType.AND] == 1.0
+    assert PAPER_SECTION3_TABLE[GateType.XOR] == 2.0
+
+
+def test_fanout_model_charges_extra_fanout(two_output_circuit):
+    c = two_output_circuit
+    shared = c.find_gate("shared")
+    inv = c.find_gate("inv")
+    m = FanoutDelayModel(AsBuiltDelayModel(), load_per_fanout=0.25)
+    # shared drives 2 sinks -> +0.25; inv drives 1 -> +0
+    assert m.gate_delay(c, shared) == pytest.approx(
+        c.gates[shared].delay + 0.25
+    )
+    assert m.gate_delay(c, inv) == pytest.approx(c.gates[inv].delay)

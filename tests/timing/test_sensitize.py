@@ -1,0 +1,88 @@
+"""Static sensitization (Definition 4.11)."""
+
+import pytest
+
+from repro.circuits import fig1_carry_skip_block, fig4_c2_cone
+from repro.network import Builder
+from repro.sim import simulate3
+from repro.timing import (
+    SensitizationChecker,
+    longest_paths,
+    side_inputs,
+    statically_sensitizable,
+)
+
+
+class TestSideInputs:
+    def test_and_or_chain(self, and_or_circuit):
+        c = and_or_circuit
+        paths = longest_paths(c)
+        path = paths[0]
+        sis = side_inputs(c, path)
+        # g1 has one side input (value 1 for AND), g2 one (value 0 for OR)
+        values = sorted(si.value for si in sis)
+        assert values == [0, 1]
+
+    def test_not_gates_have_no_side_inputs(self, chain_circuit):
+        path = longest_paths(chain_circuit)[0]
+        assert side_inputs(chain_circuit, path) == []
+
+    def test_xor_rejected(self):
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.xor(x, y))
+        c = b.done()
+        path = longest_paths(c)[0]
+        with pytest.raises(ValueError):
+            side_inputs(c, path)
+
+
+class TestSensitizability:
+    def test_fig4_longest_path_not_sensitizable(self):
+        """Section VI-6.3: requires p0 = p1 = 1 at the AND side-inputs
+        but the MUX then selects c0 -- contradiction."""
+        c = fig4_c2_cone()
+        path = longest_paths(c)[0]
+        assert statically_sensitizable(c, path) is None
+
+    def test_fig1_longest_path_not_sensitizable(self):
+        c = fig1_carry_skip_block()
+        path = longest_paths(c)[0]
+        assert statically_sensitizable(c, path) is None
+
+    def test_sensitizing_cube_is_genuine(self, and_or_circuit):
+        """The returned cube must actually set every side input to its
+        noncontrolling value."""
+        c = and_or_circuit
+        path = longest_paths(c)[0]
+        cube = statically_sensitizable(c, path)
+        assert cube is not None
+        values = simulate3(c, cube)
+        for si in side_inputs(c, path):
+            assert values[c.conns[si.cid].src] == si.value
+
+    def test_conflicting_requirements_unsat(self):
+        """y = (x AND a) OR a: the path through the AND needs a = 1 at
+        the AND but a = 0 at the OR -- never sensitizable."""
+        b = Builder()
+        x, a = b.inputs("x", "a")
+        g1 = b.and_(x, a, name="g1")
+        g2 = b.or_(g1, a, name="g2")
+        b.output("y", g2)
+        c = b.done()
+        path = next(
+            p
+            for p in longest_paths(c)
+            if p.source == c.find_input("x")
+        )
+        assert statically_sensitizable(c, path) is None
+
+    def test_checker_reuse_across_paths(self):
+        c = fig1_carry_skip_block()
+        checker = SensitizationChecker(c)
+        results = set()
+        from repro.timing import iter_paths_longest_first
+
+        for path in iter_paths_longest_first(c, max_paths=20):
+            results.add(checker.is_sensitizable(path))
+        assert results == {True, False}

@@ -1,0 +1,110 @@
+"""Speedtest generation (the Section III open problem)."""
+
+import pytest
+
+from repro.atpg import collapsed_faults, stem_fault
+from repro.circuits import fig4_c2_cone
+from repro.core import kms
+from repro.network import Builder
+from repro.sim.events import output_waveforms, sample_waveform
+from repro.timing import (
+    find_speedtest,
+    is_tau_redundant,
+    speedtest_report,
+    tau_detects,
+)
+
+
+class TestWaveforms:
+    def test_chain_waveform(self, chain_circuit):
+        c = chain_circuit
+        x = c.find_input("x")
+        waves = output_waveforms(c, {x: 0}, {x: 1})
+        y = c.find_output("y")
+        assert waves[y][0] == (0.0, 0)
+        # the double inversion follows x: settles to 1 after 2+3 units
+        assert waves[y][-1] == (5.0, 1)
+        assert sample_waveform(waves[y], 10.0) == 1
+
+    def test_sampling_before_settling(self, chain_circuit):
+        c = chain_circuit
+        x = c.find_input("x")
+        waves = output_waveforms(c, {x: 0}, {x: 1})
+        y = c.find_output("y")
+        # before the path delay (5.0) the old value is still visible
+        assert sample_waveform(waves[y], 4.9) == 0
+        assert sample_waveform(waves[y], 5.0) == 1
+
+
+class TestPaperHazard:
+    def test_gate10_fault_is_speedtestable_at_8(self):
+        """The logically untestable skip fault breaks the 8-unit clock."""
+        cone = fig4_c2_cone()
+        fault = stem_fault(cone.find_gate("gate10"), 0)
+        st = find_speedtest(cone, fault, tau=8.0)
+        assert st is not None
+        # the transition must raise both propagate bits and toggle c0
+        names = {cone.gates[g].name: st.after[g] for g in cone.inputs}
+        assert names["a0"] != names["b0"]  # p0 = 1
+        assert names["a1"] != names["b1"]  # p1 = 1
+
+    def test_gate10_fault_tau_redundant_at_ripple_speed(self):
+        """Clocked at the ripple delay (11) the faulty part works --
+        the hazard only exists because the clock was set at 8."""
+        cone = fig4_c2_cone()
+        fault = stem_fault(cone.find_gate("gate10"), 0)
+        assert is_tau_redundant(cone, fault, tau=11.0)
+
+    def test_kms_output_needs_no_speedtest(self):
+        """The algorithm's selling point, executable."""
+        cone = fig4_c2_cone()
+        irredundant = kms(cone).circuit
+        from repro.timing import viability_delay
+
+        tau = viability_delay(irredundant).delay
+        report = speedtest_report(irredundant, tau=tau)
+        assert not report.needs_speedtest
+        assert len(report.testable) == len(
+            collapsed_faults(irredundant)
+        )
+
+
+class TestGuards:
+    def test_too_many_inputs(self):
+        b = Builder()
+        bus = b.input_bus("x", 12)
+        b.output("o", b.or_(*bus))
+        c = b.done()
+        with pytest.raises(ValueError):
+            find_speedtest(c, stem_fault(c.inputs[0], 0), tau=1.0)
+
+    def test_statically_detectable_fault_also_tau_detected(self):
+        """A plain testable fault is caught by sampling late."""
+        b = Builder()
+        x, y = b.inputs("x", "y")
+        g = b.and_(x, y, name="g")
+        b.output("o", g)
+        c = b.done()
+        st = find_speedtest(c, stem_fault(c.find_gate("g"), 0), tau=10.0)
+        assert st is not None
+
+
+class TestTauDetects:
+    def test_explicit_transition(self):
+        cone = fig4_c2_cone()
+        from repro.atpg import inject
+
+        fault = stem_fault(cone.find_gate("gate10"), 0)
+        faulty = inject(cone, fault)
+        # p0 = p1 = 1 and c0 rising: skip path must deliver at t=7
+        before = {}
+        after = {}
+        values = {"a0": 1, "b0": 0, "a1": 1, "b1": 0}
+        for name, v in values.items():
+            gid = cone.find_input(name)
+            before[gid] = v
+            after[gid] = v
+        c0 = cone.find_input("c0")
+        before[c0] = 0
+        after[c0] = 1
+        assert tau_detects(cone, faulty, before, after, tau=8.0) is not None

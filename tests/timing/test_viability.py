@@ -1,0 +1,122 @@
+"""Viability analysis: upper-bound ordering and paper claims."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    fig1_carry_skip_block,
+    fig4_c2_cone,
+    random_circuit,
+)
+from repro.sim import true_delay
+from repro.timing import (
+    ViabilityChecker,
+    analyze,
+    longest_paths,
+    sensitizable_delay,
+    topological_delay,
+    viability_delay,
+)
+
+
+class TestOrdering:
+    """topological >= viability >= sensitizable and viability >= true."""
+
+    @given(seed=st.integers(0, 60), arrivals=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_delay_measure_sandwich(self, seed, arrivals):
+        c = random_circuit(
+            num_inputs=4,
+            num_gates=12,
+            seed=seed,
+            max_arrival=4.0 if arrivals else 0.0,
+        )
+        topo = topological_delay(c)
+        via = viability_delay(c).delay
+        sens = sensitizable_delay(c).delay
+        assert topo + 1e-9 >= via >= sens - 1e-9
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_viability_upper_bounds_true_delay(self, seed):
+        """The soundness that justifies clocking at the viability delay
+        (Section V)."""
+        c = random_circuit(num_inputs=4, num_gates=10, seed=seed)
+        assert viability_delay(c).delay + 1e-9 >= true_delay(c)
+
+
+class TestPaperClaims:
+    def test_fig4_viability_delay_is_8(self):
+        """The c2 cone's computed delay is 8 -- the 11-unit path is not
+        viable (its early side inputs cannot all be noncontrolling)."""
+        report = viability_delay(fig4_c2_cone())
+        assert report.delay == 8.0
+        assert report.path is not None
+        assert report.cube is not None
+
+    def test_fig4_longest_path_not_viable(self):
+        c = fig4_c2_cone()
+        checker = ViabilityChecker(c)
+        path = longest_paths(c)[0]
+        assert not checker.is_viable(path)
+
+    def test_fig1_viability_delay_is_9(self):
+        # the s1 sum path (9 units) is viable in the 3-output block
+        assert viability_delay(fig1_carry_skip_block()).delay == 9.0
+
+    def test_static_sensitization_implies_viable(self):
+        """Section V: 'if a path is statically sensitizable then it is
+        viable'."""
+        c = fig1_carry_skip_block()
+        from repro.timing import (
+            SensitizationChecker,
+            iter_paths_longest_first,
+        )
+
+        sens = SensitizationChecker(c)
+        via = ViabilityChecker(c)
+        for path in iter_paths_longest_first(c, max_paths=40):
+            if sens.is_sensitizable(path):
+                assert via.is_viable(path)
+
+
+class TestEarlyLateClassification:
+    def test_early_side_inputs_of_late_path_are_constrained(self):
+        c = fig4_c2_cone()
+        checker = ViabilityChecker(c)
+        path = longest_paths(c)[0]  # the c0 path, event times 5..9
+        early = checker.early_side_inputs(path)
+        # all side inputs settle by t=4 < 5, so all are early
+        from repro.timing import side_inputs
+
+        assert len(early) == len(side_inputs(c, path))
+
+    def test_late_side_inputs_are_smoothed(self):
+        """On the critical (a0) path, the c0-side inputs arrive late and
+        are smoothed, which is why the path is viable."""
+        c = fig4_c2_cone()
+        checker = ViabilityChecker(c)
+        report = viability_delay(c)
+        early = checker.early_side_inputs(report.path)
+        from repro.timing import side_inputs
+
+        assert len(early) < len(side_inputs(c, report.path))
+
+
+class TestReports:
+    def test_exhausted_flag_falls_back_to_topological(self):
+        c = fig4_c2_cone()
+        report = viability_delay(c, max_paths=1)
+        assert report.exhausted
+        assert report.delay == topological_delay(c)
+
+    def test_all_constant_circuit(self):
+        from repro.network import Builder
+
+        b = Builder()
+        b.input("x")
+        b.output("o", b.const(1))
+        report = viability_delay(b.done())
+        assert report.delay == 0.0
+        assert report.path is None

@@ -1,0 +1,90 @@
+"""Cover container and cofactoring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twolevel import Cover, Cube, random_cover
+
+
+def covers(num_vars=4, max_cubes=6):
+    return st.lists(
+        st.text(alphabet="01-", min_size=num_vars, max_size=num_vars),
+        min_size=0,
+        max_size=max_cubes,
+    ).map(
+        lambda rows: Cover(num_vars, [Cube.from_string(r) for r in rows])
+    )
+
+
+class TestBasics:
+    def test_from_strings(self):
+        c = Cover.from_strings(["1-", "01"])
+        assert len(c) == 2
+        assert c.evaluate([1, 0])
+        assert c.evaluate([0, 1])
+        assert not c.evaluate([0, 0])
+
+    def test_void_cubes_dropped(self):
+        c = Cover(2)
+        c.add(Cube(2, 0b0001))  # var1 field empty
+        assert len(c) == 0
+
+    def test_minterms(self):
+        c = Cover.from_strings(["1-"])
+        assert sorted(c.minterms()) == [1, 3]
+
+    def test_from_minterms(self):
+        c = Cover.from_minterms(3, [0, 5])
+        assert sorted(c.minterms()) == [0, 5]
+
+    def test_tautology_and_empty(self):
+        assert Cover.tautology(2).evaluate([0, 1])
+        assert not Cover.empty(2).evaluate([0, 1])
+
+
+class TestCofactor:
+    @given(covers(), st.integers(0, 3), st.integers(0, 1), st.integers(0, 15))
+    @settings(max_examples=150, deadline=None)
+    def test_shannon_cofactor_semantics(self, cover, var, value, bits):
+        """f_x(point) == f(point with x := value)."""
+        cf = cover.cofactor(var, value)
+        point = [(bits >> i) & 1 for i in range(4)]
+        forced = list(point)
+        forced[var] = value
+        assert cf.evaluate(point) == cover.evaluate(forced)
+
+    @given(covers(), st.integers(0, 15))
+    @settings(max_examples=100, deadline=None)
+    def test_cofactor_cube_semantics(self, cover, bits):
+        cube = Cube.from_string("1-0-")
+        cf = cover.cofactor_cube(cube)
+        point = [(bits >> i) & 1 for i in range(4)]
+        forced = list(point)
+        forced[0], forced[2] = 1, 0
+        assert cf.evaluate(point) == cover.evaluate(forced)
+
+
+class TestCleanup:
+    @given(covers())
+    @settings(max_examples=100, deadline=None)
+    def test_remove_contained_preserves_function(self, cover):
+        cleaned = cover.remove_contained()
+        assert sorted(cleaned.minterms()) == sorted(cover.minterms())
+        assert len(cleaned) <= len(cover)
+
+    def test_binate_select(self):
+        c = Cover.from_strings(["1-", "0-"])
+        assert c.binate_select() == 0
+        unate = Cover.from_strings(["1-", "11"])
+        assert unate.binate_select() is None
+
+    def test_most_bound_variable(self):
+        c = Cover.from_strings(["1-", "10"])
+        assert c.most_bound_variable() == 0
+        assert Cover.from_strings(["--"]).most_bound_variable() is None
+
+
+def test_random_cover_deterministic():
+    a = random_cover(5, 8, seed=2)
+    b = random_cover(5, 8, seed=2)
+    assert [c.bits for c in a.cubes] == [c.bits for c in b.cubes]

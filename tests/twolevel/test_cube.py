@@ -1,0 +1,123 @@
+"""Cube algebra in positional notation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twolevel import Cube
+
+
+def cube_strings(n=4):
+    return st.text(alphabet="01-", min_size=n, max_size=n)
+
+
+class TestConstruction:
+    def test_universe(self):
+        u = Cube.universe(3)
+        assert u.to_string() == "---"
+        assert u.num_literals() == 0
+        assert u.minterm_count() == 8
+
+    def test_string_roundtrip(self):
+        for s in ("01-", "---", "111", "0-0"):
+            assert Cube.from_string(s).to_string() == s
+
+    def test_bad_character(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("01x")
+
+    def test_from_assignment(self):
+        c = Cube.from_assignment(3, {0: 1, 2: 0})
+        assert c.to_string() == "1-0"
+
+    def test_with_without_literal(self):
+        c = Cube.universe(3).with_literal(1, 0)
+        assert c.to_string() == "-0-"
+        assert c.without_literal(1).to_string() == "---"
+
+
+class TestAlgebra:
+    def test_intersection(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-0-")
+        assert a.intersect(b).to_string() == "10-"
+
+    def test_void_intersection(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("0--")
+        assert a.intersect(b).is_void()
+
+    def test_containment(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("10-")
+        assert big.contains(small)
+        assert not small.contains(big)
+        assert big.contains(big)
+
+    def test_distance(self):
+        a = Cube.from_string("10-")
+        assert a.distance(Cube.from_string("11-")) == 1
+        assert a.distance(Cube.from_string("01-")) == 2
+        assert a.distance(Cube.from_string("0--")) == 1
+        assert a.distance(Cube.from_string("010")) == 2
+        assert a.distance(Cube.from_string("1--")) == 0
+
+    def test_consensus(self):
+        a = Cube.from_string("1-1")
+        b = Cube.from_string("0-1")
+        assert a.consensus(b).to_string() == "--1"
+        # distance 0 or 2: no consensus
+        assert a.consensus(Cube.from_string("1-1")) is None
+        assert a.consensus(Cube.from_string("0-0")) is None
+
+    def test_supercube(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("100")
+        assert a.supercube(b).to_string() == "10-"
+
+    def test_cofactor(self):
+        c = Cube.from_string("1-0")
+        assert c.cofactor(0, 1).to_string() == "--0"
+        assert c.cofactor(0, 0) is None
+        assert c.cofactor(1, 1).to_string() == "1-0"
+
+
+class TestSemantics:
+    @given(cube_strings(), st.integers(0, 15))
+    @settings(max_examples=100, deadline=None)
+    def test_evaluate_matches_literal_semantics(self, s, point_bits):
+        cube = Cube.from_string(s)
+        point = [(point_bits >> i) & 1 for i in range(4)]
+        expected = all(
+            point[v] == val for v, val in cube.literals()
+        )
+        assert cube.evaluate(point) == expected
+
+    @given(cube_strings(), cube_strings())
+    @settings(max_examples=100, deadline=None)
+    def test_containment_matches_pointsets(self, sa, sb):
+        a, b = Cube.from_string(sa), Cube.from_string(sb)
+        points_a = {
+            p for p in range(16)
+            if a.evaluate([(p >> i) & 1 for i in range(4)])
+        }
+        points_b = {
+            p for p in range(16)
+            if b.evaluate([(p >> i) & 1 for i in range(4)])
+        }
+        assert a.contains(b) == (points_b <= points_a)
+
+    @given(cube_strings())
+    @settings(max_examples=50, deadline=None)
+    def test_minterm_count(self, s):
+        cube = Cube.from_string(s)
+        actual = sum(
+            cube.evaluate([(p >> i) & 1 for i in range(4)])
+            for p in range(16)
+        )
+        assert cube.minterm_count() == actual
+
+    def test_hash_eq(self):
+        assert Cube.from_string("01-") == Cube.from_string("01-")
+        assert hash(Cube.from_string("01-")) == hash(Cube.from_string("01-"))
+        assert Cube.from_string("01-") != Cube.from_string("0--")

@@ -1,0 +1,104 @@
+"""Espresso-lite: equivalence, irredundancy, don't-care use."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twolevel import (
+    Cover,
+    Cube,
+    complement,
+    cube_covered,
+    espresso,
+    expand,
+    irredundant,
+    reduce_cover,
+)
+
+
+def covers(num_vars=4, max_cubes=7, min_cubes=0):
+    return st.lists(
+        st.text(alphabet="01-", min_size=num_vars, max_size=num_vars),
+        min_size=min_cubes,
+        max_size=max_cubes,
+    ).map(
+        lambda rows: Cover(num_vars, [Cube.from_string(r) for r in rows])
+    )
+
+
+@given(covers())
+@settings(max_examples=120, deadline=None)
+def test_espresso_preserves_function(cover):
+    result = espresso(cover)
+    assert sorted(result.cover.minterms()) == sorted(cover.minterms())
+
+
+@given(covers())
+@settings(max_examples=120, deadline=None)
+def test_espresso_never_increases_cost(cover):
+    result = espresso(cover)
+    assert result.final_cost <= result.initial_cost or (
+        result.final_cost[0] <= result.initial_cost[0]
+    )
+
+
+@given(covers(min_cubes=1))
+@settings(max_examples=80, deadline=None)
+def test_espresso_output_single_cube_irredundant(cover):
+    """No cube of the result is covered by the union of the others."""
+    result = espresso(cover).cover
+    for i, cube in enumerate(result.cubes):
+        rest = Cover(
+            result.num_vars,
+            [c for j, c in enumerate(result.cubes) if j != i],
+        )
+        assert not cube_covered(cube, rest)
+
+
+def test_classic_minimization():
+    # f = a'b + ab + ab' = a + b
+    cover = Cover.from_strings(["01", "11", "10"])
+    result = espresso(cover).cover
+    assert len(result) == 2
+    assert sorted(result.minterms()) == [1, 2, 3]
+
+
+def test_dont_cares_enable_smaller_cover():
+    # ON = {11}, DC = {10, 01}: minimizable to a single-literal cube
+    on = Cover.from_strings(["11"])
+    dc = Cover.from_strings(["10", "01"])
+    result = espresso(on, dc).cover
+    assert len(result) == 1
+    assert result.cubes[0].num_literals() <= 1
+    # must still cover ON and avoid OFF = {00}
+    assert result.evaluate([1, 1])
+    assert not result.evaluate([0, 0])
+
+
+@given(covers(), covers(max_cubes=3))
+@settings(max_examples=60, deadline=None)
+def test_espresso_with_dc_stays_in_interval(on, dc):
+    """ON - DC <= result <= ON + DC (don't-care minterms are free)."""
+    result = espresso(on, dc).cover
+    on_set = set(on.minterms())
+    dc_set = set(dc.minterms())
+    got = set(result.minterms())
+    assert (on_set - dc_set) <= got <= (on_set | dc_set)
+
+
+class TestPasses:
+    def test_expand_against_off(self):
+        on = Cover.from_strings(["11"])
+        off = complement(on)
+        grown = expand(on, off)
+        assert sorted(grown.minterms()) == sorted(on.minterms())
+
+    def test_irredundant_drops_covered_cube(self):
+        c = Cover.from_strings(["1-", "11"])
+        result = irredundant(c)
+        assert len(result) == 1
+
+    @given(covers())
+    @settings(max_examples=60, deadline=None)
+    def test_reduce_preserves_function(self, cover):
+        reduced = reduce_cover(cover)
+        assert sorted(reduced.minterms()) == sorted(cover.minterms())

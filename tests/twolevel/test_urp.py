@@ -1,0 +1,72 @@
+"""Unate recursive paradigm vs brute force."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twolevel import (
+    Cover,
+    Cube,
+    complement,
+    covers_equal,
+    cube_covered,
+    is_tautology,
+)
+
+
+def covers(num_vars=4, max_cubes=6):
+    return st.lists(
+        st.text(alphabet="01-", min_size=num_vars, max_size=num_vars),
+        min_size=0,
+        max_size=max_cubes,
+    ).map(
+        lambda rows: Cover(num_vars, [Cube.from_string(r) for r in rows])
+    )
+
+
+@given(covers())
+@settings(max_examples=200, deadline=None)
+def test_tautology_matches_brute_force(cover):
+    expected = len(list(cover.minterms())) == 16
+    assert is_tautology(cover) == expected
+
+
+@given(covers())
+@settings(max_examples=150, deadline=None)
+def test_complement_is_exact(cover):
+    comp = complement(cover)
+    on = set(cover.minterms())
+    off = set(comp.minterms())
+    assert on | off == set(range(16))
+    assert on & off == set()
+
+
+@given(covers(), st.text(alphabet="01-", min_size=4, max_size=4))
+@settings(max_examples=150, deadline=None)
+def test_cube_covered_matches_pointsets(cover, s):
+    cube = Cube.from_string(s)
+    cube_points = {
+        p for p in range(16)
+        if cube.evaluate([(p >> i) & 1 for i in range(4)])
+    }
+    assert cube_covered(cube, cover) == (
+        cube_points <= set(cover.minterms())
+    )
+
+
+def test_tautology_obvious_cases():
+    assert is_tautology(Cover.tautology(3))
+    assert not is_tautology(Cover.empty(3))
+    assert is_tautology(Cover.from_strings(["1-", "0-"]))
+    assert not is_tautology(Cover.from_strings(["1-", "01"]))
+
+
+def test_complement_of_empty_and_universe():
+    assert is_tautology(complement(Cover.empty(3)))
+    assert complement(Cover.tautology(3)).is_empty_cover()
+
+
+def test_covers_equal():
+    a = Cover.from_strings(["1-", "-1"])
+    b = Cover.from_strings(["11", "10", "01"])
+    assert covers_equal(a, b)
+    assert not covers_equal(a, Cover.from_strings(["1-"]))
