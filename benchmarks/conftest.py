@@ -15,6 +15,14 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Every test in this directory is a tier-2 bench: mark it so CI can
+    select tiers explicitly (``-m bench`` / ``-m "not bench"``) and the
+    tier-1 suite under ``tests/`` stays fast."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def once(benchmark, fn):
     """Run a workload exactly once under pytest-benchmark timing.
 

@@ -13,18 +13,24 @@ counts before/after KMS, and -- beyond the paper's columns -- the
 false-path-aware delay before/after, since "no delay increase" is the
 algorithm's contract.  `classify_longest_paths` reports the paper's
 class-1 / class-2 split for the optimized MCNC circuits.
+
+Since the engine landed this module is a thin wrapper: every row is one
+``repro.engine`` pipeline (*atpg -> sense_delay -> kms -> sense_delay*),
+run in-process here.  Wall time comes from engine telemetry records, so
+these serial numbers are directly comparable to the parallel/cached
+numbers of ``python -m repro bench``, which runs the same pipelines
+through :func:`repro.engine.run_table1`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..atpg import count_redundancies
 from ..circuits import carry_skip_adder
 from ..circuits.mcnc import MCNC_NAMES, mcnc_circuit
-from ..core import TableRow, kms, format_table
+from ..core import TableRow, format_table
+from ..engine import ResultCache, model_params, run_pipeline, table1_pipeline
 from ..network import Circuit
 from ..synth import speed_up
 from ..timing import (
@@ -70,28 +76,45 @@ def run_circuit_row(
     circuit: Circuit,
     model: Optional[DelayModel] = None,
     mode: str = "static",
+    cache: Optional[ResultCache] = None,
 ) -> Table1Row:
-    """Run the full KMS experiment on one circuit and collect the row."""
+    """Run the full KMS experiment on one circuit and collect the row.
+
+    One engine pipeline, executed in-process.  Passing a ``cache`` makes
+    every stage content-addressed-memoized; a delay model that has no
+    declarative encoding (see :func:`repro.engine.model_params`) still
+    works but that run is uncacheable.
+    """
     model = model if model is not None else UnitDelayModel()
-    start = time.time()
-    redundancies = count_redundancies(circuit)
-    delay_before = sensitizable_delay(circuit, model).delay
-    result = kms(circuit, mode=mode, model=model)
-    delay_after = sensitizable_delay(result.circuit, model).delay
-    elapsed = time.time() - start
+    encoded = model_params(model)
+    pipeline = table1_pipeline(encoded, mode) if encoded is not None else None
+    if pipeline is None:
+        from ..engine import StageCall
+
+        params = {"_model": model}
+        pipeline = [
+            StageCall("atpg", {}),
+            StageCall("sense_delay", dict(params), label="delay_initial"),
+            StageCall("kms", {**params, "mode": mode}),
+            StageCall("sense_delay", dict(params), label="delay_final"),
+        ]
+    result = run_pipeline(circuit, pipeline, job_name=name, cache=cache)
+    if not result.ok:
+        raise RuntimeError(f"table1 row {name!r} failed: {result.error}")
+    kms_payload = result.results["kms"]
     row = TableRow(
         name=name,
-        redundancies=redundancies,
-        gates_initial=circuit.num_gates(),
-        gates_final=result.circuit.num_gates(),
-        delay_initial=delay_before,
-        delay_final=delay_after,
+        redundancies=result.results["atpg"]["redundancies"],
+        gates_initial=kms_payload["gates_initial"],
+        gates_final=kms_payload["gates_final"],
+        delay_initial=result.results["delay_initial"]["delay"],
+        delay_final=result.results["delay_final"]["delay"],
     )
     return Table1Row(
         row=row,
-        kms_iterations=result.iterations,
-        duplicated_gates=result.duplicated_gates,
-        seconds=elapsed,
+        kms_iterations=kms_payload["iterations"],
+        duplicated_gates=kms_payload["duplicated_gates"],
+        seconds=sum(r.seconds for r in result.records),
     )
 
 
@@ -99,6 +122,7 @@ def carry_skip_rows(
     sizes: Optional[Sequence[Tuple[int, int]]] = None,
     model: Optional[DelayModel] = None,
     mode: str = "static",
+    cache: Optional[ResultCache] = None,
 ) -> List[Table1Row]:
     """The csa rows of Table I."""
     model = model if model is not None else UnitDelayModel(
@@ -108,7 +132,9 @@ def carry_skip_rows(
     for nbits, block in sizes if sizes is not None else CSA_SIZES:
         circuit = carry_skip_adder(nbits, block)
         rows.append(
-            run_circuit_row(f"csa {nbits}.{block}", circuit, model, mode)
+            run_circuit_row(
+                f"csa {nbits}.{block}", circuit, model, mode, cache
+            )
         )
     return rows
 
@@ -136,13 +162,14 @@ def mcnc_rows(
     late_arrival: float = 6.0,
     model: Optional[DelayModel] = None,
     mode: str = "static",
+    cache: Optional[ResultCache] = None,
 ) -> List[Table1Row]:
     """The MCNC rows of Table I (on the stand-in suite)."""
     model = model if model is not None else UnitDelayModel()
     rows = []
     for name in names if names is not None else MCNC_NAMES:
         circuit = optimized_mcnc(name, late_arrival, model)
-        rows.append(run_circuit_row(name, circuit, model, mode))
+        rows.append(run_circuit_row(name, circuit, model, mode, cache))
     return rows
 
 

@@ -1,6 +1,16 @@
 """Random circuit generators for property-based testing and fuzzing.
 
-Deterministic given a seed.  Two flavours:
+Deterministic given a seed: every random draw (gate types, fanin
+choices, delays, arrival times, redundancy splice sites) comes from one
+``random.Random(seed)`` stream, so a seed fully reproduces a circuit
+across runs and across processes.  The engine's sweep builders
+(``repro.engine.sweep.random_jobs``) and the CLI (``python -m repro
+generate rand --seed N``, ``python -m repro bench --suite random --seed
+N``) thread an explicit seed down to these generators -- job *i* of a
+sweep uses ``seed + i`` -- which is what makes parallel fuzz sweeps
+reproducible run-to-run and shardable across workers.
+
+Two flavours:
 
 * :func:`random_circuit` -- a layered random DAG of simple gates, the
   workhorse of the hypothesis suites (KMS preserves function / never
@@ -70,6 +80,7 @@ def random_redundant_circuit(
     num_gates: int = 15,
     seed: int = 0,
     name: Optional[str] = None,
+    max_arrival: float = 0.0,
 ) -> Circuit:
     """A random circuit with guaranteed stuck-at redundancy.
 
@@ -77,10 +88,16 @@ def random_redundant_circuit(
     ``f OR (x AND NOT x AND g)`` -- the added AND's output is
     constant 0, so its s-a-0 fault is untestable by construction (and
     usually drags a few structural friends along).
+
+    The splice sites are drawn from ``seed``'s stream while the base
+    circuit uses a derived sub-seed, so the same base circuit appears
+    with different redundant structure under different seeds only when
+    the full seed differs -- reproducibility is exact either way.
     """
     rng = random.Random(seed)
     circuit = random_circuit(
         num_inputs, num_gates, 1, seed=seed ^ 0x5EED,
+        max_arrival=max_arrival,
         name=name or f"redundant_{seed}",
     )
     po = circuit.outputs[0]

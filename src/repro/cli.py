@@ -8,8 +8,12 @@ would run:
   the longest paths with sensitization verdicts;
 * ``atpg``     -- fault counts, redundancies, and a generated test set;
 * ``table1``   -- regenerate the paper's Table I rows;
+* ``bench``    -- the engine-backed sweeps: Table I, the scaling study,
+  and seeded random-circuit fuzzing, with ``--jobs N`` parallelism,
+  ``--cache DIR`` content-addressed result caching, and ``--telemetry
+  out.json`` machine-readable run telemetry;
 * ``generate`` -- emit the built-in circuits (adders, paper figures,
-  MCNC-like suite) as BLIF.
+  MCNC-like suite, seeded random circuits) as BLIF.
 """
 
 from __future__ import annotations
@@ -152,6 +156,62 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .bench import render
+    from .engine import (
+        EngineConfig,
+        random_jobs,
+        rows_from_report,
+        run_jobs,
+        scaling_jobs,
+        table1_jobs,
+    )
+
+    config = EngineConfig(
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        stage_timeout=args.timeout,
+    )
+    if args.suite == "table1":
+        jobs = table1_jobs(which=args.which, quick=args.quick,
+                           mode=args.mode)
+    elif args.suite == "scaling":
+        jobs = scaling_jobs(mode=args.mode)
+    else:
+        jobs = random_jobs(count=args.count, seed=args.seed,
+                           mode=args.mode)
+    report = run_jobs(
+        jobs, config,
+        meta={"suite": args.suite, "which": args.which,
+              "quick": args.quick, "mode": args.mode, "seed": args.seed},
+    )
+    if args.suite == "table1":
+        rows = rows_from_report(report)
+        csa = [r for r in rows if r.row.name.startswith("csa ")]
+        mcnc = [r for r in rows if not r.row.name.startswith("csa ")]
+        if csa:
+            print(render(csa, "Table I -- csa"))
+        if mcnc:
+            print(render(mcnc, "Table I -- MCNC-like"))
+    else:
+        for result in report.results:
+            if result.ok:
+                print(f"{result.name}: " + ", ".join(
+                    f"{label}={payload}"
+                    for label, payload in sorted(result.results.items())
+                    if label != "generate"
+                ))
+    for result in report.results:
+        if not result.ok:
+            print(f"# FAILED {result.name}: {result.error}",
+                  file=sys.stderr)
+    print(report.telemetry.summary(), file=sys.stderr)
+    if args.telemetry:
+        report.telemetry.write_json(args.telemetry)
+        print(f"# telemetry written to {args.telemetry}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 _GENERATORS = {
     "fig1": "fig1_carry_skip_block",
     "fig2": "fig2_irredundant_block",
@@ -172,6 +232,10 @@ def cmd_generate(args) -> int:
         circuit = circuit_mod.ripple_carry_adder(int(name[3:]))
     elif name.startswith("cla"):
         circuit = circuit_mod.carry_lookahead_adder(int(name[3:]))
+    elif name == "rand":
+        circuit = circuit_mod.random_circuit(seed=args.seed)
+    elif name == "randred":
+        circuit = circuit_mod.random_redundant_circuit(seed=args.seed)
     elif name in circuit_mod.MCNC_NAMES:
         circuit = circuit_mod.mcnc_circuit(name)
     else:
@@ -224,13 +288,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true")
     p.set_defaults(func=cmd_table1)
 
+    p = sub.add_parser(
+        "bench",
+        help="engine-backed sweeps: parallel, cached, with telemetry",
+    )
+    p.add_argument(
+        "--suite", choices=["table1", "scaling", "random"],
+        default="table1",
+    )
+    p.add_argument(
+        "--which", choices=["csa", "mcnc", "all"], default="all",
+        help="Table I slice (table1 suite only)",
+    )
+    p.add_argument("--quick", action="store_true")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = in-process, for debugging)",
+    )
+    p.add_argument("--cache", metavar="DIR", help="result cache directory")
+    p.add_argument(
+        "--telemetry", metavar="PATH", help="write telemetry JSON here"
+    )
+    p.add_argument(
+        "--mode", choices=["static", "viability"], default="static"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-stage timeout in seconds",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for the random suite (job i uses seed+i)",
+    )
+    p.add_argument(
+        "--count", type=int, default=8,
+        help="number of circuits in the random suite",
+    )
+    p.set_defaults(func=cmd_bench)
+
     p = sub.add_parser("generate", help="emit a built-in circuit as BLIF")
     p.add_argument(
         "circuit",
         help=(
             "fig1|fig2|fig4, csa<N>.<B>, rca<N>, cla<N>, "
-            "or an MCNC name"
+            "rand|randred (seeded), or an MCNC name"
         ),
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the rand/randred generators",
     )
     p.add_argument("-o", "--output")
     p.add_argument(

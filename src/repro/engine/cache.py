@@ -1,0 +1,138 @@
+"""On-disk result cache keyed by ``(circuit_hash, stage, params)``.
+
+One JSON file per entry, fanned into 256 two-hex-digit subdirectories.
+Two properties the engine relies on:
+
+* **atomic writes** -- entries are written to a temp file in the target
+  directory and published with :func:`os.replace`, so a concurrent
+  reader (another worker process on the same cache) sees either the old
+  bytes, the new bytes, or no file -- never a torn write;
+* **corruption-tolerant reads** -- a truncated, garbled, or wrong-shape
+  entry is a *miss*, never an exception.  A subsequent ``put`` simply
+  replaces the bad file.
+
+The stored entry echoes its full key, so a hash collision (or a file
+renamed into the wrong slot) is detected and treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+SCHEMA = "repro.engine.cache/1"
+
+
+def cache_key(circuit_hash: str, stage: str, params: Dict[str, Any]) -> str:
+    """Deterministic hex key for one stage result."""
+    blob = json.dumps(
+        {"circuit": circuit_hash, "stage": stage, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed stage-result store.
+
+    ``root=None`` disables the cache: every ``get`` returns ``None`` and
+    ``put`` is a no-op, so callers never branch on "is caching on".
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root else None
+        self.hits = 0
+        self.misses = 0
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(
+        self, circuit_hash: str, stage: str, params: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """The stored value dict, or ``None`` on miss/corruption."""
+        if self.root is None:
+            return None
+        key = cache_key(circuit_hash, stage, params)
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry["schema"] != SCHEMA:
+                raise ValueError("schema mismatch")
+            stored = entry["key"]
+            if (
+                stored["circuit"] != circuit_hash
+                or stored["stage"] != stage
+                or stored["params"] != params
+            ):
+                raise ValueError("key mismatch")
+            value = entry["value"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(
+        self,
+        circuit_hash: str,
+        stage: str,
+        params: Dict[str, Any],
+        value: Dict[str, Any],
+    ) -> None:
+        """Store a value atomically (best effort; I/O errors are swallowed
+        -- the cache is an accelerator, not a ledger)."""
+        if self.root is None:
+            return
+        key = cache_key(circuit_hash, stage, params)
+        path = self._path(key)
+        entry = {
+            "schema": SCHEMA,
+            "key": {"circuit": circuit_hash, "stage": stage, "params": params},
+            "value": value,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    def entry_count(self) -> int:
+        """Number of entries on disk (diagnostics only)."""
+        if self.root is None:
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> None:
+        """Delete every entry (leaves the directory tree in place)."""
+        if self.root is None:
+            return
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,200 @@
+"""Declarative sweep definitions: the paper's experiments as pipelines.
+
+A sweep is just a list of :class:`Job`\\ s; these builders encode the
+repo's standing experiments so the CLI, the bench harness, CI, and the
+examples all run the *same* jobs:
+
+* :func:`table1_jobs` -- the paper's Table I: the four carry-skip
+  configurations plus the MCNC-like suite (area-synthesized, then
+  delay-optimized with an input-arrival skew, exactly
+  ``repro.bench.optimized_mcnc``);
+* :func:`scaling_jobs` -- the KMS runtime-scaling study over growing
+  carry-skip adders;
+* :func:`random_jobs` -- seeded random redundant circuits, for fuzzing
+  sweeps that are reproducible run-to-run (the seed is threaded from the
+  CLI into each generator spec).
+
+:func:`rows_from_report` folds an engine run back into the bench
+harness's :class:`~repro.bench.table1.Table1Row`, with wall time taken
+from telemetry records instead of ad-hoc timers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .runner import EngineConfig, Job, RunReport, StageCall, run_jobs
+
+#: Table I's carry-skip configurations (bits, block size).
+CSA_SIZES: List[Tuple[int, int]] = [(2, 2), (4, 4), (8, 2), (8, 4)]
+
+#: The scaling study's sizes, smallest first (benchmarks/test_scaling.py).
+SCALING_SIZES: List[Tuple[int, int]] = [(2, 2), (4, 2), (8, 4), (8, 2)]
+
+#: Table I delay models: csa rows zero the PI arrivals (the paper's
+#: configuration), MCNC rows keep the skew that provoked the bypasses.
+CSA_MODEL: Dict[str, Any] = {"kind": "unit", "use_arrival_times": False}
+MCNC_MODEL: Dict[str, Any] = {"kind": "unit", "use_arrival_times": True}
+
+#: Arrival skew applied to the first PI of each MCNC circuit before
+#: delay optimization (see ``repro.bench.table1.optimized_mcnc``).
+MCNC_LATE_ARRIVAL = 6.0
+
+
+def table1_pipeline(
+    model: Dict[str, Any],
+    mode: str = "static",
+    speedup_model: Optional[Dict[str, Any]] = None,
+) -> List[StageCall]:
+    """The Table I measurement pipeline for one circuit.
+
+    ``speedup_model`` non-None prepends the MIS-II-style delay
+    optimization (the MCNC flow); csa rows skip it.
+    """
+    calls: List[StageCall] = []
+    if speedup_model is not None:
+        calls.append(StageCall("speed_up", {"model": speedup_model}))
+    calls += [
+        StageCall("atpg", {}),
+        StageCall("sense_delay", {"model": model}, label="delay_initial"),
+        StageCall("kms", {"model": model, "mode": mode}),
+        StageCall("sense_delay", {"model": model}, label="delay_final"),
+    ]
+    return calls
+
+
+def table1_jobs(
+    which: str = "all",
+    quick: bool = False,
+    mode: str = "static",
+    csa_sizes: Optional[Sequence[Tuple[int, int]]] = None,
+    mcnc_names: Optional[Sequence[str]] = None,
+) -> List[Job]:
+    """Jobs reproducing Table I (or the requested slice of it)."""
+    jobs: List[Job] = []
+    if which in ("csa", "all"):
+        sizes = list(csa_sizes if csa_sizes is not None else CSA_SIZES)
+        if quick and csa_sizes is None:
+            sizes = sizes[:2]
+        for nbits, block in sizes:
+            jobs.append(Job(
+                name=f"csa {nbits}.{block}",
+                factory="carry_skip_adder",
+                params={"nbits": nbits, "block": block},
+                pipeline=table1_pipeline(CSA_MODEL, mode),
+            ))
+    if which in ("mcnc", "all"):
+        from ..circuits.mcnc import MCNC_NAMES
+
+        names = list(mcnc_names if mcnc_names is not None else MCNC_NAMES)
+        if quick and mcnc_names is None:
+            names = ["misex1", "rd73", "z4ml"]
+        for name in names:
+            jobs.append(Job(
+                name=name,
+                factory="mcnc",
+                params={"name": name, "late_arrival": MCNC_LATE_ARRIVAL},
+                pipeline=table1_pipeline(
+                    MCNC_MODEL, mode, speedup_model=MCNC_MODEL
+                ),
+            ))
+    return jobs
+
+
+def scaling_jobs(
+    sizes: Optional[Sequence[Tuple[int, int]]] = None,
+    mode: str = "static",
+) -> List[Job]:
+    """The KMS scaling study: redundancy identification + removal per
+    carry-skip size."""
+    jobs = []
+    for nbits, block in (sizes if sizes is not None else SCALING_SIZES):
+        jobs.append(Job(
+            name=f"csa {nbits}.{block}",
+            factory="carry_skip_adder",
+            params={"nbits": nbits, "block": block},
+            pipeline=[
+                StageCall("atpg", {}),
+                StageCall("kms", {"model": CSA_MODEL, "mode": mode}),
+            ],
+        ))
+    return jobs
+
+
+def random_jobs(
+    count: int = 8,
+    seed: int = 0,
+    num_inputs: int = 5,
+    num_gates: int = 15,
+    mode: str = "static",
+) -> List[Job]:
+    """Seeded random-redundant-circuit sweep: job *i* uses ``seed + i``,
+    so a run is reproducible given the base seed and trivially shardable."""
+    jobs = []
+    for i in range(count):
+        jobs.append(Job(
+            name=f"rand s{seed + i}",
+            factory="random_redundant",
+            params={
+                "seed": seed + i,
+                "num_inputs": num_inputs,
+                "num_gates": num_gates,
+            },
+            pipeline=[
+                StageCall("atpg", {}),
+                StageCall(
+                    "sense_delay", {"model": {"kind": "as_built"}},
+                    label="delay_initial",
+                ),
+                StageCall("kms", {"model": {"kind": "as_built"},
+                                  "mode": mode}),
+                StageCall(
+                    "sense_delay", {"model": {"kind": "as_built"}},
+                    label="delay_final",
+                ),
+                StageCall("verify", {}),
+            ],
+        ))
+    return jobs
+
+
+def rows_from_report(report: RunReport) -> List["Table1Row"]:
+    """Fold ok jobs of a Table-I-shaped run into bench rows.
+
+    Wall time comes from the job's telemetry records (cache hits cost
+    their lookup time, so a warm run reports honest, tiny numbers)."""
+    from ..bench.table1 import Table1Row
+    from ..core import TableRow
+
+    rows: List[Table1Row] = []
+    for result in report.results:
+        if not result.ok:
+            continue
+        kms_payload = result.results["kms"]
+        rows.append(Table1Row(
+            row=TableRow(
+                name=result.name,
+                redundancies=result.results["atpg"]["redundancies"],
+                gates_initial=kms_payload["gates_initial"],
+                gates_final=kms_payload["gates_final"],
+                delay_initial=result.results["delay_initial"]["delay"],
+                delay_final=result.results["delay_final"]["delay"],
+            ),
+            kms_iterations=kms_payload["iterations"],
+            duplicated_gates=kms_payload["duplicated_gates"],
+            seconds=sum(r.seconds for r in result.records),
+        ))
+    return rows
+
+
+def run_table1(
+    which: str = "all",
+    quick: bool = False,
+    mode: str = "static",
+    config: Optional[EngineConfig] = None,
+) -> RunReport:
+    """Run the Table I sweep under the given engine configuration."""
+    jobs = table1_jobs(which=which, quick=quick, mode=mode)
+    return run_jobs(jobs, config=config,
+                    meta={"sweep": "table1", "which": which,
+                          "quick": quick, "mode": mode})

@@ -1,7 +1,7 @@
 """SAT substrate: CNF, CDCL solver, Tseitin encoding, equivalence."""
 
 from .cnf import CNF
-from .solver import Solver, solve_cnf
+from .solver import Solver, solve_calls, solve_cnf
 from .tseitin import CircuitEncoder, EncodedCircuit, encode_circuit
 from .equivalence import (
     EquivalenceResult,
@@ -18,5 +18,6 @@ __all__ = [
     "assert_equivalent",
     "check_equivalence",
     "encode_circuit",
+    "solve_calls",
     "solve_cnf",
 ]

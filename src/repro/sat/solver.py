@@ -19,6 +19,16 @@ from .cnf import CNF
 
 TRUE, FALSE, UNASSIGNED = 1, 0, -1
 
+#: Process-wide count of :meth:`Solver.solve` invocations.  Telemetry
+#: (``repro.engine.telemetry``) snapshots this around pipeline stages to
+#: attribute SAT effort per stage; each worker process counts its own.
+_SOLVE_CALLS = 0
+
+
+def solve_calls() -> int:
+    """Total ``Solver.solve`` invocations in this process so far."""
+    return _SOLVE_CALLS
+
 
 class Solver:
     """CDCL solver over integer literals (DIMACS convention)."""
@@ -297,6 +307,8 @@ class Solver:
         if ``conflict_limit`` was exhausted.  After True, :meth:`model`
         gives a satisfying assignment.
         """
+        global _SOLVE_CALLS
+        _SOLVE_CALLS += 1
         if not self._ok:
             return False
         self._backtrack(0)

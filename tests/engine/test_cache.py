@@ -1,0 +1,108 @@
+"""Cache round-trip, key discrimination, and corruption tolerance."""
+
+import json
+import os
+
+from repro.engine import ResultCache, cache_key
+
+HASH_A = "a" * 64
+HASH_B = "b" * 64
+
+
+def test_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    value = {"payload": {"redundancies": 2}, "circuit": None}
+    cache.put(HASH_A, "atpg", {}, value)
+    assert cache.get(HASH_A, "atpg", {}) == value
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_distinct_keys_do_not_collide(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(HASH_A, "kms", {"mode": "static"}, {"payload": {"n": 1}})
+    assert cache.get(HASH_B, "kms", {"mode": "static"}) is None
+    assert cache.get(HASH_A, "kms", {"mode": "viability"}) is None
+    assert cache.get(HASH_A, "atpg", {"mode": "static"}) is None
+    assert cache.get(HASH_A, "kms", {"mode": "static"}) == {
+        "payload": {"n": 1}
+    }
+
+
+def test_key_is_param_order_independent():
+    assert cache_key(HASH_A, "kms", {"a": 1, "b": 2}) == cache_key(
+        HASH_A, "kms", {"b": 2, "a": 1}
+    )
+    assert cache_key(HASH_A, "kms", {"a": 1}) != cache_key(
+        HASH_A, "kms", {"a": 2}
+    )
+
+
+def _entry_path(cache, circuit_hash, stage, params):
+    key = cache_key(circuit_hash, stage, params)
+    return cache.root / key[:2] / f"{key}.json"
+
+
+def test_truncated_entry_is_a_miss_then_repairable(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(HASH_A, "kms", {}, {"payload": {"n": 1}})
+    path = _entry_path(cache, HASH_A, "kms", {})
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])  # torn write simulation
+    assert cache.get(HASH_A, "kms", {}) is None
+    cache.put(HASH_A, "kms", {}, {"payload": {"n": 2}})
+    assert cache.get(HASH_A, "kms", {}) == {"payload": {"n": 2}}
+
+
+def test_garbage_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(HASH_A, "kms", {}, {"payload": {}})
+    path = _entry_path(cache, HASH_A, "kms", {})
+    path.write_bytes(b"\x00\xffnot json at all")
+    assert cache.get(HASH_A, "kms", {}) is None
+
+
+def test_wrong_shape_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(HASH_A, "kms", {}, {"payload": {}})
+    path = _entry_path(cache, HASH_A, "kms", {})
+    path.write_text(json.dumps([1, 2, 3]))  # valid JSON, wrong shape
+    assert cache.get(HASH_A, "kms", {}) is None
+    path.write_text(json.dumps({"schema": "other/9", "value": {}}))
+    assert cache.get(HASH_A, "kms", {}) is None
+
+
+def test_entry_in_wrong_slot_is_a_miss(tmp_path):
+    """An entry whose embedded key disagrees with its slot is rejected."""
+    cache = ResultCache(tmp_path)
+    cache.put(HASH_A, "kms", {}, {"payload": {"n": 1}})
+    src = _entry_path(cache, HASH_A, "kms", {})
+    dst = _entry_path(cache, HASH_B, "kms", {})
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    os.replace(src, dst)
+    assert cache.get(HASH_B, "kms", {}) is None
+
+
+def test_disabled_cache_is_inert():
+    cache = ResultCache(None)
+    assert not cache.enabled
+    cache.put(HASH_A, "kms", {}, {"payload": {}})
+    assert cache.get(HASH_A, "kms", {}) is None
+    assert cache.entry_count() == 0
+
+
+def test_atomic_publish_leaves_no_temp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(10):
+        cache.put(HASH_A, "kms", {"i": i}, {"payload": {"i": i}})
+    leftovers = [p for p in cache.root.rglob("*") if p.suffix == ".tmp"]
+    assert leftovers == []
+    assert cache.entry_count() == 10
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(HASH_A, "kms", {}, {"payload": {}})
+    assert cache.entry_count() == 1
+    cache.clear()
+    assert cache.entry_count() == 0
+    assert cache.get(HASH_A, "kms", {}) is None

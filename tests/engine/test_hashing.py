@@ -1,0 +1,157 @@
+"""Fingerprint invariance: what must and must not change the hash."""
+
+from repro.circuits import carry_skip_adder, random_circuit
+from repro.engine import (
+    circuit_fingerprint,
+    circuit_from_dict,
+    circuit_to_dict,
+    gate_fingerprints,
+)
+from repro.network import Builder, GateType
+
+
+def _and_or(name_g1="g1", name_g2="g2"):
+    b = Builder("ao")
+    a, bb, c = b.inputs("a", "b", "c")
+    g1 = b.and_(a, bb, name=name_g1)
+    g2 = b.or_(g1, c, name=name_g2)
+    b.output("y", g2)
+    return b.done()
+
+
+def test_renamed_gates_hash_equal():
+    base = _and_or()
+    renamed = _and_or("inner_conjunction", "outer_disjunction")
+    assert circuit_fingerprint(base) == circuit_fingerprint(renamed)
+
+
+def test_renaming_in_place_hash_equal():
+    circuit = _and_or()
+    before = circuit_fingerprint(circuit)
+    for gate in circuit.gates.values():
+        if gate.gtype not in (GateType.INPUT, GateType.OUTPUT):
+            gate.name = f"renamed_{gate.gid}"
+    assert circuit_fingerprint(circuit) == before
+
+
+def test_gid_renumbering_hash_equal():
+    base = _and_or()
+    shifted = Builder("ao2")
+    dummy = shifted.circuit.add_gate(GateType.CONST0)  # shifts every gid
+    a, bb, c = shifted.inputs("a", "b", "c")
+    g1 = shifted.and_(a, bb, name="g1")
+    g2 = shifted.or_(g1, c, name="g2")
+    shifted.output("y", g2)
+    circuit = shifted.circuit
+    circuit.remove_gate(dummy)
+    assert circuit_fingerprint(base) == circuit_fingerprint(circuit)
+
+
+def test_rewired_circuit_hashes_different():
+    base = _and_or()
+    rewired = Builder("ao3")
+    a, bb, c = rewired.inputs("a", "b", "c")
+    g1 = rewired.and_(a, c, name="g1")  # c instead of b
+    g2 = rewired.or_(g1, c, name="g2")
+    rewired.output("y", g2)
+    assert circuit_fingerprint(base) != circuit_fingerprint(rewired.done())
+
+
+def test_gate_type_matters():
+    base = _and_or()
+    other = Builder("ao4")
+    a, bb, c = other.inputs("a", "b", "c")
+    g1 = other.nand(a, bb, name="g1")
+    g2 = other.or_(g1, c, name="g2")
+    other.output("y", g2)
+    assert circuit_fingerprint(base) != circuit_fingerprint(other.done())
+
+
+def test_delay_matters():
+    a = carry_skip_adder(2, 2)
+    b = carry_skip_adder(2, 2)
+    gid = next(
+        g.gid for g in b.gates.values() if g.gtype is GateType.AND
+    )
+    b.gates[gid].delay += 1.0
+    assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+
+def test_arrival_time_matters():
+    a = carry_skip_adder(2, 2)
+    b = carry_skip_adder(2, 2)
+    b.input_arrival[b.inputs[0]] = 5.0
+    assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+
+def test_shared_stem_differs_from_duplicated_cone():
+    shared = Builder("shared")
+    a, bb = shared.inputs("a", "b")
+    g = shared.and_(a, bb)
+    shared.output("y0", shared.not_(g))
+    shared.output("y1", shared.not_(g))
+    dup = Builder("dup")
+    a, bb = dup.inputs("a", "b")
+    g1 = dup.and_(a, bb)
+    g2 = dup.and_(a, bb)
+    dup.output("y0", dup.not_(g1))
+    dup.output("y1", dup.not_(g2))
+    assert circuit_fingerprint(shared.done()) != circuit_fingerprint(
+        dup.done()
+    )
+
+
+def test_po_order_matters():
+    a = Builder("po_a")
+    x, y = a.inputs("x", "y")
+    a.output("p", a.and_(x, y))
+    a.output("q", a.or_(x, y))
+    b = Builder("po_b")
+    x, y = b.inputs("x", "y")
+    o = b.or_(x, y)
+    n = b.and_(x, y)
+    b.output("p", o)
+    b.output("q", n)
+    assert circuit_fingerprint(a.done()) != circuit_fingerprint(b.done())
+
+
+def test_equal_gate_fingerprints_for_isomorphic_cones():
+    circuit = Builder("iso")
+    a, bb = circuit.inputs("a", "b")
+    g1 = circuit.and_(a, bb, name="first")
+    g2 = circuit.and_(a, bb, name="second")
+    circuit.output("y0", g1)
+    circuit.output("y1", g2)
+    fps = gate_fingerprints(circuit.done())
+    assert fps[g1] == fps[g2]
+
+
+def test_serialize_round_trip_preserves_everything():
+    circuit = random_circuit(num_inputs=4, num_gates=12, seed=11,
+                             max_arrival=3.0)
+    clone = circuit_from_dict(circuit_to_dict(circuit))
+    assert circuit_fingerprint(clone) == circuit_fingerprint(circuit)
+    assert clone.name == circuit.name
+    assert clone.inputs == circuit.inputs
+    assert clone.outputs == circuit.outputs
+    assert clone.input_arrival == circuit.input_arrival
+    for gid, gate in circuit.gates.items():
+        other = clone.gates[gid]
+        assert (gate.gtype, gate.delay, gate.name) == (
+            other.gtype, other.delay, other.name
+        )
+        assert gate.fanin == other.fanin
+        assert gate.fanout == other.fanout
+    assignment = {gid: 1 for gid in circuit.inputs}
+    assert clone.evaluate_outputs(assignment) == circuit.evaluate_outputs(
+        assignment
+    )
+
+
+def test_serialize_survives_json():
+    import json
+
+    circuit = carry_skip_adder(2, 2)
+    data = json.loads(json.dumps(circuit_to_dict(circuit)))
+    clone = circuit_from_dict(data)
+    assert circuit_fingerprint(clone) == circuit_fingerprint(circuit)

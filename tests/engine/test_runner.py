@@ -1,0 +1,202 @@
+"""Runner semantics: parallel == serial, warm cache, timeout, retry."""
+
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    Job,
+    StageCall,
+    STAGES,
+    StageDef,
+    StageOutcome,
+    run_jobs,
+)
+from repro.engine.sweep import CSA_MODEL
+
+#: Three small circuits, mixed families, cheap enough for tier-1.
+SMOKE_JOBS = [
+    Job(
+        name="csa 2.2",
+        factory="carry_skip_adder",
+        params={"nbits": 2, "block": 2},
+        pipeline=[
+            StageCall("atpg", {}),
+            StageCall("kms", {"model": CSA_MODEL, "mode": "static"}),
+        ],
+    ),
+    Job(
+        name="csa 4.2",
+        factory="carry_skip_adder",
+        params={"nbits": 4, "block": 2},
+        pipeline=[
+            StageCall("atpg", {}),
+            StageCall("kms", {"model": CSA_MODEL, "mode": "static"}),
+        ],
+    ),
+    Job(
+        name="rand s3",
+        factory="random_redundant",
+        params={"seed": 3, "num_inputs": 4, "num_gates": 8},
+        pipeline=[
+            StageCall("atpg", {}),
+            StageCall("kms", {"model": {"kind": "as_built"},
+                              "mode": "static"}),
+            StageCall("verify", {}),
+        ],
+    ),
+]
+
+
+def _essence(report):
+    """The result payloads, stripped of anything timing-dependent."""
+    return [
+        (r.name, r.ok, r.fingerprint, r.results)
+        for r in report.results
+    ]
+
+
+def test_two_workers_match_serial_path():
+    serial = run_jobs(SMOKE_JOBS, EngineConfig(jobs=1))
+    parallel = run_jobs(SMOKE_JOBS, EngineConfig(jobs=2))
+    assert serial.ok and parallel.ok
+    assert _essence(serial) == _essence(parallel)
+    assert parallel.results[2].results["verify"] == {"equivalent": True}
+    assert parallel.results[0].results["atpg"]["redundancies"] == 2
+
+
+def test_warm_cache_skips_kms_and_atpg(tmp_path):
+    config = EngineConfig(jobs=2, cache_dir=str(tmp_path / "cache"))
+    cold = run_jobs(SMOKE_JOBS, config)
+    warm = run_jobs(SMOKE_JOBS, config)
+    assert cold.ok and warm.ok
+    assert _essence(cold) == _essence(warm)
+    executions = warm.telemetry.stage_executions()
+    assert executions["kms"] == 0
+    assert executions["atpg"] == 0
+    assert warm.telemetry.cache_misses == 0
+    assert warm.telemetry.cache_hits > 0
+    # verify is uncacheable by design: it re-ran
+    assert executions["verify"] == 1
+
+
+def test_cache_shared_between_serial_and_parallel(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    run_jobs(SMOKE_JOBS, EngineConfig(jobs=1, cache_dir=cache_dir))
+    warm = run_jobs(SMOKE_JOBS, EngineConfig(jobs=2, cache_dir=cache_dir))
+    assert warm.telemetry.cache_misses == 0
+    assert warm.telemetry.stage_executions()["kms"] == 0
+
+
+def test_failed_job_reports_error_and_others_survive():
+    jobs = [
+        SMOKE_JOBS[0],
+        Job(name="broken", factory="no_such_factory", params={},
+            pipeline=[]),
+    ]
+    report = run_jobs(jobs, EngineConfig(jobs=1))
+    assert not report.ok
+    assert report.results[0].ok
+    assert not report.results[1].ok
+    assert "no_such_factory" in report.results[1].error
+
+
+def _register(name, fn, cacheable=False):
+    STAGES[name] = StageDef(name, fn, cacheable=cacheable)
+
+
+def test_retry_once_recovers_from_flaky_stage():
+    calls = {"n": 0}
+
+    def flaky(circuit, params, ctx):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient")
+        return StageOutcome(circuit, {"attempts": calls["n"]})
+
+    _register("_test_flaky", flaky)
+    try:
+        job = Job(name="flaky", factory="carry_skip_adder",
+                  params={"nbits": 2, "block": 2},
+                  pipeline=[StageCall("_test_flaky", {})])
+        report = run_jobs([job], EngineConfig(jobs=1))
+        assert report.ok
+        assert report.results[0].results["_test_flaky"] == {"attempts": 2}
+        records = [r for r in report.results[0].records
+                   if r.stage == "_test_flaky"]
+        assert [bool(r.error) for r in records] == [True, False]
+    finally:
+        del STAGES["_test_flaky"]
+
+
+def test_persistent_failure_fails_job_after_retry():
+    def broken(circuit, params, ctx):
+        raise RuntimeError("always broken")
+
+    _register("_test_broken", broken)
+    try:
+        job = Job(name="doomed", factory="carry_skip_adder",
+                  params={"nbits": 2, "block": 2},
+                  pipeline=[StageCall("_test_broken", {}),
+                            StageCall("atpg", {})])
+        report = run_jobs([job], EngineConfig(jobs=1))
+        assert not report.ok
+        result = report.results[0]
+        assert "always broken" in result.error
+        # the stage after the failure never ran
+        assert "atpg" not in result.results
+        attempts = [r for r in result.records if r.stage == "_test_broken"]
+        assert len(attempts) == 2
+    finally:
+        del STAGES["_test_broken"]
+
+
+def test_stage_timeout_cannot_hang_a_sweep():
+    def sleepy(circuit, params, ctx):
+        import time as _time
+
+        _time.sleep(5.0)
+        return StageOutcome(circuit, {})
+
+    _register("_test_sleepy", sleepy)
+    try:
+        job = Job(name="hang", factory="carry_skip_adder",
+                  params={"nbits": 2, "block": 2},
+                  pipeline=[StageCall("_test_sleepy", {})])
+        report = run_jobs(
+            [job], EngineConfig(jobs=1, stage_timeout=0.2, retries=0)
+        )
+        assert not report.ok
+        assert "StageTimeout" in report.results[0].error
+    finally:
+        del STAGES["_test_sleepy"]
+
+
+def test_uncacheable_params_bypass_cache(tmp_path):
+    from repro.circuits import carry_skip_adder
+    from repro.engine import ResultCache, run_pipeline
+    from repro.timing import UnitDelayModel
+
+    cache = ResultCache(tmp_path / "cache")
+    circuit = carry_skip_adder(2, 2)
+    pipeline = [StageCall(
+        "sense_delay", {"_model": UnitDelayModel(use_arrival_times=False)}
+    )]
+    first = run_pipeline(circuit, pipeline, cache=cache)
+    second = run_pipeline(circuit, pipeline, cache=cache)
+    assert first.results == second.results
+    assert cache.hits == 0 and cache.entry_count() == 0
+
+
+def test_telemetry_json_round_trip(tmp_path):
+    from repro.engine import Telemetry
+
+    report = run_jobs(SMOKE_JOBS[:1], EngineConfig(jobs=1))
+    path = tmp_path / "telemetry.json"
+    report.telemetry.write_json(str(path))
+    import json
+
+    restored = Telemetry.from_dict(json.loads(path.read_text()))
+    assert restored.stage_executions() == (
+        report.telemetry.stage_executions()
+    )
+    assert restored.to_dict()["totals"] == report.telemetry.to_dict()["totals"]
