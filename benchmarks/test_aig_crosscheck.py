@@ -1,0 +1,67 @@
+"""Cross-check: KMS outputs carry zero redundant AIG edges (Table I).
+
+Theorem 7.1 says the algorithm's output is irredundant.  The repo's
+ATPG already asserts this in the network fault model; this harness
+re-asserts it in a *different* formalism -- stuck-at faults on the
+fanin edges of a structurally-hashed AIG, proved by an independent
+engine (:mod:`repro.aig.redundancy`, the Teslenko--Dubrova funnel).
+Agreement across fault models is a much stronger check than either
+alone.
+
+The pre-KMS carry-skip adder is the control: its known skip-path
+redundancy (the paper's Figure 1 motivation) must be *flagged*.
+"""
+
+import pytest
+
+from conftest import once
+from repro.aig import circuit_to_aig, redundant_edges
+from repro.bench import optimized_mcnc
+from repro.circuits import MCNC_NAMES, carry_skip_adder
+from repro.core import kms
+from repro.timing import UnitDelayModel
+
+CSA_SIZES = [(2, 2), (4, 4), (8, 2), (8, 4)]
+CSA_MODEL = UnitDelayModel(use_arrival_times=False)
+MCNC_MODEL = UnitDelayModel()
+
+
+def _assert_zero_redundant(circuit, label):
+    aig, _ = circuit_to_aig(circuit)
+    edges = redundant_edges(aig)
+    assert edges == [], (
+        f"{label}: KMS output has redundant AIG edges: "
+        f"{[e.describe(aig) for e in edges]}"
+    )
+
+
+@pytest.mark.parametrize("nbits,block", CSA_SIZES)
+def test_kms_csa_output_zero_redundant_edges(benchmark, nbits, block):
+    def run():
+        circuit = carry_skip_adder(nbits, block)
+        return kms(circuit, mode="static", model=CSA_MODEL).circuit
+
+    out = once(benchmark, run)
+    _assert_zero_redundant(out, f"csa {nbits}.{block}")
+
+
+@pytest.mark.parametrize("name", MCNC_NAMES)
+def test_kms_mcnc_output_zero_redundant_edges(benchmark, name):
+    def run():
+        circuit = optimized_mcnc(name, late_arrival=6.0, model=MCNC_MODEL)
+        return kms(circuit, mode="static", model=MCNC_MODEL).circuit
+
+    out = once(benchmark, run)
+    _assert_zero_redundant(out, name)
+
+
+@pytest.mark.parametrize("nbits,block", CSA_SIZES)
+def test_pre_kms_carry_skip_redundancy_is_flagged(benchmark, nbits, block):
+    """The control arm: before KMS, the carry-skip structure IS
+    redundant, and the AIG checker must say so."""
+    def run():
+        aig, _ = circuit_to_aig(carry_skip_adder(nbits, block))
+        return redundant_edges(aig)
+
+    edges = once(benchmark, run)
+    assert len(edges) > 0

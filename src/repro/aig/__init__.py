@@ -1,0 +1,45 @@
+"""And-Inverter Graph subsystem: structural hashing, fraiging, redundancy.
+
+The AIG is the fast combinational substrate under the verify pipeline:
+``Circuit`` networks convert losslessly (:mod:`repro.aig.convert`),
+two-level structural hashing collapses shared and trivially-equal cones
+at node creation (:mod:`repro.aig.aig`), SAT sweeping proves the
+simulation-suggested remainder (:mod:`repro.aig.fraig`), and a fast
+stuck-at redundancy pass cross-checks KMS irredundancy claims
+(:mod:`repro.aig.redundancy`).  See ``docs/AIG.md``.
+"""
+
+from .aig import (
+    LIT_FALSE,
+    LIT_TRUE,
+    Aig,
+    AigError,
+    lit_make,
+    lit_neg,
+    lit_node,
+    lit_phase,
+)
+from .convert import aig_to_circuit, circuit_to_aig, miter_aig
+from .fraig import FraigResult, FraigStats, SweepSolver, fraig
+from .redundancy import RedundantEdge, redundant_edges, remove_redundancies
+
+__all__ = [
+    "Aig",
+    "AigError",
+    "FraigResult",
+    "FraigStats",
+    "LIT_FALSE",
+    "LIT_TRUE",
+    "RedundantEdge",
+    "SweepSolver",
+    "aig_to_circuit",
+    "circuit_to_aig",
+    "fraig",
+    "lit_make",
+    "lit_neg",
+    "lit_node",
+    "lit_phase",
+    "miter_aig",
+    "redundant_edges",
+    "remove_redundancies",
+]

@@ -1,0 +1,155 @@
+"""Lossless ``Circuit`` <-> AIG conversion.
+
+Every gate type in :mod:`repro.network.gates` maps onto AND nodes and
+complemented edges; PI and PO *names* are preserved exactly, so a
+round-tripped circuit plugs straight back into the name-matched
+equivalence checkers.  What the AIG deliberately forgets is timing --
+gate and connection delays have no AIG currency -- so conversion is
+lossless *functionally*, not temporally; callers that need delays
+re-derive them downstream (the fraig engine stage documents this).
+
+``circuit_to_aig`` accepts an existing AIG plus a name -> literal map so
+two circuits can be encoded into one graph with shared inputs: that is
+the miter construction of the fraig-first equivalence path, where
+structural hashing alone already merges every cone the two circuits
+share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..network import Circuit, GateType
+from .aig import LIT_FALSE, LIT_TRUE, Aig, lit_make, lit_neg, lit_node, lit_phase
+
+
+def circuit_to_aig(
+    circuit: Circuit,
+    into: Optional[Aig] = None,
+    input_lits: Optional[Dict[str, int]] = None,
+) -> Tuple[Aig, Dict[int, int]]:
+    """Encode a circuit into an AIG; returns (aig, gid -> literal map).
+
+    ``into`` encodes into an existing graph (new inputs are created only
+    for PI names absent from ``input_lits``); outputs are registered
+    under their circuit names.
+    """
+    aig = into if into is not None else Aig(circuit.name)
+    shared = dict(input_lits or {})
+    lit: Dict[int, int] = {}
+    for gid in circuit.topological_order():
+        gate = circuit.gates[gid]
+        gtype = gate.gtype
+        if gtype is GateType.INPUT:
+            name = gate.name or f"pi{gid}"
+            if name in shared:
+                lit[gid] = shared[name]
+            else:
+                lit[gid] = shared[name] = aig.add_input(name)
+            continue
+        if gtype is GateType.CONST0:
+            lit[gid] = LIT_FALSE
+            continue
+        if gtype is GateType.CONST1:
+            lit[gid] = LIT_TRUE
+            continue
+        ins = [lit[circuit.conns[c].src] for c in gate.fanin]
+        if gtype in (GateType.BUF, GateType.OUTPUT):
+            lit[gid] = ins[0]
+            if gtype is GateType.OUTPUT:
+                aig.add_output(gate.name or f"po{gid}", ins[0])
+            continue
+        if gtype is GateType.NOT:
+            lit[gid] = lit_neg(ins[0])
+        elif gtype is GateType.AND:
+            lit[gid] = aig.add_and_many(ins)
+        elif gtype is GateType.NAND:
+            lit[gid] = lit_neg(aig.add_and_many(ins))
+        elif gtype is GateType.OR:
+            lit[gid] = aig.add_or_many(ins)
+        elif gtype is GateType.NOR:
+            lit[gid] = lit_neg(aig.add_or_many(ins))
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            acc = ins[0]
+            for nxt in ins[1:]:
+                acc = aig.add_xor(acc, nxt)
+            lit[gid] = acc if gtype is GateType.XOR else lit_neg(acc)
+        else:  # pragma: no cover - the vocabulary above is exhaustive
+            raise ValueError(f"cannot convert gate type {gtype}")
+    return aig, lit
+
+
+def aig_to_circuit(aig: Aig, name: Optional[str] = None) -> Circuit:
+    """Rebuild a circuit from the live cones of an AIG.
+
+    AND nodes become 2-input AND gates (unit delay); complemented edges
+    become shared NOT gates (zero delay -- inverters are free in the
+    AIG cost model); dangling nodes are dropped.  PI/PO names survive
+    unchanged, including constant and direct-PI outputs.
+    """
+    circuit = Circuit(name or aig.name)
+    gid_of_node: Dict[int, int] = {}
+    for node in aig.inputs:
+        gid_of_node[node] = circuit.add_input(aig.input_name(node))
+    live = set(aig.cone())
+    const_gid: Dict[int, int] = {}
+
+    def const(value: int) -> int:
+        if value not in const_gid:
+            const_gid[value] = circuit.add_gate(
+                GateType.CONST1 if value else GateType.CONST0, 0.0
+            )
+        return const_gid[value]
+
+    inverter: Dict[int, int] = {}
+
+    def gid_of_lit(lit: int) -> int:
+        node = lit_node(lit)
+        if node == 0:
+            return const(lit_phase(lit))
+        gid = gid_of_node[node]
+        if not lit_phase(lit):
+            return gid
+        if gid not in inverter:
+            inverter[gid] = circuit.add_simple(
+                GateType.NOT, [gid], delay=0.0
+            )
+        return inverter[gid]
+
+    for node in sorted(live):
+        if not aig.is_and(node):
+            continue
+        f0, f1 = aig.fanins(node)
+        gid_of_node[node] = circuit.add_simple(
+            GateType.AND, [gid_of_lit(f0), gid_of_lit(f1)], delay=1.0
+        )
+    for po_name, lit in aig.outputs:
+        circuit.add_output(po_name, gid_of_lit(lit))
+    return circuit
+
+
+def miter_aig(a: Circuit, b: Circuit) -> Tuple[Aig, Dict[str, Tuple[int, int]]]:
+    """Encode two circuits into one AIG with shared PIs.
+
+    Returns the combined graph and, per PO name, the pair of output
+    literals ``(lit_in_a, lit_in_b)``.  Raises ``ValueError`` on PI/PO
+    interface mismatch (a harness bug, not an inequivalence), matching
+    :func:`repro.sat.equivalence.check_equivalence`.
+    """
+    a_pis = {a.gates[g].name for g in a.inputs}
+    b_pis = {b.gates[g].name for g in b.inputs}
+    if a_pis != b_pis:
+        raise ValueError(f"PI mismatch: {sorted(a_pis ^ b_pis)}")
+    a_pos = {a.gates[g].name: g for g in a.outputs}
+    b_pos = {b.gates[g].name: g for g in b.outputs}
+    if set(a_pos) != set(b_pos):
+        raise ValueError(f"PO mismatch: {sorted(set(a_pos) ^ set(b_pos))}")
+    aig = Aig(f"miter({a.name},{b.name})")
+    aig, lit_a = circuit_to_aig(a, into=aig)
+    shared = {aig.input_name(node): lit_make(node) for node in aig.inputs}
+    aig, lit_b = circuit_to_aig(b, into=aig, input_lits=shared)
+    pairs = {
+        po_name: (lit_a[a_pos[po_name]], lit_b[b_pos[po_name]])
+        for po_name in a_pos
+    }
+    return aig, pairs

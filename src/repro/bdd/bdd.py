@@ -33,6 +33,11 @@ class BDD:
     ZERO = 0
     ONE = 1
 
+    @property
+    def node_count(self) -> int:
+        """Total nodes allocated by this manager (growth-budget probe)."""
+        return len(self._nodes)
+
     def add_var(self) -> int:
         """Allocate a new variable, returning its index."""
         self.num_vars += 1

@@ -10,8 +10,12 @@ would run:
 * ``table1``   -- regenerate the paper's Table I rows;
 * ``bench``    -- the engine-backed sweeps: Table I, the scaling study,
   and seeded random-circuit fuzzing, with ``--jobs N`` parallelism,
-  ``--cache DIR`` content-addressed result caching, and ``--telemetry
+  ``--cache DIR`` content-addressed result caching, ``--verify
+  {fraig,cnf}`` appended equivalence checking, and ``--telemetry
   out.json`` machine-readable run telemetry;
+* ``aig``      -- the And-Inverter-Graph substrate: ``stats`` (hashed
+  node counts), ``fraig`` (SAT-sweep a BLIF circuit), ``redundant``
+  (stuck-at-redundant AIG edges, the Teslenko--Dubrova funnel);
 * ``generate`` -- emit the built-in circuits (adders, paper figures,
   MCNC-like suite, seeded random circuits) as BLIF.
 """
@@ -172,9 +176,10 @@ def cmd_bench(args) -> int:
         cache_dir=args.cache,
         stage_timeout=args.timeout,
     )
+    verify = None if args.verify == "none" else args.verify
     if args.suite == "table1":
         jobs = table1_jobs(which=args.which, quick=args.quick,
-                           mode=args.mode)
+                           mode=args.mode, verify=verify)
     elif args.suite == "scaling":
         jobs = scaling_jobs(mode=args.mode)
     else:
@@ -183,7 +188,8 @@ def cmd_bench(args) -> int:
     report = run_jobs(
         jobs, config,
         meta={"suite": args.suite, "which": args.which,
-              "quick": args.quick, "mode": args.mode, "seed": args.seed},
+              "quick": args.quick, "mode": args.mode, "seed": args.seed,
+              "verify": verify},
     )
     if args.suite == "table1":
         rows = rows_from_report(report)
@@ -210,6 +216,49 @@ def cmd_bench(args) -> int:
         report.telemetry.write_json(args.telemetry)
         print(f"# telemetry written to {args.telemetry}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def cmd_aig(args) -> int:
+    from .aig import (
+        circuit_to_aig,
+        aig_to_circuit,
+        fraig,
+        redundant_edges,
+    )
+
+    circuit = _load(args.input)
+    aig, _ = circuit_to_aig(circuit)
+    if args.action == "stats":
+        print(f"inputs      : {aig.num_inputs()}")
+        print(f"outputs     : {len(aig.outputs)}")
+        print(f"and nodes   : {aig.num_ands()}")
+        print(f"live ands   : {aig.num_ands(live_only=True)}")
+        print(f"gates (net) : {circuit.num_gates()}")
+        return 0
+    if args.action == "fraig":
+        result = fraig(aig, seed=args.seed,
+                       conflict_limit=args.conflict_limit)
+        stats = result.stats
+        print(
+            f"# fraig: ands {stats.ands_before} -> {stats.ands_after}; "
+            f"{stats.structural_merges} structural, "
+            f"{stats.sat_proved} SAT-proved, "
+            f"{stats.sat_refuted} refuted, "
+            f"{stats.sat_undecided} undecided "
+            f"({stats.patterns} patterns)",
+            file=sys.stderr,
+        )
+        _save(aig_to_circuit(result.aig, name=circuit.name),
+              args.output, args.format)
+        return 0
+    if args.action == "redundant":
+        edges = redundant_edges(aig, patterns=args.patterns,
+                                seed=args.seed)
+        print(f"redundant AIG edges: {len(edges)}")
+        for edge in edges:
+            print(f"  {edge.describe(aig)}")
+        return 0 if not edges else 1
+    raise AssertionError(f"unhandled aig action {args.action!r}")
 
 
 _GENERATORS = {
@@ -324,7 +373,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--count", type=int, default=8,
         help="number of circuits in the random suite",
     )
+    p.add_argument(
+        "--verify", choices=["none", "fraig", "cnf"], default="none",
+        help="append an equivalence check per job (table1 suite only)",
+    )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "aig", help="AIG substrate: stats, SAT sweeping, redundancy"
+    )
+    p.add_argument(
+        "action", choices=["stats", "fraig", "redundant"],
+        help=(
+            "stats: structural-hash node counts; fraig: SAT-sweep and "
+            "emit the swept circuit; redundant: list stuck-at-redundant "
+            "AIG edges (exit 1 if any)"
+        ),
+    )
+    p.add_argument("input")
+    p.add_argument("-o", "--output", help="output BLIF (fraig action)")
+    p.add_argument(
+        "--format", choices=["blif", "verilog"], default="blif"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--patterns", type=int, default=128,
+        help="simulation prefilter width (redundant action)",
+    )
+    p.add_argument(
+        "--conflict-limit", type=int, default=1000,
+        help="SAT budget per fraig merge proof",
+    )
+    p.set_defaults(func=cmd_aig)
 
     p = sub.add_parser("generate", help="emit a built-in circuit as BLIF")
     p.add_argument(

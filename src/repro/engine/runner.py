@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..network import Circuit
-from ..sat import solve_calls
+from ..sat import SolveCallTracker
 from .cache import ResultCache
 from .hashing import circuit_fingerprint
 from .serialize import circuit_from_dict, circuit_to_dict
@@ -259,9 +259,10 @@ def _execute_call(
 
     attempts = max(1, config.retries + 1)
     last_exc: Optional[BaseException] = None
+    tracker = SolveCallTracker()
     for attempt in range(attempts):
         attempt_start = now()
-        sat_before = solve_calls()
+        tracker.reset()
         try:
             outcome = _call_with_timeout(
                 lambda: stage.fn(circuit, call.params, ctx),
@@ -275,13 +276,13 @@ def _execute_call(
                 label=call.key,
                 seconds=now() - attempt_start,
                 cache=cache_state or CACHE_UNCACHEABLE,
-                counters={"sat_calls": solve_calls() - sat_before,
+                counters={"sat_calls": tracker.calls,
                           "attempt": attempt + 1},
                 error=f"{type(exc).__name__}: {exc}",
             ))
             continue
         counters = dict(outcome.counters)
-        counters["sat_calls"] = solve_calls() - sat_before
+        counters["sat_calls"] = tracker.calls
         if attempt:
             counters["attempt"] = attempt + 1
         telemetry.add(StageRecord(

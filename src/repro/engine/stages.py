@@ -241,16 +241,62 @@ def _stage_kms(
     )
 
 
+def _stage_fraig(
+    circuit: Circuit, params: Dict[str, Any], ctx: Dict[str, Any]
+) -> StageOutcome:
+    """SAT-sweep the circuit through the AIG substrate.
+
+    Structural hashing plus fraiging collapses functionally-equivalent
+    internal nodes; the result converts back to a ``Circuit`` so any
+    downstream stage (atpg, sense_delay, verify) is oblivious to the
+    detour.  Cacheable: sweeping is deterministic in ``seed``."""
+    from ..aig import aig_to_circuit, circuit_to_aig, fraig
+
+    aig, _ = circuit_to_aig(circuit)
+    ands_in = aig.num_ands(live_only=True)
+    result = fraig(
+        aig,
+        seed=int(params.get("seed", 0)),
+        words=int(params.get("words", 2)),
+        conflict_limit=params.get("conflict_limit", 1000),
+    )
+    swept = aig_to_circuit(result.aig, name=circuit.name)
+    return StageOutcome(
+        swept,
+        {
+            "ands_in": ands_in,
+            "ands_out": result.aig.num_ands(live_only=True),
+            "gates_out": swept.num_gates(),
+            **result.stats.to_dict(),
+        },
+        counters={
+            "gates_in": circuit.num_gates(),
+            "gates_out": swept.num_gates(),
+            "ands_in": ands_in,
+            "ands_out": result.aig.num_ands(live_only=True),
+        },
+        changed=True,
+    )
+
+
 def _stage_verify(
     circuit: Circuit, params: Dict[str, Any], ctx: Dict[str, Any]
 ) -> StageOutcome:
     """Equivalence check of the current circuit against the pipeline's
-    generated input (uncacheable: it is the trust anchor)."""
+    generated input (uncacheable: it is the trust anchor).
+
+    ``params["method"]`` picks the engine: ``"fraig"`` (default, see
+    :mod:`repro.sat.equivalence`) or ``"cnf"`` (the miter baseline)."""
     baseline = ctx.get("generated")
     if baseline is None:
         raise ValueError("verify stage needs a generated baseline in ctx")
-    equivalent = check_equivalence(baseline, circuit).equivalent
-    return StageOutcome(circuit, {"equivalent": equivalent})
+    method = params.get("method", "fraig")
+    equivalent = check_equivalence(baseline, circuit, method=method).equivalent
+    return StageOutcome(
+        circuit,
+        {"equivalent": equivalent, "method": method},
+        counters={"equivalent": int(equivalent)},
+    )
 
 
 STAGES: Dict[str, StageDef] = {
@@ -259,6 +305,7 @@ STAGES: Dict[str, StageDef] = {
     "atpg": StageDef("atpg", _stage_atpg),
     "sense_delay": StageDef("sense_delay", _stage_sense_delay),
     "kms": StageDef("kms", _stage_kms),
+    "fraig": StageDef("fraig", _stage_fraig),
     "verify": StageDef("verify", _stage_verify, cacheable=False),
 }
 

@@ -45,11 +45,15 @@ def table1_pipeline(
     model: Dict[str, Any],
     mode: str = "static",
     speedup_model: Optional[Dict[str, Any]] = None,
+    verify: Optional[str] = None,
 ) -> List[StageCall]:
     """The Table I measurement pipeline for one circuit.
 
     ``speedup_model`` non-None prepends the MIS-II-style delay
-    optimization (the MCNC flow); csa rows skip it.
+    optimization (the MCNC flow); csa rows skip it.  ``verify`` appends
+    an equivalence check of the final circuit against the generated one
+    with the named engine (``"fraig"`` or ``"cnf"`` -- the A/B the CI
+    telemetry job compares).
     """
     calls: List[StageCall] = []
     if speedup_model is not None:
@@ -60,6 +64,8 @@ def table1_pipeline(
         StageCall("kms", {"model": model, "mode": mode}),
         StageCall("sense_delay", {"model": model}, label="delay_final"),
     ]
+    if verify is not None:
+        calls.append(StageCall("verify", {"method": verify}))
     return calls
 
 
@@ -69,6 +75,7 @@ def table1_jobs(
     mode: str = "static",
     csa_sizes: Optional[Sequence[Tuple[int, int]]] = None,
     mcnc_names: Optional[Sequence[str]] = None,
+    verify: Optional[str] = None,
 ) -> List[Job]:
     """Jobs reproducing Table I (or the requested slice of it)."""
     jobs: List[Job] = []
@@ -81,7 +88,7 @@ def table1_jobs(
                 name=f"csa {nbits}.{block}",
                 factory="carry_skip_adder",
                 params={"nbits": nbits, "block": block},
-                pipeline=table1_pipeline(CSA_MODEL, mode),
+                pipeline=table1_pipeline(CSA_MODEL, mode, verify=verify),
             ))
     if which in ("mcnc", "all"):
         from ..circuits.mcnc import MCNC_NAMES
@@ -95,7 +102,8 @@ def table1_jobs(
                 factory="mcnc",
                 params={"name": name, "late_arrival": MCNC_LATE_ARRIVAL},
                 pipeline=table1_pipeline(
-                    MCNC_MODEL, mode, speedup_model=MCNC_MODEL
+                    MCNC_MODEL, mode, speedup_model=MCNC_MODEL,
+                    verify=verify,
                 ),
             ))
     return jobs
@@ -192,9 +200,11 @@ def run_table1(
     quick: bool = False,
     mode: str = "static",
     config: Optional[EngineConfig] = None,
+    verify: Optional[str] = None,
 ) -> RunReport:
     """Run the Table I sweep under the given engine configuration."""
-    jobs = table1_jobs(which=which, quick=quick, mode=mode)
+    jobs = table1_jobs(which=which, quick=quick, mode=mode, verify=verify)
     return run_jobs(jobs, config=config,
                     meta={"sweep": "table1", "which": which,
-                          "quick": quick, "mode": mode})
+                          "quick": quick, "mode": mode,
+                          "verify": verify})

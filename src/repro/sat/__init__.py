@@ -1,7 +1,13 @@
 """SAT substrate: CNF, CDCL solver, Tseitin encoding, equivalence."""
 
 from .cnf import CNF
-from .solver import Solver, solve_calls, solve_cnf
+from .solver import (
+    Solver,
+    SolveCallTracker,
+    reset_solve_calls,
+    solve_calls,
+    solve_cnf,
+)
 from .tseitin import CircuitEncoder, EncodedCircuit, encode_circuit
 from .equivalence import (
     EquivalenceResult,
@@ -14,10 +20,12 @@ __all__ = [
     "CircuitEncoder",
     "EncodedCircuit",
     "EquivalenceResult",
+    "SolveCallTracker",
     "Solver",
     "assert_equivalent",
     "check_equivalence",
     "encode_circuit",
+    "reset_solve_calls",
     "solve_calls",
     "solve_cnf",
 ]

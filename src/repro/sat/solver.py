@@ -20,14 +20,59 @@ from .cnf import CNF
 TRUE, FALSE, UNASSIGNED = 1, 0, -1
 
 #: Process-wide count of :meth:`Solver.solve` invocations.  Telemetry
-#: (``repro.engine.telemetry``) snapshots this around pipeline stages to
-#: attribute SAT effort per stage; each worker process counts its own.
+#: (``repro.engine.telemetry``) attributes SAT effort per stage through
+#: :class:`SolveCallTracker` deltas; each worker process counts its own.
 _SOLVE_CALLS = 0
 
 
 def solve_calls() -> int:
     """Total ``Solver.solve`` invocations in this process so far."""
     return _SOLVE_CALLS
+
+
+def reset_solve_calls() -> None:
+    """Zero the process-wide counter (test isolation only).
+
+    Consumers must never attribute work by differencing two raw
+    :func:`solve_calls` reads across a possible reset; they hold a
+    :class:`SolveCallTracker`, whose deltas stay correct (clamped at
+    zero) even when the counter is reset mid-flight.
+    """
+    global _SOLVE_CALLS
+    _SOLVE_CALLS = 0
+
+
+class SolveCallTracker:
+    """Snapshot/delta view of the solve-call counter.
+
+    The engine opens one tracker per stage attempt, so nested stages,
+    retries, and parallel workers (each process has its own counter)
+    all report *their own* call counts rather than a global read.  Also
+    usable as a context manager::
+
+        with SolveCallTracker() as tracker:
+            ...solve things...
+        stage_calls = tracker.calls
+    """
+
+    def __init__(self) -> None:
+        self._mark = solve_calls()
+
+    def reset(self) -> None:
+        """Restart the delta window at the current counter value."""
+        self._mark = solve_calls()
+
+    @property
+    def calls(self) -> int:
+        """Solve calls in this process since construction/reset."""
+        return max(0, solve_calls() - self._mark)
+
+    def __enter__(self) -> "SolveCallTracker":
+        self.reset()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
 
 
 class Solver:
@@ -371,6 +416,16 @@ class Solver:
 
     def _assumption_level(self) -> int:
         return 0
+
+    def reset_to_root(self) -> None:
+        """Backtrack to decision level 0.
+
+        Incremental callers (SAT sweeping asks hundreds of small
+        queries of one solver) must return to the root level before
+        :meth:`add_clause`, since the trail still holds the last
+        solve's decisions after a SAT answer.
+        """
+        self._backtrack(0)
 
     def model(self) -> Dict[int, bool]:
         """The satisfying assignment found by the last True solve."""

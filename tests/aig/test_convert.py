@@ -1,0 +1,112 @@
+"""Circuit <-> AIG conversion: losslessness over the full gate vocabulary."""
+
+import pytest
+
+from repro.aig import aig_to_circuit, circuit_to_aig, miter_aig
+from repro.network import Builder, GateType
+from repro.sat import assert_equivalent, check_equivalence
+from repro.sim import outputs_equal_exhaustive
+
+
+def _all_gate_types_circuit():
+    """One circuit exercising every convertible gate type."""
+    b = Builder("everything")
+    x = b.input("x")
+    y = b.input("y")
+    z = b.input("z")
+    b.output("o_and", b.and_(x, y, z))
+    b.output("o_nand", b.nand(x, y))
+    b.output("o_or", b.or_(x, y, z))
+    b.output("o_nor", b.nor(y, z))
+    b.output("o_xor", b.xor(x, y, z))
+    b.output("o_xnor", b.xnor(x, z))
+    b.output("o_not", b.not_(x))
+    b.output("o_buf", b.buf(y))
+    b.output("o_c0", b.const(0))
+    b.output("o_c1", b.const(1))
+    return b.done()
+
+
+def test_every_gate_type_roundtrips():
+    circuit = _all_gate_types_circuit()
+    aig, _ = circuit_to_aig(circuit)
+    back = aig_to_circuit(aig)
+    assert outputs_equal_exhaustive(circuit, back)
+
+
+def test_aig_evaluate_matches_circuit():
+    from repro.sim import simulate_cube_by_name
+
+    circuit = _all_gate_types_circuit()
+    aig, _ = circuit_to_aig(circuit)
+    names = [circuit.gates[g].name for g in circuit.inputs]
+    po_gid = {circuit.gates[g].name: g for g in circuit.outputs}
+    for pattern in range(1 << len(names)):
+        assignment = {
+            name: (pattern >> k) & 1 for k, name in enumerate(names)
+        }
+        expected = simulate_cube_by_name(circuit, assignment)
+        got = aig.evaluate(assignment)
+        for po_name, value in got.items():
+            assert value == expected[po_gid[po_name]], (po_name, assignment)
+
+
+def test_roundtrip_preserves_interface_names():
+    circuit = _all_gate_types_circuit()
+    back = aig_to_circuit(circuit_to_aig(circuit)[0])
+    assert (
+        sorted(back.gates[g].name for g in back.inputs)
+        == sorted(circuit.gates[g].name for g in circuit.inputs)
+    )
+    assert (
+        sorted(back.gates[g].name for g in back.outputs)
+        == sorted(circuit.gates[g].name for g in circuit.outputs)
+    )
+    # and the equivalence checkers accept the pair directly
+    assert_equivalent(circuit, back)
+
+
+def test_roundtrip_gate_vocabulary_is_and_not_only():
+    back = aig_to_circuit(circuit_to_aig(_all_gate_types_circuit())[0])
+    kinds = {back.gates[g].gtype for g in back.gates}
+    assert kinds <= {
+        GateType.INPUT, GateType.OUTPUT, GateType.AND, GateType.NOT,
+        GateType.CONST0, GateType.CONST1,
+    }
+
+
+def test_shared_encoding_merges_common_cones():
+    b = Builder("left")
+    x, y = b.input("x"), b.input("y")
+    b.output("o", b.and_(x, y))
+    left = b.done()
+    b = Builder("right")
+    x, y = b.input("x"), b.input("y")
+    b.output("o", b.not_(b.nand(x, y)))
+    right = b.done()
+    aig, pairs = miter_aig(left, right)
+    la, lb = pairs["o"]
+    assert la == lb  # hashing merged the two AND cones
+    assert aig.num_inputs() == 2
+
+
+def test_miter_rejects_interface_mismatch():
+    b = Builder("a")
+    b.output("o", b.not_(b.input("x")))
+    a = b.done()
+    b2 = Builder("b")
+    b2.output("o", b2.not_(b2.input("DIFFERENT")))
+    with pytest.raises(ValueError):
+        miter_aig(a, b2.done())
+
+
+def test_constant_output_circuit():
+    b = Builder("consts")
+    x = b.input("x")
+    b.output("tautology", b.or_(x, b.not_(x)))
+    circuit = b.done()
+    aig, _ = circuit_to_aig(circuit)
+    (name, lit), = [p for p in aig.outputs if p[0] == "tautology"]
+    assert lit == 1  # folded to constant true at build time
+    back = aig_to_circuit(aig)
+    assert check_equivalence(circuit, back).equivalent

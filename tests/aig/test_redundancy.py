@@ -1,0 +1,84 @@
+"""Stuck-at redundancy identification and removal on AIG edges."""
+
+from repro.aig import (
+    Aig,
+    circuit_to_aig,
+    redundant_edges,
+    remove_redundancies,
+)
+from repro.circuits import carry_skip_adder, fig2_irredundant_block
+from repro.core import kms
+from repro.sat import assert_equivalent
+from repro.aig import aig_to_circuit
+from repro.timing import UnitDelayModel
+
+
+def _plant_and(aig, f0, f1):
+    """Append an AND node bypassing hashing and rewriting (tests need
+    redundancy the builder would otherwise fold away)."""
+    from repro.aig import lit_make
+
+    node = aig.num_nodes()
+    aig._fanin0.append(min(f0, f1))
+    aig._fanin1.append(max(f0, f1))
+    return lit_make(node)
+
+
+def _redundant_aig():
+    """o = (a & b) | (a & b & c): absorption makes the whole second term
+    redundant -- its edges are stuck-at-redundant once planted behind
+    the hasher's back."""
+    from repro.aig import lit_neg
+
+    aig = Aig()
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    c = aig.add_input("c")
+    ab = aig.add_and(a, b)
+    abc = _plant_and(aig, ab, c)
+    o = lit_neg(_plant_and(aig, lit_neg(ab), lit_neg(abc)))
+    aig.add_output("o", o)
+    return aig
+
+
+def test_detects_planted_redundancy():
+    aig = _redundant_aig()
+    edges = redundant_edges(aig)
+    assert edges, "planted absorption redundancy must be found"
+    described = [e.describe(aig) for e in edges]
+    assert any("stuck-at-1" in d for d in described)
+
+
+def test_pre_kms_carry_skip_has_redundant_edges():
+    """The known carry-skip redundancy (the paper's Figure 1 shape)
+    survives conversion: the pre-KMS csa AIG is NOT irredundant."""
+    aig, _ = circuit_to_aig(carry_skip_adder(2, 2))
+    assert len(redundant_edges(aig)) > 0
+
+
+def test_kms_output_has_zero_redundant_edges():
+    """Theorem 7.1 cross-check, quick row (full suite: benchmarks)."""
+    circuit = carry_skip_adder(2, 2)
+    model = UnitDelayModel(use_arrival_times=False)
+    out = kms(circuit, mode="static", model=model).circuit
+    aig, _ = circuit_to_aig(out)
+    assert redundant_edges(aig) == []
+
+
+def test_irredundant_block_is_clean():
+    aig, _ = circuit_to_aig(fig2_irredundant_block())
+    assert redundant_edges(aig) == []
+
+
+def test_remove_redundancies_preserves_function():
+    aig = _redundant_aig()
+    cleaned, removed = remove_redundancies(aig)
+    assert removed
+    assert redundant_edges(cleaned) == []
+    assert_equivalent(aig_to_circuit(aig), aig_to_circuit(cleaned))
+
+
+def test_conflict_limited_run_is_conservative():
+    aig = _redundant_aig()
+    # a zero-conflict budget cannot prove anything redundant
+    assert redundant_edges(aig, conflict_limit=0) == []

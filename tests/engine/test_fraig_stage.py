@@ -1,0 +1,80 @@
+"""The fraig engine stage and the verify stage's method switch."""
+
+from repro.engine import (
+    EngineConfig,
+    Job,
+    StageCall,
+    execute_job,
+    run_jobs,
+)
+from repro.engine.telemetry import Telemetry
+
+
+def _job(pipeline, seed=7):
+    return Job(
+        name="t", factory="random_redundant", params={"seed": seed},
+        pipeline=pipeline,
+    )
+
+
+def test_fraig_stage_sweeps_and_verifies():
+    result = execute_job(_job([
+        StageCall("fraig", {"seed": 0}),
+        StageCall("verify", {}),
+    ]))
+    assert result.ok, result.error
+    payload = result.results["fraig"]
+    assert payload["ands_out"] <= payload["ands_in"]
+    assert payload["gates_out"] > 0
+    assert result.results["verify"] == {
+        "equivalent": True, "method": "fraig",
+    }
+
+
+def test_verify_method_param_selects_engine():
+    for method in ("fraig", "cnf"):
+        result = execute_job(_job([
+            StageCall("kms", {"model": {"kind": "as_built"}}),
+            StageCall("verify", {"method": method}),
+        ]))
+        assert result.ok, result.error
+        assert result.results["verify"]["method"] == method
+        assert result.results["verify"]["equivalent"]
+
+
+def test_verify_sat_calls_attributed_per_method():
+    """Telemetry must show the budget difference the A/B CI job checks:
+    cnf = one call per verify, fraig = zero on equivalent pairs."""
+    calls = {}
+    for method in ("fraig", "cnf"):
+        telemetry = Telemetry()
+        result = execute_job(
+            _job([
+                StageCall("kms", {"model": {"kind": "as_built"}}),
+                StageCall("verify", {"method": method}),
+            ]),
+            telemetry=telemetry,
+        )
+        assert result.ok
+        record = next(
+            r for r in telemetry.records if r.stage == "verify"
+        )
+        calls[method] = record.counters["sat_calls"]
+    assert calls["cnf"] == 1
+    assert calls["fraig"] == 0
+
+
+def test_fraig_stage_is_cached(tmp_path):
+    job = _job([StageCall("fraig", {"seed": 0})])
+    config = EngineConfig(cache_dir=str(tmp_path))
+    cold = run_jobs([job], config=config)
+    warm = run_jobs([job], config=config)
+    assert cold.ok and warm.ok
+    warm_record = next(
+        r for r in warm.telemetry.records if r.stage == "fraig"
+    )
+    assert warm_record.cache == "hit"
+    assert (
+        warm.results[0].results["fraig"]
+        == cold.results[0].results["fraig"]
+    )

@@ -60,7 +60,9 @@ def test_two_workers_match_serial_path():
     parallel = run_jobs(SMOKE_JOBS, EngineConfig(jobs=2))
     assert serial.ok and parallel.ok
     assert _essence(serial) == _essence(parallel)
-    assert parallel.results[2].results["verify"] == {"equivalent": True}
+    assert parallel.results[2].results["verify"] == {
+        "equivalent": True, "method": "fraig",
+    }
     assert parallel.results[0].results["atpg"]["redundancies"] == 2
 
 

@@ -1,0 +1,61 @@
+"""Snapshot/delta SAT-call accounting (reset-safe per engine stage)."""
+
+from repro.sat import (
+    CNF,
+    SolveCallTracker,
+    Solver,
+    reset_solve_calls,
+    solve_calls,
+)
+
+
+def _one_solve():
+    cnf = CNF()
+    v = cnf.new_var()
+    cnf.add_clause((v,))
+    Solver(cnf).solve()
+
+
+def test_tracker_counts_deltas_not_globals():
+    _one_solve()  # pre-existing global count must not leak in
+    tracker = SolveCallTracker()
+    assert tracker.calls == 0
+    _one_solve()
+    _one_solve()
+    assert tracker.calls == 2
+
+
+def test_tracker_reset_restarts_the_window():
+    tracker = SolveCallTracker()
+    _one_solve()
+    assert tracker.calls == 1
+    tracker.reset()
+    assert tracker.calls == 0
+    _one_solve()
+    assert tracker.calls == 1
+
+
+def test_tracker_survives_global_reset():
+    """A mid-window reset_solve_calls() (another stage's cleanup, a
+    test's isolation fixture) must not produce negative counts."""
+    _one_solve()
+    tracker = SolveCallTracker()
+    reset_solve_calls()
+    assert tracker.calls == 0  # clamped, not negative
+    _one_solve()
+    tracker.reset()
+    _one_solve()
+    assert tracker.calls == 1
+
+
+def test_tracker_as_context_manager():
+    _one_solve()
+    with SolveCallTracker() as tracker:
+        _one_solve()
+    assert tracker.calls == 1
+
+
+def test_global_counter_still_monotonic():
+    before = solve_calls()
+    _one_solve()
+    assert solve_calls() == before + 1

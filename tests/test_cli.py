@@ -88,3 +88,44 @@ def test_kms_verilog_output(tmp_path):
         ]
     ) == 0
     assert "module" in out.read_text()
+
+
+def test_aig_stats_command(csa_blif, capsys):
+    assert main(["aig", "stats", str(csa_blif)]) == 0
+    out = capsys.readouterr().out
+    assert "and nodes" in out and "live ands" in out
+
+
+def test_aig_fraig_command(csa_blif, tmp_path, capsys):
+    out = tmp_path / "swept.blif"
+    assert main(["aig", "fraig", str(csa_blif), "-o", str(out)]) == 0
+    original = parse_blif(csa_blif.read_text())
+    swept = parse_blif(out.read_text())
+    assert check_equivalence(original, swept).equivalent
+
+
+def test_aig_redundant_command(csa_blif, tmp_path, capsys):
+    # pre-KMS carry-skip: redundant edges exist -> exit 1
+    assert main(["aig", "redundant", str(csa_blif)]) == 1
+    assert "stuck-at" in capsys.readouterr().out
+    # after KMS: clean -> exit 0
+    irr = tmp_path / "irr.blif"
+    assert main(["kms", str(csa_blif), "-o", str(irr)]) == 0
+    capsys.readouterr()
+    assert main(["aig", "redundant", str(irr)]) == 0
+    assert "redundant AIG edges: 0" in capsys.readouterr().out
+
+
+def test_bench_verify_flag(capsys, tmp_path):
+    telemetry = tmp_path / "t.json"
+    assert main([
+        "bench", "--suite", "table1", "--which", "csa", "--quick",
+        "--verify", "fraig", "--telemetry", str(telemetry),
+    ]) == 0
+    import json
+
+    records = json.loads(telemetry.read_text())["records"]
+    verifies = [r for r in records if r["stage"] == "verify"]
+    assert verifies
+    assert all(r["counters"]["sat_calls"] == 0 for r in verifies)
+    assert all(r["counters"]["equivalent"] == 1 for r in verifies)
