@@ -65,14 +65,6 @@ def test_multiblock_adders(benchmark, nbits, block):
 
     def run():
         c = carry_skip_adder(nbits, block, cin_arrival=5.0)
-        skip_gates = [
-            gid
-            for gid, gate in c.gates.items()
-            if gate.gtype.value == "and"
-            and len(gate.fanin) == block
-            and gate.delay == 1.0
-            and len(gate.fanout) == 2  # feeds the MUX select + inverter
-        ]
         before = viability_delay(c, model).delay
         kms_out = kms(c, model=model).circuit
         return before, viability_delay(kms_out, model).delay

@@ -27,7 +27,6 @@ from repro.bench import (
     run_circuit_row,
     render,
 )
-from repro.circuits import MCNC_NAMES
 from repro.core import kms
 from repro.sat import check_equivalence
 from repro.timing import UnitDelayModel

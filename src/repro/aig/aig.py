@@ -31,7 +31,6 @@ without any SAT call.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: The constant-false literal (node 0, positive phase).

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..sat.solver import Solver
-from .aig import Aig, lit_make, lit_neg, lit_node, lit_phase
+from .aig import Aig, lit_node, lit_phase
 
 
 class SweepSolver:

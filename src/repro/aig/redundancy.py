@@ -29,8 +29,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..sat.solver import Solver
-from .aig import Aig, lit_neg, lit_node, lit_phase
+from .aig import Aig, lit_node, lit_phase
 from .fraig import SweepSolver
 
 
@@ -191,7 +190,6 @@ def _edge_is_redundant(
     for n in cone:
         v = solver.new_var()
         if n == edge.node:
-            f_this = aig.fanins(n)[edge.pin]
             f_other = aig.fanins(n)[1 - edge.pin]
             if edge.stuck == 0:
                 solver.add_clause((-v,))

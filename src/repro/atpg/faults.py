@@ -10,12 +10,11 @@ collapsed fault list keeps one of them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Set, Tuple
+from typing import List
 
 from ..network import (
     Circuit,
     GateType,
-    SOURCE_TYPES,
     controlling_value,
     has_controlling_value,
 )

@@ -25,14 +25,9 @@ testable before and after KMS.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..network import (
-    Circuit,
-    GateType,
-    controlling_value,
-    has_controlling_value,
-)
+from ..network import Circuit, GateType, controlling_value
 from ..sat import CircuitEncoder, Solver
 from ..timing.paths import Path
 

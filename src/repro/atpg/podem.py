@@ -22,11 +22,10 @@ from typing import Dict, List, Optional, Tuple
 from ..network import (
     Circuit,
     GateType,
-    controlling_value,
     has_controlling_value,
     noncontrolling_value,
 )
-from ..sim import X, XX, simulate5
+from ..sim import X, simulate5
 from ..sim.dcalc import is_d_or_dbar
 from .faults import CONN, Fault
 

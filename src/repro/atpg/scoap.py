@@ -12,7 +12,7 @@ extreme observability long before ATPG proves anything.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..network import Circuit, GateType
 

@@ -29,7 +29,7 @@ KMS -- is a property of the flow, not of the original PLA contents.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..io.pla import Pla, pla_from_function
 from ..network import Circuit

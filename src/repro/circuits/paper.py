@@ -20,9 +20,9 @@ to 1) so benches can check each intermediate claim.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
-from ..network import Builder, Circuit, GateType
+from ..network import Builder, Circuit
 from ..network.transform import (
     propagate_constants,
     set_connection_constant,

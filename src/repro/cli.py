@@ -73,7 +73,8 @@ def cmd_kms(args) -> int:
     circuit = _load(args.input)
     model = _model(args)
     result = kms(
-        circuit, mode=args.mode, model=model, checked=args.checked
+        circuit, mode=args.mode, model=model, checked=args.checked,
+        incremental=not args.no_incremental,
     )
     report = verify_transformation(circuit, result.circuit, model)
     print(
@@ -82,6 +83,12 @@ def cmd_kms(args) -> int:
         f"{result.cleanup_steps} cleanup removals",
         file=sys.stderr,
     )
+    work = ", ".join(
+        f"{name}={int(value)}" for name, value in sorted(
+            result.counters.items()
+        )
+    )
+    print(f"# work: {work}", file=sys.stderr)
     print(
         f"# gates {report.gates_before} -> {report.gates_after}; "
         f"delay {report.delays_before.sensitizable:g} -> "
@@ -312,6 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--checked", action="store_true")
     p.add_argument("--zero-arrivals", action="store_true")
+    p.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the incremental timing engine (full recompute "
+             "per iteration; the A/B oracle the tests compare against)",
+    )
     p.add_argument(
         "--format", choices=["blif", "verilog"], default="blif"
     )

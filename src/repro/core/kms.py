@@ -33,12 +33,12 @@ after every iteration with the SAT miter and the timing engines.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..network import (
     Circuit,
-    GateType,
     controlling_value,
     has_controlling_value,
 )
@@ -52,6 +52,7 @@ from ..sat import check_equivalence
 from ..timing import (
     AsBuiltDelayModel,
     DelayModel,
+    IncrementalTiming,
     Path,
     SensitizationChecker,
     ViabilityChecker,
@@ -87,6 +88,12 @@ class KmsResult:
     cleanup_steps: int = 0
     #: total gates duplicated across all iterations.
     duplicated_gates: int = 0
+    #: deterministic work counters (arrival_relaxations,
+    #: paths_enumerated, viability_checks_exact,
+    #: viability_checks_prefiltered, cube_cache_hits, paths_capped);
+    #: the engine exports these through telemetry and the CI perf gate
+    #: compares them against the committed baseline.
+    counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def iterations(self) -> int:
@@ -106,6 +113,7 @@ def kms(
     max_longest_paths: int = 5000,
     max_iterations: int = 100000,
     choose_path: Optional[Callable[[List[Path]], Path]] = None,
+    incremental: bool = True,
 ) -> KmsResult:
     """Derive an equivalent irredundant circuit that is no slower.
 
@@ -124,9 +132,19 @@ def kms(
         max_longest_paths: cap on longest-path enumeration per iteration;
             if the cap is hit without finding a sensitizable/viable one,
             the algorithm conservatively keeps iterating on unsensitizable
-            paths it did see (safe: extra work, never wrong).
+            paths it did see (safe: extra work, never wrong).  Hitting the
+            cap raises a ``UserWarning`` and bumps the ``paths_capped``
+            counter so capped runs are visible.
         choose_path: override which unsensitizable longest path to operate
             on (default: the enumeration's first).
+        incremental: drive the loop with the dirty-cone incremental
+            timing engine (:class:`repro.timing.IncrementalTiming`) --
+            arrival times and path counts are re-relaxed only in the
+            fanout of mutated gates, path checks go through the
+            bit-parallel witness prefilter and the fingerprint-keyed cube
+            cache.  ``False`` keeps the from-scratch recompute per
+            iteration; both take bit-identical decisions, so the full
+            mode is the A/B oracle for the incremental one.
 
     Returns:
         :class:`KmsResult` whose circuit is fully single-stuck-at
@@ -143,18 +161,41 @@ def kms(
     model = model if model is not None else AsBuiltDelayModel()
     work = circuit.copy(f"{circuit.name}#kms")
     result = KmsResult(circuit=work)
+    counters = result.counters
+    for name in (
+        "arrival_relaxations",
+        "dist_relaxations",
+        "paths_enumerated",
+        "viability_checks_exact",
+        "viability_checks_prefiltered",
+        "cube_cache_hits",
+        "paths_capped",
+    ):
+        counters[name] = 0
 
     baseline_delay = None
     if checked:
         baseline_delay = _delay_pair(circuit, model)
 
+    timing = (
+        IncrementalTiming(work, model, mode=mode) if incremental else None
+    )
+
     iteration = 0
     while True:
-        ann = analyze(work, model)
+        if timing is not None:
+            timing.begin_iteration()
+            ann = timing.annotation()
+        else:
+            ann = analyze(work, model)
+            # a full pass relaxes every gate once per direction
+            counters["arrival_relaxations"] += len(work.gates)
+            counters["dist_relaxations"] += len(work.gates)
         if ann.delay <= 0:
             break
         target = _find_unsensitizable_longest_path(
-            work, model, mode, ann, max_longest_paths, choose_path
+            work, model, mode, ann, max_longest_paths, choose_path,
+            counters, timing,
         )
         if target is None:
             break  # some longest path is sensitizable/viable: loop exits
@@ -162,8 +203,10 @@ def kms(
             raise KmsError(
                 "KMS did not converge (max_iterations reached)"
             )
-        event = _eliminate_path(work, target, model, checked)
+        event, touched = _eliminate_path(work, target, model, checked)
         event.iteration = iteration
+        if timing is not None:
+            timing.refresh(touched)
         if trace:
             event.snapshot = work.copy(f"{work.name}@{iteration}")
         result.events.append(event)
@@ -171,6 +214,10 @@ def kms(
         if checked:
             _check_invariants(circuit, work, model, baseline_delay)
         iteration += 1
+
+    if timing is not None:
+        for name, value in timing.counters().items():
+            counters[name] += value
 
     # Duplicated chains whose siblings were later tied off are often
     # structurally identical again; fold them before the cleanup phase.
@@ -204,19 +251,34 @@ def _find_unsensitizable_longest_path(
     annotation,
     max_longest_paths: int,
     choose_path: Optional[Callable[[List[Path]], Path]],
+    counters: Dict[str, float],
+    timing: Optional[IncrementalTiming] = None,
 ) -> Optional[Path]:
     """Return a longest path to operate on, or None when some longest
-    path is sensitizable/viable (loop exit condition)."""
-    checker = (
-        ViabilityChecker(work, model)
-        if mode == VIABILITY
-        else SensitizationChecker(work)
-    )
-    test = (
-        checker.is_viable
-        if mode == VIABILITY
-        else checker.is_sensitizable
-    )
+    path is sensitizable/viable (loop exit condition).
+
+    With ``timing`` (incremental mode) path checks go through the
+    prefilter/cache/exact funnel; without it, every check is an exact
+    SAT query on a freshly built checker.  Both give the same booleans.
+    """
+    if timing is not None:
+        test = timing.check_path
+    else:
+        checker = (
+            ViabilityChecker(work, model, annotation=annotation)
+            if mode == VIABILITY
+            else SensitizationChecker(work)
+        )
+        exact = (
+            checker.is_viable
+            if mode == VIABILITY
+            else checker.is_sensitizable
+        )
+
+        def test(path: Path) -> bool:
+            counters["viability_checks_exact"] += 1
+            return exact(path)
+
     candidates: List[Path] = []
     count = 0
     for path in iter_paths_longest_first(work, model, annotation):
@@ -224,7 +286,16 @@ def _find_unsensitizable_longest_path(
             break
         count += 1
         if count > max_longest_paths:
+            counters["paths_capped"] += 1
+            warnings.warn(
+                f"KMS longest-path enumeration capped at "
+                f"{max_longest_paths} paths on {work.name!r}; the run "
+                f"stays sound but may duplicate more than needed "
+                f"(raise max_longest_paths to cover every longest path)",
+                stacklevel=2,
+            )
             break
+        counters["paths_enumerated"] += 1
         if test(path):
             return None
         candidates.append(path)
@@ -237,18 +308,28 @@ def _find_unsensitizable_longest_path(
 
 def _eliminate_path(
     work: Circuit, path: Path, model: DelayModel, checked: bool
-) -> KmsEvent:
-    """One loop body: duplicate to single-fanout, then kill the first edge."""
+) -> Tuple[KmsEvent, Set[int]]:
+    """One loop body: duplicate to single-fanout, then kill the first edge.
+
+    Returns the event plus the union of the transforms' touched-gate
+    sets, the incremental timing engine's refresh input.
+    """
     description = path.describe(work)
     duplicated = 0
     target_path = path
+    touched: Set[int] = set()
     n = path.last_multifanout_gate(work)
     if n is not None:
         j = path.gates.index(n)
         chain = list(path.gates[: j + 1])
         chain_conns = list(path.conns[: j + 1])
         e = path.conns[j + 1]
-        mapping, dup_conns = duplicate_chain(work, chain, chain_conns)
+        mapping, dup_conns, dup_touched = duplicate_chain(
+            work, chain, chain_conns
+        )
+        touched |= dup_touched
+        # moving e re-sources its dst and shrinks n's fanout
+        touched.update({n, mapping[n], work.conns[e].dst})
         work.move_connection_source(e, mapping[n])
         duplicated = len(mapping)
         target_path = Path(
@@ -277,10 +358,13 @@ def _eliminate_path(
         value = controlling_value(first_gate.gtype)
     else:
         value = 0
-    set_connection_constant(work, target_path.first_edge, value)
-    propagate_constants(work)
-    sweep(work, collapse_buffers=True)
-    return KmsEvent(
+    _, const_touched = set_connection_constant(
+        work, target_path.first_edge, value
+    )
+    touched |= const_touched
+    touched |= propagate_constants(work)[1]
+    touched |= sweep(work, collapse_buffers=True)[1]
+    event = KmsEvent(
         iteration=-1,
         path=description,
         path_length=path.length,
@@ -288,6 +372,7 @@ def _eliminate_path(
         constant_value=value,
         gates_after=work.num_gates(),
     )
+    return event, touched
 
 
 def _delay_pair(circuit: Circuit, model: DelayModel):

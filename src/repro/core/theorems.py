@@ -23,7 +23,7 @@ evidence the property-based tests check against the theorem statements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..network import Circuit, CircuitError
 from ..network.transform import (

@@ -46,6 +46,41 @@ def _digest(parts) -> str:
     return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
 
 
+def gate_fingerprint(
+    circuit: Circuit,
+    gid: int,
+    fps: Dict[int, str],
+    pi_index: Dict[int, int],
+    po_index: Dict[int, int],
+) -> str:
+    """Fingerprint of one gate given its fanins' fingerprints in ``fps``.
+
+    The single-gate step of :func:`gate_fingerprints`, exposed so the
+    incremental timing context can re-hash only the transitive fanout of
+    mutated gates (a fingerprint depends solely on the gate's fanin cone,
+    so unchanged cones keep their digests).
+    """
+    gate = circuit.gates[gid]
+    if gate.gtype is GateType.INPUT:
+        seed = (
+            "input",
+            pi_index[gid],
+            _num(circuit.input_arrival.get(gid, 0.0)),
+        )
+    elif gate.gtype in (GateType.CONST0, GateType.CONST1):
+        seed = (gate.gtype.value,)
+    else:
+        fanin = tuple(
+            (fps[circuit.conns[cid].src], _num(circuit.conns[cid].delay))
+            for cid in gate.fanin
+        )
+        if gate.gtype is GateType.OUTPUT:
+            seed = ("output", po_index[gid], fanin)
+        else:
+            seed = (gate.gtype.value, _num(gate.delay), fanin)
+    return _digest(seed)
+
+
 def gate_fingerprints(circuit: Circuit) -> Dict[int, str]:
     """Canonical per-gate fingerprint, gid -> hex digest.
 
@@ -57,25 +92,7 @@ def gate_fingerprints(circuit: Circuit) -> Dict[int, str]:
     po_index = {gid: i for i, gid in enumerate(circuit.outputs)}
     fps: Dict[int, str] = {}
     for gid in circuit.topological_order():
-        gate = circuit.gates[gid]
-        if gate.gtype is GateType.INPUT:
-            seed = (
-                "input",
-                pi_index[gid],
-                _num(circuit.input_arrival.get(gid, 0.0)),
-            )
-        elif gate.gtype in (GateType.CONST0, GateType.CONST1):
-            seed = (gate.gtype.value,)
-        else:
-            fanin = tuple(
-                (fps[circuit.conns[cid].src], _num(circuit.conns[cid].delay))
-                for cid in gate.fanin
-            )
-            if gate.gtype is GateType.OUTPUT:
-                seed = ("output", po_index[gid], fanin)
-            else:
-                seed = (gate.gtype.value, _num(gate.delay), fanin)
-        fps[gid] = _digest(seed)
+        fps[gid] = gate_fingerprint(circuit, gid, fps, pi_index, po_index)
     return fps
 
 

@@ -225,7 +225,12 @@ def _stage_kms(
     circuit: Circuit, params: Dict[str, Any], ctx: Dict[str, Any]
 ) -> StageOutcome:
     model = model_from_params(params)
-    result = kms(circuit, mode=params.get("mode", "static"), model=model)
+    result = kms(
+        circuit,
+        mode=params.get("mode", "static"),
+        model=model,
+        incremental=bool(params.get("incremental", True)),
+    )
     return StageOutcome(
         result.circuit,
         {
@@ -234,9 +239,11 @@ def _stage_kms(
             "cleanup_steps": result.cleanup_steps,
             "gates_initial": circuit.num_gates(),
             "gates_final": result.circuit.num_gates(),
+            "counters": dict(result.counters),
         },
         counters={"gates_in": circuit.num_gates(),
-                  "gates_out": result.circuit.num_gates()},
+                  "gates_out": result.circuit.num_gates(),
+                  **result.counters},
         changed=True,
     )
 

@@ -31,6 +31,19 @@ executed, result stored), ``off`` (cacheable but no cache configured),
 ``uncacheable`` (stage or params cannot be cached).  ``hit`` records
 count as zero stage executions -- the warm-cache acceptance check is
 ``stage_executions["kms"] == 0``.
+
+KMS stage records additionally carry the deterministic work counters of
+the incremental timing engine (see :mod:`repro.timing.incremental` and
+``docs/TIMING.md``): ``arrival_relaxations`` / ``dist_relaxations``
+(per-gate STA recomputations, forward and backward),
+``paths_enumerated`` (longest paths popped from the enumerator),
+``viability_checks_exact`` / ``viability_checks_prefiltered`` /
+``cube_cache_hits`` (how each path check was resolved: SAT solve,
+packed-simulation witness, or fingerprint-keyed cube cache), and
+``paths_capped`` (iterations whose path enumeration hit
+``max_longest_paths``).  These are exact functions of circuit + seed --
+no wall-clock jitter -- which is what lets CI gate on them
+(``benchmarks/compare_kms_baseline.py``).
 """
 
 from __future__ import annotations

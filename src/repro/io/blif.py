@@ -14,7 +14,7 @@ Berkeley lineage (SIS, ABC, mvsis) can consume our circuits.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..network import Builder, Circuit, GateType
 from ..twolevel import Cover, Cube

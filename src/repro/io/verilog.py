@@ -11,7 +11,7 @@ library, exactly the situation Section II of the paper discusses).
 from __future__ import annotations
 
 import re
-from typing import Dict, List
+from typing import Dict
 
 from ..network import Circuit, GateType
 

@@ -9,7 +9,7 @@ terminals and test failure messages.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from .circuit import Circuit
 from .gates import GateType

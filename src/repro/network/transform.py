@@ -13,11 +13,25 @@ paper) is made of:
 * :func:`decompose_complex_gates` -- rewrite XOR/XNOR into simple gates,
   assigning the complex gate's delay to the last gate of the decomposition
   and zero to the others (Section VI).
+
+Touched-gate sets
+-----------------
+
+The KMS building blocks (:func:`set_connection_constant`,
+:func:`propagate_constants`, :func:`duplicate_chain`, :func:`sweep`)
+additionally return the set of *touched* gates, the contract the
+incremental timing engine (:class:`repro.timing.sta.IncrementalSTA`)
+consumes.  A gid is touched when the gate still exists in the circuit
+and it was newly created, its fanin (pins, sources, or connection/gate
+delays) changed, or its fanout set changed.  Gates that were *removed*
+are never listed; consumers reconcile against ``circuit.gates`` (a
+removed gate's neighbours always appear in the touched set, so every
+surviving gate whose timing could have moved is covered).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .circuit import Circuit, CircuitError
 from .gates import (
@@ -37,7 +51,9 @@ def constant_value(circuit: Circuit, gid: int) -> Optional[int]:
     return _CONST_VALUE.get(circuit.gates[gid].gtype)
 
 
-def set_connection_constant(circuit: Circuit, cid: int, value: int) -> int:
+def set_connection_constant(
+    circuit: Circuit, cid: int, value: int
+) -> Tuple[int, Set[int]]:
     """Tie connection ``cid`` to constant ``value``.
 
     Only this connection is affected -- the driving gate keeps its other
@@ -45,27 +61,36 @@ def set_connection_constant(circuit: Circuit, cid: int, value: int) -> int:
     untestable s-a-``value`` fault on a connection means the connection may
     be replaced by the constant without changing circuit function.
 
-    Returns the gid of the constant gate now driving the connection.
+    Returns ``(const_gid, touched)``: the gid of the constant gate now
+    driving the connection and the touched-gate set.
     """
     if value not in (0, 1):
         raise ValueError(f"constant must be 0 or 1, got {value!r}")
+    old_src = circuit.conns[cid].src
     const = circuit.add_gate(_CONST_TYPE[value], 0.0)
     circuit.move_connection_source(cid, const)
-    return const
+    return const, {const, old_src, circuit.conns[cid].dst}
 
 
-def _make_constant(circuit: Circuit, gid: int, value: int) -> None:
+def _make_constant(
+    circuit: Circuit, gid: int, value: int, touched: Set[int]
+) -> None:
     """Replace logic gate ``gid`` by a constant source, rewiring fanout."""
     gate = circuit.gates[gid]
     const = circuit.add_gate(_CONST_TYPE[value], 0.0)
+    touched.add(const)
     for cid in list(gate.fanout):
+        touched.add(circuit.conns[cid].dst)
         circuit.move_connection_source(cid, const)
+    for cid in list(gate.fanin):
+        touched.add(circuit.conns[cid].src)
     circuit.remove_gate(gid)
+    touched.discard(gid)
 
 
 def propagate_constants(
     circuit: Circuit, zero_degenerate_delay: bool = True
-) -> int:
+) -> Tuple[int, Set[int]]:
     """Propagate constant sources forward as far as possible.
 
     Rules (for an input tied to constant v):
@@ -81,9 +106,11 @@ def propagate_constants(
     zero when ``zero_degenerate_delay`` -- the gate "is equivalent to a
     wire".  Dead gates left behind are swept.
 
-    Returns the number of logic gates removed.
+    Returns ``(removed, touched)``: the number of logic gates removed and
+    the touched-gate set.
     """
     before = circuit.num_gates()
+    touched: Set[int] = set()
     changed = True
     while changed:
         changed = False
@@ -101,24 +128,29 @@ def propagate_constants(
             if not const_pins:
                 continue
             changed = True
+            touched.add(gid)
             gtype = gate.gtype
             if gtype in (GateType.BUF, GateType.OUTPUT):
-                _make_constant(circuit, gid, const_pins[0][1])
+                _make_constant(circuit, gid, const_pins[0][1], touched)
                 continue
             if gtype is GateType.NOT:
-                _make_constant(circuit, gid, 1 - const_pins[0][1])
+                _make_constant(circuit, gid, 1 - const_pins[0][1], touched)
                 continue
             if gtype in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
                 cv = controlling_value(gtype)
                 if any(val == cv for _, val in const_pins):
-                    _make_constant(circuit, gid, controlled_output(gtype))
+                    _make_constant(
+                        circuit, gid, controlled_output(gtype), touched
+                    )
                     continue
                 for cid, _ in const_pins:  # all noncontrolling: drop pins
+                    touched.add(circuit.conns[cid].src)
                     circuit.remove_connection(cid)
             elif gtype in (GateType.XOR, GateType.XNOR):
                 flips = 0
                 for cid, val in const_pins:
                     flips ^= val
+                    touched.add(circuit.conns[cid].src)
                     circuit.remove_connection(cid)
                 if flips:
                     gate.gtype = (
@@ -138,7 +170,7 @@ def propagate_constants(
                     GateType.XOR: 0,
                     GateType.XNOR: 1,
                 }[gate.gtype]
-                _make_constant(circuit, gid, empty)
+                _make_constant(circuit, gid, empty, touched)
             elif len(gate.fanin) == 1 and gate.gtype not in (
                 GateType.BUF,
                 GateType.NOT,
@@ -147,11 +179,15 @@ def propagate_constants(
                 if zero_degenerate_delay:
                     gate.delay = 0.0
                     circuit.conns[gate.fanin[0]].delay = 0.0
-    sweep(circuit)
-    return before - circuit.num_gates()
+    _, swept = sweep(circuit)
+    touched |= swept
+    touched = {g for g in touched if g in circuit.gates}
+    return before - circuit.num_gates(), touched
 
 
-def sweep(circuit: Circuit, collapse_buffers: bool = False) -> int:
+def sweep(
+    circuit: Circuit, collapse_buffers: bool = False
+) -> Tuple[int, Set[int]]:
     """Remove dead logic: gates with no fanout, and unused constants.
 
     Primary inputs are always kept (the PI interface is part of the
@@ -160,9 +196,11 @@ def sweep(circuit: Circuit, collapse_buffers: bool = False) -> int:
     bypassed, folding its input-connection delay into each fanout
     connection so all path lengths are preserved exactly.
 
-    Returns the number of gates removed.
+    Returns ``(removed, touched)``: the number of gates removed and the
+    touched-gate set.
     """
     removed = 0
+    touched: Set[int] = set()
     changed = True
     while changed:
         changed = False
@@ -173,6 +211,8 @@ def sweep(circuit: Circuit, collapse_buffers: bool = False) -> int:
             if gate.gtype in (GateType.INPUT, GateType.OUTPUT):
                 continue
             if not gate.fanout:
+                for cid in gate.fanin:
+                    touched.add(circuit.conns[cid].src)
                 circuit.remove_gate(gid)
                 removed += 1
                 changed = True
@@ -185,20 +225,23 @@ def sweep(circuit: Circuit, collapse_buffers: bool = False) -> int:
                 continue
             in_cid = gate.fanin[0]
             in_conn = circuit.conns[in_cid]
+            touched.add(in_conn.src)
             for out_cid in list(gate.fanout):
                 out_conn = circuit.conns[out_cid]
                 out_conn.delay += in_conn.delay + gate.delay
+                touched.add(out_conn.dst)
                 circuit.move_connection_source(out_cid, in_conn.src)
             circuit.remove_gate(gid)
             removed += 1
-    return removed
+    touched = {g for g in touched if g in circuit.gates}
+    return removed, touched
 
 
 def duplicate_chain(
     circuit: Circuit,
     chain: Sequence[int],
     path_conns: Sequence[int],
-) -> Dict[int, int]:
+) -> Tuple[Dict[int, int], List[int], Set[int]]:
     """Duplicate the gates of a path prefix (Theorem 7.1 / Fig. 3).
 
     ``chain`` is the ordered list of gates ``g_0 .. g_k`` along the chosen
@@ -213,30 +256,35 @@ def duplicate_chain(
     edge ``e`` of ``n`` onto the returned duplicate of ``n``, which then
     has exactly one fanout.
 
-    Returns ``(mapping, dup_path_conns)`` where ``mapping`` maps original
-    gid -> duplicate gid and ``dup_path_conns`` are the new connections
-    ``c_0' .. c_k'`` forming the duplicated path prefix.
+    Returns ``(mapping, dup_path_conns, touched)`` where ``mapping`` maps
+    original gid -> duplicate gid, ``dup_path_conns`` are the new
+    connections ``c_0' .. c_k'`` forming the duplicated path prefix, and
+    ``touched`` is the touched-gate set (the duplicates plus every gate
+    that gained a fanout branch feeding one).
     """
     if len(chain) != len(path_conns):
         raise CircuitError("chain and path_conns must align")
     mapping: Dict[int, int] = {}
     dup_path_conns: List[int] = []
+    touched: Set[int] = set()
     for idx, gid in enumerate(chain):
         gate = circuit.gates[gid]
         dup = circuit.add_gate(gate.gtype, gate.delay, None)
         if gate.name:
             circuit.gates[dup].name = f"{gate.name}_dup"
+        touched.add(dup)
         path_cid = path_conns[idx]
         for cid in gate.fanin:
             conn = circuit.conns[cid]
             src = conn.src
             if cid == path_cid and src in mapping:
                 src = mapping[src]
+            touched.add(src)
             new_cid = circuit.connect(src, dup, conn.delay)
             if cid == path_cid:
                 dup_path_conns.append(new_cid)
         mapping[gid] = dup
-    return mapping, dup_path_conns
+    return mapping, dup_path_conns, touched
 
 
 def decompose_complex_gates(circuit: Circuit) -> int:

@@ -7,7 +7,7 @@ sensitization checkers and SAT-ATPG.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class CNF:

@@ -33,10 +33,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..network import Circuit
-from .cnf import CNF
 from .solver import Solver
 from .tseitin import CircuitEncoder
 

@@ -9,7 +9,7 @@ constraints on side-inputs) and SAT-based ATPG.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from ..network import Circuit, GateType
 from .cnf import CNF

@@ -7,10 +7,10 @@ it) is exercised on hardware-shaped examples rather than toys.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..circuits.adders import carry_skip_adder, ripple_carry_adder
-from ..network import Builder, Circuit
+from ..network import Builder
 from .sequential import Latch, SequentialCircuit
 
 

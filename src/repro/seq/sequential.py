@@ -15,7 +15,7 @@ sequential logic).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..network import Circuit, CircuitError
@@ -140,7 +140,6 @@ class SequentialCircuit:
         Yields (primary outputs, next state) per applied input vector.
         """
         state = dict(state) if state is not None else self.initial_state()
-        state_of_latch = {l.name: l for l in self.latches}
         for vector in input_sequence:
             assignment: Dict[int, int] = {}
             for name in self.primary_inputs():

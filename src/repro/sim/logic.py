@@ -9,7 +9,7 @@ implication engine, are built on these semantics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 from ..network import Circuit, GateType
 

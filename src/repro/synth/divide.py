@@ -12,7 +12,7 @@ Literal encoding: ``2*var + polarity`` where polarity 1 = positive.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..twolevel import Cover, Cube
 
@@ -133,7 +133,6 @@ def kernels(
     all_lits = sorted(literal_counts(expr))
 
     def recurse(current: AlgExpr, cokernel: AlgCube, min_lit_idx: int):
-        key = tuple(sorted(current, key=sorted))
         for idx in range(min_lit_idx, len(all_lits)):
             lit = all_lits[idx]
             with_lit = [c for c in current if lit in c]

@@ -15,18 +15,11 @@ result lowers through the ordinary factoring path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..network import Builder, Circuit
 from ..twolevel import Cover, espresso
-from .divide import (
-    AlgCube,
-    AlgExpr,
-    cover_to_expr,
-    divide,
-    kernels,
-    lit_id,
-)
+from .divide import AlgExpr, cover_to_expr, divide, kernels, lit_id
 from .factor import build_expression, factor_expr
 
 

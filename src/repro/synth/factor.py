@@ -9,21 +9,17 @@ covers into the simple-gate networks KMS operates on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Tuple
 
 from ..network import Circuit, GateType
 from ..twolevel import Cover
 from .divide import (
-    AlgCube,
     AlgExpr,
     best_kernel,
     cover_to_expr,
     divide,
-    lit_id,
     lit_positive,
     lit_var,
-    make_cube_free,
     most_common_literal,
 )
 

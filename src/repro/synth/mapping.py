@@ -14,7 +14,7 @@ assumes).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..network import Builder, Circuit, GateType
 from .optimize import area_optimize

@@ -8,7 +8,7 @@ cleanup pipeline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..network import Circuit, GateType
 from ..network.transform import propagate_constants, sweep
@@ -59,8 +59,8 @@ def strash(circuit: Circuit) -> int:
 def area_optimize(circuit: Circuit) -> Dict[str, int]:
     """Constant propagation + strash + sweep; returns per-pass stats."""
     stats = {
-        "constants": propagate_constants(circuit),
+        "constants": propagate_constants(circuit)[0],
         "strash": strash(circuit),
-        "sweep": sweep(circuit, collapse_buffers=True),
+        "sweep": sweep(circuit, collapse_buffers=True)[0],
     }
     return stats

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from ..bdd import BDD, circuit_bdds
 from ..network import Circuit, GateType
 from ..timing import AsBuiltDelayModel, DelayModel, analyze
-from ..twolevel import Cover, espresso
+from ..twolevel import espresso
 from .isop import bdd_to_cover
 from .optimize import area_optimize
 

@@ -8,10 +8,10 @@ simple-gate networks; circuit cones can be collapsed back to covers
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..bdd import BDD, circuit_bdds
-from ..network import Builder, Circuit, GateType
+from ..network import Builder, Circuit
 from ..twolevel import Cover, espresso
 from .factor import cover_to_gates
 from .isop import bdd_to_cover

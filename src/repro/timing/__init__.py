@@ -10,10 +10,15 @@ from .models import (
     UnitDelayModel,
 )
 from .sta import (
+    IncrementalSTA,
     TimingAnnotation,
     analyze,
     critical_connections,
     topological_delay,
+)
+from .incremental import (
+    IncrementalTiming,
+    PREFILTER_WIDTH,
 )
 from .paths import (
     Path,
@@ -44,6 +49,7 @@ from .speedtest import (
 from .viability import (
     DelayReport,
     ViabilityChecker,
+    early_side_inputs,
     sensitizable_delay,
     viability_delay,
 )
@@ -57,8 +63,11 @@ __all__ = [
     "path_viable_exact",
     "viable_lengths_under",
     "FanoutDelayModel",
+    "IncrementalSTA",
+    "IncrementalTiming",
     "LibraryDelayModel",
     "NEVER",
+    "PREFILTER_WIDTH",
     "PAPER_SECTION3_TABLE",
     "Path",
     "SensitizationChecker",
@@ -74,6 +83,7 @@ __all__ = [
     "ViabilityChecker",
     "analyze",
     "critical_connections",
+    "early_side_inputs",
     "iter_paths_longest_first",
     "longest_paths",
     "path_length",

@@ -27,10 +27,10 @@ and ``true delay <= exact viable``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set
 
 from ..network import Circuit, GateType, noncontrolling_value
-from .models import AsBuiltDelayModel, DelayModel, NEVER
+from .models import AsBuiltDelayModel, DelayModel
 
 EPS = 1e-9
 

@@ -14,7 +14,7 @@ contributes only its genuinely off-path pins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..network import Circuit, GateType, noncontrolling_value
 from ..sat import CircuitEncoder, Solver

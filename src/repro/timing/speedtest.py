@@ -30,7 +30,7 @@ algorithm's selling point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..atpg.faults import Fault, inject
 from ..network import Circuit

@@ -15,8 +15,9 @@ never transitions.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..network import Circuit, GateType
 from .models import AsBuiltDelayModel, DelayModel, NEVER
@@ -44,6 +45,69 @@ class TimingAnnotation:
     slack: Dict[int, float] = field(default_factory=dict)
 
 
+def _gate_arrival(
+    circuit: Circuit,
+    model: DelayModel,
+    gid: int,
+    arrival: Dict[int, float],
+) -> float:
+    """One forward relaxation: the gate's output settle time given its
+    fanins' current arrival values.  Shared by the full and incremental
+    engines so both produce bit-identical floats."""
+    gate = circuit.gates[gid]
+    if gate.gtype is GateType.INPUT:
+        return model.input_arrival(circuit, gid)
+    if gate.gtype in (GateType.CONST0, GateType.CONST1):
+        return NEVER
+    best = NEVER
+    for cid in gate.fanin:
+        conn = circuit.conns[cid]
+        t = arrival[conn.src]
+        if t == NEVER:
+            continue
+        t += model.conn_delay(circuit, cid)
+        if t > best:
+            best = t
+    if best == NEVER:
+        return NEVER
+    return best + model.gate_delay(circuit, gid)
+
+
+def _gate_dist(
+    circuit: Circuit,
+    model: DelayModel,
+    gid: int,
+    dist: Dict[int, float],
+    npaths: Optional[Dict[int, int]] = None,
+) -> Tuple[float, int]:
+    """One backward relaxation: longest delay from the gate's output to
+    any PO, plus (when ``npaths`` is given) the number of maximal paths
+    achieving it."""
+    gate = circuit.gates[gid]
+    if gate.gtype is GateType.OUTPUT:
+        return 0.0, 1
+    best = NEVER
+    count = 0
+    for cid in gate.fanout:
+        conn = circuit.conns[cid]
+        down = dist[conn.dst]
+        if down == NEVER:
+            continue
+        t = (
+            model.conn_delay(circuit, cid)
+            + model.gate_delay(circuit, conn.dst)
+            + down
+        )
+        if t > best:
+            best = t
+            count = npaths[conn.dst] if npaths is not None else 0
+        elif t == best and npaths is not None:
+            count += npaths[conn.dst]
+    if best == NEVER:
+        count = 0
+    return best, count
+
+
 def analyze(
     circuit: Circuit, model: Optional[DelayModel] = None
 ) -> TimingAnnotation:
@@ -52,47 +116,11 @@ def analyze(
     order = circuit.topological_order()
     arrival: Dict[int, float] = {}
     for gid in order:
-        gate = circuit.gates[gid]
-        if gate.gtype is GateType.INPUT:
-            arrival[gid] = model.input_arrival(circuit, gid)
-            continue
-        if gate.gtype in (GateType.CONST0, GateType.CONST1):
-            arrival[gid] = NEVER
-            continue
-        best = NEVER
-        for cid in gate.fanin:
-            conn = circuit.conns[cid]
-            t = arrival[conn.src]
-            if t == NEVER:
-                continue
-            t += model.conn_delay(circuit, cid)
-            if t > best:
-                best = t
-        if best == NEVER:
-            arrival[gid] = NEVER
-        else:
-            arrival[gid] = best + model.gate_delay(circuit, gid)
+        arrival[gid] = _gate_arrival(circuit, model, gid, arrival)
 
     dist: Dict[int, float] = {}
     for gid in reversed(order):
-        gate = circuit.gates[gid]
-        if gate.gtype is GateType.OUTPUT:
-            dist[gid] = 0.0
-            continue
-        best = NEVER
-        for cid in gate.fanout:
-            conn = circuit.conns[cid]
-            down = dist[conn.dst]
-            if down == NEVER:
-                continue
-            t = (
-                model.conn_delay(circuit, cid)
-                + model.gate_delay(circuit, conn.dst)
-                + down
-            )
-            if t > best:
-                best = t
-        dist[gid] = best
+        dist[gid], _ = _gate_dist(circuit, model, gid, dist)
 
     delay = 0.0
     for gid in circuit.outputs:
@@ -110,6 +138,185 @@ def analyze(
             ann.required[gid] = delay - d
             ann.slack[gid] = ann.required[gid] - a
     return ann
+
+
+class IncrementalSTA:
+    """Dirty-cone incremental STA over a mutating circuit.
+
+    Holds arrival times, ``dist_to_po``, and longest-path counts for one
+    circuit + model pair, and re-relaxes only the affected region after a
+    mutation: the transitive *fanout* of the touched gates for arrival
+    times and the transitive *fanin* for ``dist_to_po``/path counts, with
+    early cutoff as soon as a recomputed value is unchanged.  Touched
+    sets are the ones returned by the transforms in
+    :mod:`repro.network.transform` (see the module docstring there for
+    the exact contract).
+
+    Per-gate relaxations go through the same :func:`_gate_arrival` /
+    :func:`_gate_dist` helpers as :func:`analyze`, so the incremental
+    values are bit-identical to a from-scratch run -- the property suite
+    (``tests/timing/test_incremental_property.py``) and the KMS A/B
+    oracle both rely on that.
+
+    Counters (deterministic, exported through engine telemetry):
+
+    * ``arrival_relaxations`` -- forward per-gate recomputations;
+      :func:`analyze` costs ``len(circuit.gates)`` of these, so the
+      full-vs-incremental ratio is the dirty-cone win.
+    * ``dist_relaxations`` -- backward per-gate recomputations.
+    """
+
+    def __init__(
+        self, circuit: Circuit, model: Optional[DelayModel] = None
+    ) -> None:
+        self.circuit = circuit
+        self.model = model if model is not None else AsBuiltDelayModel()
+        self.arrival: Dict[int, float] = {}
+        self.dist_to_po: Dict[int, float] = {}
+        self.npaths_to_po: Dict[int, int] = {}
+        self.arrival_relaxations = 0
+        self.dist_relaxations = 0
+        self.delay = 0.0
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Initial full relaxation (counts as one relaxation per gate per
+        direction, same unit as the incremental updates)."""
+        circuit, model = self.circuit, self.model
+        order = circuit.topological_order()
+        self.arrival.clear()
+        self.dist_to_po.clear()
+        self.npaths_to_po.clear()
+        for gid in order:
+            self.arrival[gid] = _gate_arrival(
+                circuit, model, gid, self.arrival
+            )
+            self.arrival_relaxations += 1
+        for gid in reversed(order):
+            d, n = _gate_dist(
+                circuit, model, gid, self.dist_to_po, self.npaths_to_po
+            )
+            self.dist_to_po[gid] = d
+            self.npaths_to_po[gid] = n
+            self.dist_relaxations += 1
+        self._refresh_delay()
+
+    def _refresh_delay(self) -> None:
+        delay = 0.0
+        for gid in self.circuit.outputs:
+            a = self.arrival[gid]
+            if a != NEVER:
+                delay = max(delay, a)
+        self.delay = delay
+
+    def refresh(self, touched: Iterable[int]) -> None:
+        """Re-relax after a mutation described by ``touched``.
+
+        ``touched`` is the union of the touched-gate sets returned by the
+        transforms applied since the last refresh (stale gids of removed
+        gates are tolerated and ignored).
+        """
+        circuit = self.circuit
+        dirty: Set[int] = {g for g in touched if g in circuit.gates}
+        for store in (self.arrival, self.dist_to_po, self.npaths_to_po):
+            stale = [gid for gid in store if gid not in circuit.gates]
+            for gid in stale:
+                del store[gid]
+        if dirty:
+            order = circuit.topological_order()
+            pos = {gid: i for i, gid in enumerate(order)}
+            self._relax_forward(dirty, pos)
+            # A touched gate's own-delay / in-edge-delay change shifts its
+            # *parents'* dist_to_po while leaving its own unchanged (dist
+            # covers only the fanout side), so the early cutoff would stop
+            # before reaching them: seed the fanin frontier explicitly.
+            backward = set(dirty)
+            for gid in dirty:
+                for cid in circuit.gates[gid].fanin:
+                    backward.add(circuit.conns[cid].src)
+            self._relax_backward(backward, pos)
+        self._refresh_delay()
+
+    def _relax_forward(self, dirty: Set[int], pos: Dict[int, int]) -> None:
+        circuit, model = self.circuit, self.model
+        heap = [(pos[gid], gid) for gid in dirty]
+        heapq.heapify(heap)
+        queued = set(dirty)
+        while heap:
+            _, gid = heapq.heappop(heap)
+            queued.discard(gid)
+            old = self.arrival.get(gid)
+            new = _gate_arrival(circuit, model, gid, self.arrival)
+            self.arrival_relaxations += 1
+            self.arrival[gid] = new
+            if old is not None and new == old:
+                continue
+            for cid in circuit.gates[gid].fanout:
+                dst = circuit.conns[cid].dst
+                if dst not in queued:
+                    queued.add(dst)
+                    heapq.heappush(heap, (pos[dst], dst))
+
+    def _relax_backward(self, dirty: Set[int], pos: Dict[int, int]) -> None:
+        circuit, model = self.circuit, self.model
+        heap = [(-pos[gid], gid) for gid in dirty]
+        heapq.heapify(heap)
+        queued = set(dirty)
+        while heap:
+            _, gid = heapq.heappop(heap)
+            queued.discard(gid)
+            old = (self.dist_to_po.get(gid), self.npaths_to_po.get(gid))
+            new = _gate_dist(
+                circuit, model, gid, self.dist_to_po, self.npaths_to_po
+            )
+            self.dist_relaxations += 1
+            self.dist_to_po[gid], self.npaths_to_po[gid] = new
+            if old[0] is not None and new == old:
+                continue
+            for cid in circuit.gates[gid].fanin:
+                src = circuit.conns[cid].src
+                if src not in queued:
+                    queued.add(src)
+                    heapq.heappush(heap, (-pos[src], src))
+
+    def num_longest_paths(self) -> int:
+        """Number of topologically-longest IO-paths, from the maintained
+        path counts -- no enumeration."""
+        if self.delay <= 0.0:
+            return 0
+        total = 0
+        for pi in self.circuit.inputs:
+            d = self.dist_to_po.get(pi, NEVER)
+            if d == NEVER:
+                continue
+            if self.model.input_arrival(self.circuit, pi) + d == self.delay:
+                total += self.npaths_to_po.get(pi, 0)
+        return total
+
+    def annotation(self, compute_slack: bool = False) -> TimingAnnotation:
+        """A :class:`TimingAnnotation` view of the current state.
+
+        The returned dicts are snapshots; mutating the circuit and
+        refreshing does not invalidate a previously returned annotation.
+        ``compute_slack`` fills ``required``/``slack`` (pure arithmetic
+        over the maintained values, no extra relaxations).
+        """
+        ann = TimingAnnotation(
+            arrival=dict(self.arrival),
+            dist_to_po=dict(self.dist_to_po),
+            delay=self.delay,
+        )
+        if compute_slack:
+            for gid in self.arrival:
+                a = ann.arrival[gid]
+                d = ann.dist_to_po[gid]
+                if a == NEVER or d == NEVER:
+                    ann.required[gid] = float("inf")
+                    ann.slack[gid] = float("inf")
+                else:
+                    ann.required[gid] = ann.delay - d
+                    ann.slack[gid] = ann.required[gid] - a
+        return ann
 
 
 def topological_delay(

@@ -58,48 +58,73 @@ class DelayReport:
     exhausted: bool = False
 
 
+def early_side_inputs(
+    circuit: Circuit,
+    model: DelayModel,
+    annotation: TimingAnnotation,
+    path: Path,
+) -> List[Tuple[int, int, int]]:
+    """(cid, gate, required value) for each provably-early side-input.
+
+    A side-input connection ``s`` into path gate ``g_i`` is early when
+    ``latest_arrival(src(s)) + d(s) < tau_i``.  Standalone so the
+    incremental KMS timing context can derive viability constraints from
+    its own maintained annotation without a from-scratch :func:`analyze`.
+    """
+    taus = path.event_times(circuit, model)
+    result: List[Tuple[int, int, int]] = []
+    for i, gid in enumerate(path.gates):
+        gate = circuit.gates[gid]
+        if gate.gtype in (GateType.NOT, GateType.BUF):
+            continue
+        if gate.gtype in (GateType.XOR, GateType.XNOR):
+            raise ValueError(
+                "viability is undefined for undecomposed XOR gates"
+            )
+        on_path = path.conns[i]
+        ncv = noncontrolling_value(gate.gtype)
+        for cid in gate.fanin:
+            if cid == on_path:
+                continue
+            conn = circuit.conns[cid]
+            settle = annotation.arrival[conn.src]
+            if settle != NEVER:
+                settle += model.conn_delay(circuit, cid)
+            if settle == NEVER or settle < taus[i] - EPS:
+                result.append((cid, gid, ncv))
+    return result
+
+
 class ViabilityChecker:
-    """Reusable SAT context for viability queries on one circuit."""
+    """Reusable SAT context for viability queries on one circuit.
+
+    ``annotation`` may be supplied by a caller that already holds current
+    arrival times (e.g. the incremental KMS loop); omitted, a fresh
+    :func:`analyze` pass is run.
+    """
 
     def __init__(
-        self, circuit: Circuit, model: Optional[DelayModel] = None
+        self,
+        circuit: Circuit,
+        model: Optional[DelayModel] = None,
+        annotation: Optional[TimingAnnotation] = None,
     ) -> None:
         self.circuit = circuit
         self.model = model if model is not None else AsBuiltDelayModel()
-        self.annotation = analyze(circuit, self.model)
+        self.annotation = (
+            annotation if annotation is not None
+            else analyze(circuit, self.model)
+        )
         encoder = CircuitEncoder()
         self.var = encoder.encode(circuit)
         self.solver = Solver(encoder.cnf)
 
     def early_side_inputs(self, path: Path) -> List[Tuple[int, int, int]]:
-        """(cid, gate, required value) for each provably-early side-input.
-
-        A side-input connection ``s`` into path gate ``g_i`` is early when
-        ``latest_arrival(src(s)) + d(s) < tau_i``.
-        """
-        circuit, model = self.circuit, self.model
-        taus = path.event_times(circuit, model)
-        result: List[Tuple[int, int, int]] = []
-        for i, gid in enumerate(path.gates):
-            gate = circuit.gates[gid]
-            if gate.gtype in (GateType.NOT, GateType.BUF):
-                continue
-            if gate.gtype in (GateType.XOR, GateType.XNOR):
-                raise ValueError(
-                    "viability is undefined for undecomposed XOR gates"
-                )
-            on_path = path.conns[i]
-            ncv = noncontrolling_value(gate.gtype)
-            for cid in gate.fanin:
-                if cid == on_path:
-                    continue
-                conn = circuit.conns[cid]
-                settle = self.annotation.arrival[conn.src]
-                if settle != NEVER:
-                    settle += model.conn_delay(circuit, cid)
-                if settle == NEVER or settle < taus[i] - EPS:
-                    result.append((cid, gid, ncv))
-        return result
+        """(cid, gate, required value) for each provably-early side-input
+        of ``path`` (see the module-level :func:`early_side_inputs`)."""
+        return early_side_inputs(
+            self.circuit, self.model, self.annotation, path
+        )
 
     def viable_cube(self, path: Path) -> Optional[Dict[int, int]]:
         """A PI assignment under which the path is viable, or None."""

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence
 
-from .cube import Cube, DC
+from .cube import Cube
 
 
 class Cover:

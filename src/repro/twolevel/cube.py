@@ -14,7 +14,7 @@ multilevel synthesis, so the reproduction carries the same machinery.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 #: per-variable field values
 ZERO = 0b10  # literal x'

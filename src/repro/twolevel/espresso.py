@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 
 from .cube import Cube
 from .cover import Cover
-from .urp import complement, cube_covered, is_tautology
+from .urp import complement, cube_covered
 
 
 @dataclass

@@ -12,7 +12,6 @@ exactly.
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .cover import Cover

@@ -7,9 +7,8 @@ with unate special cases terminating the recursion.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
-from .cube import Cube, DC, ONE, ZERO
+from .cube import Cube
 from .cover import Cover
 
 

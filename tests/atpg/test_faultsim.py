@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.atpg import (
     collapsed_faults,
-    conn_fault,
     detecting_patterns,
     detects,
     fault_coverage,
@@ -14,7 +13,6 @@ from repro.atpg import (
     stem_fault,
 )
 from repro.circuits import random_circuit
-from repro.sim import simulate_packed
 
 
 @given(seed=st.integers(0, 40), bits=st.integers(0, 255))

@@ -1,6 +1,5 @@
 """Robust path-delay-fault test generation."""
 
-import pytest
 
 from repro.atpg import (
     FALLING,
@@ -12,8 +11,8 @@ from repro.atpg import (
 )
 from repro.circuits import fig4_c2_cone, ripple_carry_adder
 from repro.network import Builder
-from repro.sim.events import output_waveforms, sample_waveform
-from repro.timing import longest_paths, iter_paths_longest_first
+from repro.sim.events import output_waveforms
+from repro.timing import iter_paths_longest_first
 
 
 class TestOnPathValues:

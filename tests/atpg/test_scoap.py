@@ -1,6 +1,5 @@
 """SCOAP testability measures."""
 
-import pytest
 
 from repro.atpg import (
     INF,
@@ -88,7 +87,7 @@ class TestObservability:
     def test_dead_logic_unobservable(self):
         b = Builder()
         x = b.input("x")
-        dead = b.not_(x, name="dead")  # no fanout
+        b.not_(x, name="dead")  # no fanout
         b.output("o", b.buf(x))
         c = b.done()
         scoap = compute_scoap(c)

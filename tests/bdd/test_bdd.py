@@ -1,6 +1,5 @@
 """ROBDD package: canonicity, connectives, quantification, circuits."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Every numeric claim the paper makes about its figures."""
 
-import pytest
 
 from repro.atpg import SatAtpg, count_redundancies, inject, is_irredundant, stem_fault
 from repro.circuits import (
@@ -13,13 +12,7 @@ from repro.circuits import (
     section3_fault_demo,
 )
 from repro.sat import check_equivalence
-from repro.sim import outputs_equal_exhaustive
-from repro.timing import (
-    analyze,
-    sensitizable_delay,
-    topological_delay,
-    viability_delay,
-)
+from repro.timing import sensitizable_delay, topological_delay, viability_delay
 
 
 class TestFig1:

@@ -12,7 +12,7 @@ from repro.circuits import (
     random_circuit,
     random_redundant_circuit,
 )
-from repro.core import KmsError, kms, verify_transformation
+from repro.core import kms, verify_transformation
 from repro.network import check
 from repro.sat import check_equivalence
 from repro.timing import UnitDelayModel, viability_delay

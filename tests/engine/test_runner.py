@@ -1,6 +1,5 @@
 """Runner semantics: parallel == serial, warm cache, timeout, retry."""
 
-import pytest
 
 from repro.engine import (
     EngineConfig,

@@ -8,7 +8,6 @@ NAND/NOR-mapped netlists (inverting-gate chains and duplication through
 them), and both loop modes.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

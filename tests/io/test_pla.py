@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.io import Pla, PlaError, parse_pla, pla_from_function, write_pla
-from repro.twolevel import Cover
+from repro.io import PlaError, parse_pla, pla_from_function, write_pla
 
 
 SAMPLE = """# 2-bit AND/OR

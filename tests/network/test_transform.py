@@ -25,11 +25,11 @@ def _truth(circuit):
 class TestSetConnectionConstant:
     def test_only_that_connection_is_tied(self, two_output_circuit):
         c = two_output_circuit
-        shared = c.find_gate("shared")
         inv = c.find_gate("inv")
         cid = c.gates[inv].fanin[0]
-        const = set_connection_constant(c, cid, 0)
+        const, touched = set_connection_constant(c, cid, 0)
         assert constant_value(c, const) == 0
+        assert const in touched and inv in touched
         # shared still drives y0
         a, b = c.inputs
         values = c.evaluate({a: 1, b: 1})
@@ -50,7 +50,6 @@ class TestPropagateConstants:
 
     def test_and_controlling_collapses(self, and_or_circuit):
         c = and_or_circuit
-        before = _truth(c)
         self._tie_input(c, "a", 0)
         propagate_constants(c)
         check(c)
@@ -137,8 +136,9 @@ class TestSweep:
         # orphan gate
         a = c.find_input("a")
         c.add_simple(GateType.NOT, [a], 1.0)
-        removed = sweep(c)
+        removed, touched = sweep(c)
         assert removed == 1
+        assert a in touched  # the orphan's source lost a fanout
         check(c)
 
     def test_keeps_inputs(self):
@@ -183,10 +183,11 @@ class TestDuplicateChain:
             cid for cid in c.gates[shared].fanout
             if c.conns[cid].dst == inv
         )
-        mapping, dup_conns = duplicate_chain(c, [shared], [path_conn])
+        mapping, dup_conns, touched = duplicate_chain(c, [shared], [path_conn])
         c.move_connection_source(e, mapping[shared])
         check(c)
         dup = mapping[shared]
+        assert dup in touched and a in touched
         assert c.fanout_size(dup) == 1
         assert c.gates[dup].gtype is GateType.AND
         assert len(dup_conns) == 1

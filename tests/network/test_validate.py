@@ -3,7 +3,6 @@
 import pytest
 
 from repro.network import (
-    Builder,
     Circuit,
     CircuitError,
     GateType,

@@ -1,6 +1,5 @@
 """CDCL solver: correctness against brute force, assumptions, UNSAT."""
 
-import itertools
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,7 @@
 """3-valued simulation and exhaustive oracles."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.network import Builder, GateType

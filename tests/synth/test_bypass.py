@@ -1,6 +1,5 @@
 """The generalized bypass transform (GBX)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,11 +8,7 @@ from repro.circuits import mcnc_circuit, random_circuit
 from repro.network import check
 from repro.sat import check_equivalence
 from repro.synth.bypass import bypass_critical_output, generalized_bypass
-from repro.timing import (
-    UnitDelayModel,
-    sensitizable_delay,
-    topological_delay,
-)
+from repro.timing import UnitDelayModel
 
 
 class TestGeneralizedBypass:
@@ -57,7 +52,6 @@ class TestGeneralizedBypass:
         assert count_redundancies(c) >= 10
 
     def test_kms_handles_bypassed_circuit(self):
-        from repro.atpg import is_irredundant
         from repro.core import kms, verify_transformation
 
         model = UnitDelayModel()

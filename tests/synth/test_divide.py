@@ -14,7 +14,7 @@ from repro.synth.divide import (
     most_common_literal,
     best_kernel,
 )
-from repro.twolevel import Cover, Cube
+from repro.twolevel import Cover
 
 
 def _expr(*cubes):

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.network import check
-from repro.synth.divide import cover_to_expr, lit_id
+from repro.synth.divide import cover_to_expr
 from repro.synth.extract import (
     extract_common_divisors,
     shared_covers_to_circuit,

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.bdd import BDD
 from repro.synth import bdd_to_cover
 from repro.synth.isop import isop
-from repro.twolevel import Cover, Cube, cube_covered
+from repro.twolevel import Cover, cube_covered
 
 
 def _random_bdd(seed):

@@ -9,7 +9,7 @@ from repro.sat import check_equivalence
 from repro.synth import speed_up, timing_decompose
 from repro.synth.speedup import _huffman_tree
 from repro.network import GateType
-from repro.timing import AsBuiltDelayModel, UnitDelayModel, topological_delay
+from repro.timing import AsBuiltDelayModel, UnitDelayModel
 
 
 class TestHuffmanTree:

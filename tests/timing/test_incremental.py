@@ -1,0 +1,162 @@
+"""Directed tests for the incremental timing engine.
+
+The randomized agreement guarantees live in
+``test_incremental_property.py``; here each moving part is exercised in
+isolation: dirty-cone relaxation counts, the packed-simulation witness
+prefilter, the fingerprint-keyed cube cache, and the
+``paths_capped`` warning on truncated path enumeration.
+"""
+
+import warnings
+
+import pytest
+
+from repro.circuits import carry_skip_adder, ripple_carry_adder
+from repro.core import kms
+from repro.network.transform import set_connection_constant
+from repro.sim import simulate_packed
+from repro.timing import (
+    IncrementalSTA,
+    IncrementalTiming,
+    SensitizationChecker,
+    UnitDelayModel,
+    ViabilityChecker,
+    analyze,
+    iter_paths_longest_first,
+)
+
+MODEL = UnitDelayModel(use_arrival_times=False)
+
+
+# ---------------------------------------------------------------------- #
+# dirty-cone STA
+# ---------------------------------------------------------------------- #
+
+def test_incremental_sta_relaxes_only_the_dirty_cone():
+    circuit = ripple_carry_adder(8)
+    sta = IncrementalSTA(circuit, MODEL)
+    rebuild_cost = sta.arrival_relaxations
+    assert rebuild_cost == len(circuit.gates)
+
+    cid = next(iter(circuit.gates[circuit.inputs[-1]].fanout))
+    _, touched = set_connection_constant(circuit, cid, 0)
+    sta.refresh(touched)
+
+    delta = sta.arrival_relaxations - rebuild_cost
+    assert 0 < delta < len(circuit.gates)
+    ann = analyze(circuit, MODEL)
+    assert sta.arrival == ann.arrival
+    assert sta.dist_to_po == ann.dist_to_po
+    assert sta.delay == ann.delay
+
+
+def test_incremental_sta_annotation_is_a_snapshot():
+    circuit = carry_skip_adder(2, 2)
+    sta = IncrementalSTA(circuit, MODEL)
+    before = sta.annotation()
+    cid = next(iter(circuit.gates[circuit.inputs[0]].fanout))
+    _, touched = set_connection_constant(circuit, cid, 1)
+    sta.refresh(touched)
+    after = sta.annotation()
+    assert before.arrival != after.arrival or before.delay != after.delay
+    assert before.arrival is not after.arrival
+
+
+# ---------------------------------------------------------------------- #
+# check_path: prefilter -> cube cache -> exact SAT
+# ---------------------------------------------------------------------- #
+
+def _timing_and_paths(mode):
+    circuit = carry_skip_adder(2, 2)
+    timing = IncrementalTiming(circuit, MODEL, mode=mode)
+    timing.begin_iteration()
+    paths = list(iter_paths_longest_first(
+        circuit, MODEL, timing.annotation(), max_paths=50
+    ))
+    return circuit, timing, paths
+
+
+def test_check_path_agrees_with_sensitization_checker():
+    circuit, timing, paths = _timing_and_paths("static")
+    checker = SensitizationChecker(circuit)
+    for path in paths:
+        assert timing.check_path(path) == checker.is_sensitizable(path)
+    assert timing.viability_checks_exact > 0 or (
+        timing.viability_checks_prefiltered == len(paths)
+    )
+
+
+def test_check_path_agrees_with_viability_checker():
+    circuit, timing, paths = _timing_and_paths("viability")
+    checker = ViabilityChecker(circuit, MODEL)
+    for path in paths:
+        assert timing.check_path(path) == checker.is_viable(path)
+
+
+def test_prefilter_witness_cube_is_sound():
+    circuit, timing, paths = _timing_and_paths("static")
+    witnessed = 0
+    for path in paths:
+        cube = timing.witness_cube(path)
+        if cube is None:
+            continue
+        witnessed += 1
+        packed = {gid: cube[gid] & 1 for gid in circuit.inputs}
+        values = simulate_packed(circuit, packed, 1)
+        for src, required in timing.path_constraints(path):
+            assert values[src] & 1 == required
+    assert witnessed > 0, "expected the 64-pattern prefilter to hit"
+
+
+def test_cube_cache_serves_repeated_checks():
+    circuit, timing, paths = _timing_and_paths("static")
+    checker = SensitizationChecker(circuit)
+    hard = [p for p in paths if not checker.is_sensitizable(p)]
+    assert hard, "carry-skip adders have false paths"
+    path = hard[0]
+    assert timing.check_path(path) is False
+    exact_after_first = timing.viability_checks_exact
+    assert exact_after_first == 1
+    assert timing.check_path(path) is False
+    assert timing.viability_checks_exact == exact_after_first
+    assert timing.cube_cache_hits == 1
+    # a fresh iteration re-randomizes patterns but keeps the cache
+    timing.begin_iteration()
+    assert timing.check_path(path) is False
+    assert timing.viability_checks_exact == exact_after_first
+    assert timing.cube_cache_hits == 2
+
+
+def test_cube_cache_survives_untouched_cone_mutations():
+    circuit, timing, paths = _timing_and_paths("static")
+    checker = SensitizationChecker(circuit)
+    hard = [p for p in paths if not checker.is_sensitizable(p)]
+    path = hard[0]
+    timing.check_path(path)
+    # touch a cone disjoint from the path's side inputs: re-fingerprint,
+    # then the same constraint key must still hit
+    keys_before = set(timing.cube_cache)
+    timing.refresh(set())
+    timing.begin_iteration()
+    timing.check_path(path)
+    assert timing.cube_cache_hits >= 1
+    assert keys_before <= set(timing.cube_cache)
+
+
+# ---------------------------------------------------------------------- #
+# paths_capped telemetry + warning
+# ---------------------------------------------------------------------- #
+
+def test_kms_warns_when_path_enumeration_is_capped():
+    circuit = carry_skip_adder(4, 2)
+    with pytest.warns(UserWarning, match="capped at 1 paths"):
+        result = kms(circuit, model=MODEL, max_longest_paths=1)
+    assert result.counters["paths_capped"] >= 1
+
+
+def test_kms_uncapped_run_emits_no_cap_warning():
+    circuit = carry_skip_adder(2, 2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = kms(circuit, model=MODEL)
+    assert result.counters["paths_capped"] == 0

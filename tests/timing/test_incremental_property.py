@@ -1,0 +1,187 @@
+"""Property suite: the incremental timing engine tracks the full oracle.
+
+Two layers of bit-identical agreement over randomized inputs:
+
+* **STA state** -- after every mutation in a randomized sequence of KMS
+  transforms (constant-setting + propagation, sweeps, chain
+  duplications, arrival-time changes), a dirty-cone
+  :class:`~repro.timing.sta.IncrementalSTA` refreshed with the
+  transforms' touched-gate sets must hold exactly the arrival times,
+  ``dist_to_po``, longest-path counts, delay, and longest-path *sets*
+  that a from-scratch pass computes -- ``==`` on floats, no tolerance:
+  both engines share the same per-gate arithmetic, so any difference is
+  a dirty-cone bookkeeping bug.
+* **KMS outputs** -- ``kms(..., incremental=True)`` and the full oracle
+  produce bit-identical final circuits (same content fingerprint) and
+  SAT-equivalent networks on random redundant circuits.
+
+250 random circuits in batches (kept small so each test stays well
+under CI's per-test timeout).
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import random_circuit, random_redundant_circuit
+from repro.core import kms
+from repro.engine.hashing import circuit_fingerprint
+from repro.network import GateType
+from repro.network.transform import (
+    duplicate_chain,
+    propagate_constants,
+    set_connection_constant,
+    sweep,
+)
+from repro.sat import check_equivalence
+from repro.timing import (
+    AsBuiltDelayModel,
+    IncrementalSTA,
+    analyze,
+    iter_paths_longest_first,
+)
+
+MODEL = AsBuiltDelayModel()
+
+BATCHES = 10
+CIRCUITS_PER_BATCH = 25
+
+
+def _assert_matches_oracle(sta, circuit):
+    """Exact agreement between maintained state and from-scratch passes."""
+    fresh = IncrementalSTA(circuit, MODEL)
+    assert sta.arrival == fresh.arrival
+    assert sta.dist_to_po == fresh.dist_to_po
+    assert sta.npaths_to_po == fresh.npaths_to_po
+    assert sta.delay == fresh.delay
+    assert sta.num_longest_paths() == fresh.num_longest_paths()
+    ann = analyze(circuit, MODEL)
+    assert sta.arrival == ann.arrival
+    assert sta.dist_to_po == ann.dist_to_po
+    assert sta.delay == ann.delay
+    mine = [
+        (p.gates, p.conns, p.length)
+        for p in iter_paths_longest_first(
+            circuit, MODEL, sta.annotation(), max_paths=25
+        )
+    ]
+    oracle = [
+        (p.gates, p.conns, p.length)
+        for p in iter_paths_longest_first(circuit, MODEL, ann, max_paths=25)
+    ]
+    assert mine == oracle
+
+
+def _mutate_constant(circuit, rng):
+    candidates = [
+        cid
+        for cid, conn in circuit.conns.items()
+        if circuit.gates[conn.dst].gtype is not GateType.OUTPUT
+        and circuit.gates[conn.src].gtype
+        not in (GateType.CONST0, GateType.CONST1)
+    ]
+    if not candidates:
+        return None
+    _, touched = set_connection_constant(
+        circuit, rng.choice(candidates), rng.randint(0, 1)
+    )
+    _, propagated = propagate_constants(circuit)
+    return touched | propagated
+
+
+def _mutate_sweep(circuit, rng):
+    _, touched = sweep(circuit, collapse_buffers=True)
+    return touched
+
+
+def _mutate_duplicate(circuit, rng):
+    """The Fig. 3 duplication move: copy a path prefix up to a
+    multi-fanout gate and re-source one of its fanout edges onto the
+    duplicate (exactly what the KMS loop does per iteration)."""
+    paths = list(iter_paths_longest_first(circuit, MODEL, max_paths=8))
+    if not paths:
+        return None
+    path = rng.choice(paths)
+    branch_points = [
+        j
+        for j, gid in enumerate(path.gates)
+        if len(circuit.gates[gid].fanout) > 1
+    ]
+    if not branch_points:
+        return None
+    j = rng.choice(branch_points)
+    chain = list(path.gates[: j + 1])
+    chain_conns = list(path.conns[: j + 1])
+    edge = path.conns[j + 1]
+    mapping, _dup_conns, touched = duplicate_chain(
+        circuit, chain, chain_conns
+    )
+    n = chain[-1]
+    touched |= {n, mapping[n], circuit.conns[edge].dst}
+    circuit.move_connection_source(edge, mapping[n])
+    return touched
+
+
+def _mutate_arrival(circuit, rng):
+    if not circuit.inputs:
+        return None
+    pi = rng.choice(circuit.inputs)
+    circuit.input_arrival[pi] = float(rng.randint(0, 5))
+    return {pi}
+
+
+MUTATIONS = [
+    _mutate_constant,
+    _mutate_sweep,
+    _mutate_duplicate,
+    _mutate_arrival,
+]
+
+
+def _random_subject(rng, index):
+    if index % 2:
+        return random_redundant_circuit(
+            num_inputs=rng.randint(3, 6),
+            num_gates=rng.randint(8, 18),
+            seed=rng.randint(0, 10**6),
+        )
+    return random_circuit(
+        num_inputs=rng.randint(3, 6),
+        num_gates=rng.randint(10, 25),
+        num_outputs=rng.randint(1, 3),
+        seed=rng.randint(0, 10**6),
+        max_arrival=rng.choice([0.0, 3.0]),
+    )
+
+
+@pytest.mark.parametrize("batch", range(BATCHES))
+def test_incremental_sta_tracks_full_recompute(batch):
+    rng = random.Random(1000 + batch)
+    for index in range(CIRCUITS_PER_BATCH):
+        circuit = _random_subject(rng, index)
+        sta = IncrementalSTA(circuit, MODEL)
+        _assert_matches_oracle(sta, circuit)
+        for _step in range(rng.randint(2, 6)):
+            mutate = rng.choice(MUTATIONS)
+            touched = mutate(circuit, rng)
+            if touched is None:
+                continue
+            sta.refresh(touched)
+            _assert_matches_oracle(sta, circuit)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_kms_incremental_bit_identical_random(seed):
+    circuit = random_redundant_circuit(
+        num_inputs=5, num_gates=15, seed=seed
+    )
+    inc = kms(circuit, model=MODEL, incremental=True)
+    full = kms(circuit, model=MODEL, incremental=False)
+    assert inc.iterations == full.iterations
+    assert circuit_fingerprint(inc.circuit) == circuit_fingerprint(
+        full.circuit
+    )
+    assert check_equivalence(inc.circuit, full.circuit).equivalent
+    assert check_equivalence(circuit, inc.circuit).equivalent
+    for key in ("paths_enumerated", "paths_capped"):
+        assert inc.counters[key] == full.counters[key]

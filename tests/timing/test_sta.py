@@ -5,7 +5,6 @@ import pytest
 from repro.circuits import fig1_carry_skip_block, fig4_c2_cone
 from repro.network import Builder, GateType
 from repro.timing import (
-    NEVER,
     UnitDelayModel,
     analyze,
     critical_connections,

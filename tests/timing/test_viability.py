@@ -1,6 +1,5 @@
 """Viability analysis: upper-bound ordering and paper claims."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,7 +11,6 @@ from repro.circuits import (
 from repro.sim import true_delay
 from repro.timing import (
     ViabilityChecker,
-    analyze,
     longest_paths,
     sensitizable_delay,
     topological_delay,

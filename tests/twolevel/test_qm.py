@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.twolevel import (
     Cover,
-    Cube,
     cube_covered,
     espresso,
     minimize_cover_exact,
