@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..sat.solver import Solver
+from ..sim.kernel import CompiledAig, kernel_enabled
 from .aig import Aig, lit_node, lit_phase
 
 
@@ -207,7 +208,12 @@ def fraig(
     rng = random.Random(seed)
     width = max(1, words) * 64
     patterns = aig.random_patterns(width, rng)
-    sigs = aig.simulate(patterns, width)
+    # the swept graph is read-only during the sweep: compile its flat
+    # simulation schedule once and route both the signature pass and
+    # every counterexample refinement through it (REPRO_SIM_LEGACY
+    # falls back to the interpreted Aig.simulate as the A/B oracle)
+    sim = CompiledAig(aig) if kernel_enabled() else aig
+    sigs = sim.simulate(patterns, width)
 
     new = Aig(aig.name)
     stats = FraigStats(ands_before=aig.num_ands())
@@ -225,7 +231,7 @@ def fraig(
             old: pattern.get(new_input_of_old[old], 0)
             for old in aig.inputs
         }
-        bits = aig.simulate(old_pattern, 1)
+        bits = sim.simulate(old_pattern, 1)
         for node in range(len(sigs)):
             sigs[node] = (sigs[node] << 1) | bits[node]
         width += 1

@@ -25,6 +25,7 @@ from .faultsim import (
     fault_coverage,
     random_vectors,
     simulate_fault_packed,
+    validate_vectors,
 )
 from .compaction import TestSet, compact, generate_test_set
 from .diagnosis import Diagnosis, FaultDictionary
@@ -92,4 +93,5 @@ __all__ = [
     "remove_redundancies",
     "simulate_fault_packed",
     "stem_fault",
+    "validate_vectors",
 ]

@@ -105,24 +105,30 @@ def compact(
     worklist = (
         list(faults) if faults is not None else collapsed_faults(circuit)
     )
-    # detection sets per vector, computed by bit-parallel blocks
+    # detection sets per vector, computed by bit-parallel blocks; the
+    # good simulation is done once per block and shared across faults
+    from ..sim.kernel import get_compiled, kernel_enabled
+    from ..sim.parallel import pack_vectors, simulate_packed
+
+    kern = get_compiled(circuit) if kernel_enabled() else None
     detected_by: List[set] = [set() for _ in vectors]
     block = 64
     for start in range(0, len(vectors), block):
         chunk = vectors[start : start + block]
-        width = len(chunk)
-        packed = {gid: 0 for gid in circuit.inputs}
-        for i, vec in enumerate(chunk):
-            for gid in circuit.inputs:
-                if vec.get(gid, 0):
-                    packed[gid] |= 1 << i
-        from ..sim.parallel import simulate_packed
-
-        good = simulate_packed(circuit, packed, width)
+        packed, width = pack_vectors(circuit, chunk)
+        if kern is not None:
+            good_words = kern.evaluate_words(packed, width)
+            good = None
+        else:
+            good_words = None
+            good = simulate_packed(circuit, packed, width)
         for f_idx, fault in enumerate(worklist):
-            mask = detecting_patterns(
-                circuit, fault, packed, width, good
-            )
+            if kern is not None:
+                mask = kern.detecting_word(fault, good_words, width)
+            else:
+                mask = detecting_patterns(
+                    circuit, fault, packed, width, good, compiled=False
+                )
             while mask:
                 bit = (mask & -mask).bit_length() - 1
                 detected_by[start + bit].add(f_idx)

@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..network import Circuit
-from ..sim.parallel import simulate_packed
+from ..sim.kernel import get_compiled, kernel_enabled
+from ..sim.parallel import pack_vectors, simulate_packed
 from .faults import Fault, collapsed_faults
 from .faultsim import simulate_fault_packed
 
@@ -66,15 +67,25 @@ class FaultDictionary:
     def _build(self) -> None:
         circuit = self.circuit
         block = 64
+        kern = get_compiled(circuit) if kernel_enabled() else None
         per_fault: Dict[Fault, set] = {f: set() for f in self.faults}
         for start in range(0, len(self.vectors), block):
             chunk = self.vectors[start : start + block]
-            width = len(chunk)
-            packed = {gid: 0 for gid in circuit.inputs}
-            for i, vec in enumerate(chunk):
-                for gid in circuit.inputs:
-                    if vec.get(gid, 0):
-                        packed[gid] |= 1 << i
+            packed, width = pack_vectors(circuit, chunk)
+            if kern is not None:
+                good_words = kern.evaluate_words(packed, width)
+                po_pos = [(po, kern.pos[po]) for po in circuit.outputs]
+                for fault in self.faults:
+                    diffs = kern.fault_diffs(fault, good_words, width)
+                    for po, p in po_pos:
+                        if p not in diffs:
+                            continue
+                        diff = good_words[p] ^ diffs[p]
+                        while diff:
+                            bit = (diff & -diff).bit_length() - 1
+                            per_fault[fault].add((start + bit, po))
+                            diff &= diff - 1
+                continue
             good = simulate_packed(circuit, packed, width)
             for fault in self.faults:
                 faulty = simulate_fault_packed(

@@ -10,13 +10,38 @@ faults cheaply in the test-generation flow.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..network import Circuit, GateType
-from ..sim.parallel import eval_gate_bits, simulate_packed
+from ..sim.kernel import CompiledCircuit, get_compiled, kernel_enabled
+from ..sim.parallel import eval_gate_bits, pack_vectors, simulate_packed
 from .faults import CONN, Fault
+
+logger = logging.getLogger(__name__)
+
+#: ``compiled`` argument convention shared by the graded-simulation
+#: entry points: ``None`` = auto (use the circuit's cached compiled
+#: kernel unless ``REPRO_SIM_LEGACY`` forces the interpreted oracle),
+#: ``False`` = force the legacy per-call path, or an explicit
+#: :class:`repro.sim.kernel.CompiledCircuit` to reuse one schedule
+#: across many calls.
+CompiledArg = Union[None, bool, CompiledCircuit]
+
+
+def _resolve_compiled(
+    circuit: Circuit, compiled: CompiledArg
+) -> Optional[CompiledCircuit]:
+    """Map the shared ``compiled`` convention to a kernel or None."""
+    if compiled is False:
+        return None
+    if isinstance(compiled, CompiledCircuit):
+        return compiled
+    if compiled is None and not kernel_enabled():
+        return None
+    return get_compiled(circuit)
 
 
 def simulate_fault_packed(
@@ -52,8 +77,27 @@ def detecting_patterns(
     packed_inputs: Mapping[int, int],
     width: int,
     good_values: Optional[Dict[int, int]] = None,
+    compiled: CompiledArg = None,
+    good_words: Optional[Sequence[int]] = None,
 ) -> int:
-    """Bitmask of patterns (bit i = pattern i) that detect the fault."""
+    """Bitmask of patterns (bit i = pattern i) that detect the fault.
+
+    The good-circuit simulation is the reusable half: pass
+    ``good_values`` (gid-keyed, from ``simulate_packed``) or
+    ``good_words`` (positional, from
+    :meth:`CompiledCircuit.evaluate_words`) when grading many faults
+    against one pattern block so it is computed once, not per fault.
+    ``compiled`` follows the shared convention (auto / ``False`` for
+    the legacy oracle / an explicit kernel).
+    """
+    kern = _resolve_compiled(circuit, compiled)
+    if kern is not None:
+        if good_words is None:
+            if good_values is not None:
+                good_words = kern.words_from_values(good_values)
+            else:
+                good_words = kern.evaluate_words(packed_inputs, width)
+        return kern.detecting_word(fault, good_words, width)
     if good_values is None:
         good_values = simulate_packed(circuit, packed_inputs, width)
     faulty = simulate_fault_packed(circuit, fault, packed_inputs, width)
@@ -86,28 +130,64 @@ class CoverageReport:
         return self.detected / self.total_faults
 
 
+def validate_vectors(
+    circuit: Circuit, vectors: Sequence[Mapping[int, int]]
+) -> int:
+    """Warn -- once per call, not per pattern -- about partial vectors.
+
+    A vector missing a PI key is graded as if that input were 0, which
+    is silent data loss when the caller mislabeled its gids.  Returns
+    the number of partial vectors and logs a single summary warning.
+    """
+    pis = set(circuit.inputs)
+    partial = sum(1 for vec in vectors if not pis.issubset(vec))
+    if partial:
+        missing = pis.difference(*[vec.keys() for vec in vectors]) if vectors else pis
+        logger.warning(
+            "%d of %d test vectors are missing primary-input keys "
+            "(e.g. PI gids %s); missing inputs are simulated as 0",
+            partial,
+            len(vectors),
+            sorted(missing)[:5] if missing else "varies per vector",
+        )
+    return partial
+
+
 def fault_coverage(
     circuit: Circuit,
     faults: Sequence[Fault],
     vectors: Sequence[Mapping[int, int]],
     block: int = 64,
+    compiled: CompiledArg = None,
 ) -> CoverageReport:
-    """Grade a test set against a fault list."""
+    """Grade a test set against a fault list.
+
+    Parallel-pattern serial-fault with fault dropping: each ``block``
+    of vectors is packed and simulated once for the good circuit, every
+    still-undetected fault is graded against it, and detected faults
+    leave the active list.  ``compiled`` follows the shared convention;
+    on the kernel path each fault costs only its fanout cone.
+    """
+    validate_vectors(circuit, vectors)
+    kern = _resolve_compiled(circuit, compiled)
     remaining = list(faults)
     for start in range(0, len(vectors), block):
         chunk = vectors[start : start + block]
-        width = len(chunk)
-        packed = {gid: 0 for gid in circuit.inputs}
-        for i, vec in enumerate(chunk):
-            for gid in circuit.inputs:
-                if vec.get(gid, 0):
-                    packed[gid] |= 1 << i
-        good = simulate_packed(circuit, packed, width)
+        packed, width = pack_vectors(circuit, chunk)
         still = []
-        for fault in remaining:
-            if detecting_patterns(circuit, fault, packed, width, good):
-                continue
-            still.append(fault)
+        if kern is not None:
+            good_words = kern.evaluate_words(packed, width)
+            for fault in remaining:
+                if not kern.detecting_word(fault, good_words, width):
+                    still.append(fault)
+            kern.note_dropped(len(remaining) - len(still))
+        else:
+            good = simulate_packed(circuit, packed, width)
+            for fault in remaining:
+                if not detecting_patterns(
+                    circuit, fault, packed, width, good, compiled=False
+                ):
+                    still.append(fault)
         remaining = still
         if not remaining:
             break

@@ -73,7 +73,12 @@ def _undetected_by_random(
     circuit: Circuit, faults: List[Fault], patterns: int = 64, seed: int = 7
 ) -> List[Fault]:
     """Cheap prefilter: faults a random test set already detects are
-    certainly testable, so only the survivors need SAT proofs."""
+    certainly testable, so only the survivors need SAT proofs.
+
+    Runs on the compiled simulation kernel through ``fault_coverage``;
+    the kernel's version check recompiles the schedule automatically as
+    removal mutates the working circuit between calls.
+    """
     from .faultsim import fault_coverage, random_vectors
 
     vectors = random_vectors(circuit, patterns, seed)

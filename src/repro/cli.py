@@ -123,6 +123,16 @@ def cmd_timing(args) -> int:
 
 
 def cmd_atpg(args) -> int:
+    import os
+
+    from .sim.kernel import LEGACY_ENV, SimWorkTracker
+
+    if args.legacy_sim:
+        # process-wide so nested consumers (the redundant-fault random
+        # prefilter included) take the interpreted path too
+        os.environ[LEGACY_ENV] = "1"
+    compiled = False if args.legacy_sim else None
+    sim_tracker = SimWorkTracker()
     circuit = _load(args.input)
     faults = collapsed_faults(circuit)
     print(f"collapsed faults : {len(faults)}")
@@ -133,7 +143,7 @@ def cmd_atpg(args) -> int:
     if not args.tests:
         return 0
     vectors = random_vectors(circuit, args.random, seed=args.seed)
-    report = fault_coverage(circuit, faults, vectors)
+    report = fault_coverage(circuit, faults, vectors, compiled=compiled)
     podem = Podem(circuit)
     generated = 0
     for fault in report.undetected_faults:
@@ -143,12 +153,18 @@ def cmd_atpg(args) -> int:
                 {g: result.test.get(g, 0) for g in circuit.inputs}
             )
             generated += 1
-    final = fault_coverage(circuit, faults, vectors)
+    final = fault_coverage(circuit, faults, vectors, compiled=compiled)
     print(
         f"test set         : {len(vectors)} vectors "
         f"({args.random} random + {generated} PODEM)"
     )
     print(f"fault coverage   : {final.coverage:.1%}")
+    # deterministic kernel work counters, on stderr so scripted stdout
+    # parsing stays stable
+    work = ", ".join(
+        f"{k}={v}" for k, v in sim_tracker.counters.items()
+    )
+    print(f"sim kernel work  : {work}", file=sys.stderr)
     return 0
 
 
@@ -340,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tests", action="store_true", help="build a test set")
     p.add_argument("--random", type=int, default=64)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--legacy-sim",
+        action="store_true",
+        help="grade faults on the interpreted per-call simulator "
+        "instead of the compiled kernel (A/B oracle)",
+    )
     p.set_defaults(func=cmd_atpg)
 
     p = sub.add_parser("table1", help="regenerate the paper's Table I")

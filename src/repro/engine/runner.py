@@ -35,6 +35,8 @@ from typing import Any, Dict, List, Optional
 
 from ..network import Circuit
 from ..sat import SolveCallTracker
+from ..sim.kernel import WORK_COUNTERS as SIM_WORK_COUNTERS
+from ..sim.kernel import SimWorkTracker
 from .cache import ResultCache
 from .hashing import circuit_fingerprint
 from .serialize import circuit_from_dict, circuit_to_dict
@@ -238,10 +240,12 @@ def _execute_call(
                 else circuit
             )
             # replay descriptive counters (gate counts, redundancies)
-            # but not work counters -- this run did no SAT calls.
+            # but not work counters -- this run did no SAT calls and
+            # no gate evaluations.
+            skip = ("sat_calls", "attempt") + SIM_WORK_COUNTERS
             counters = {
                 k: v for k, v in entry.get("counters", {}).items()
-                if k not in ("sat_calls", "attempt")
+                if k not in skip
             }
             telemetry.add(StageRecord(
                 job=job_name,
@@ -260,9 +264,11 @@ def _execute_call(
     attempts = max(1, config.retries + 1)
     last_exc: Optional[BaseException] = None
     tracker = SolveCallTracker()
+    sim_tracker = SimWorkTracker()
     for attempt in range(attempts):
         attempt_start = now()
         tracker.reset()
+        sim_tracker.reset()
         try:
             outcome = _call_with_timeout(
                 lambda: stage.fn(circuit, call.params, ctx),
@@ -283,6 +289,12 @@ def _execute_call(
             continue
         counters = dict(outcome.counters)
         counters["sat_calls"] = tracker.calls
+        # per-stage simulation-kernel work attribution, same
+        # snapshot/delta pattern as the SAT call counter; only stages
+        # that actually simulated carry the keys
+        for name, value in sim_tracker.counters.items():
+            if value:
+                counters[name] = value
         if attempt:
             counters["attempt"] = attempt + 1
         telemetry.add(StageRecord(

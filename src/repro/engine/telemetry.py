@@ -44,6 +44,19 @@ packed-simulation witness, or fingerprint-keyed cube cache), and
 ``max_longest_paths``).  These are exact functions of circuit + seed --
 no wall-clock jitter -- which is what lets CI gate on them
 (``benchmarks/compare_kms_baseline.py``).
+
+Stages that simulate through the compiled kernel
+(:mod:`repro.sim.kernel` -- fault grading in ``atpg``, the witness
+prefilter inside ``kms``, fraig signature refinement) additionally carry
+the kernel's work counters, attributed per stage by
+:class:`repro.sim.kernel.SimWorkTracker` exactly like ``sat_calls``:
+``gate_evals_good`` (gate evaluations in good-circuit packed
+simulation), ``gate_evals_faulty`` (gate evaluations in event-driven
+faulty cones), ``cone_cutoffs`` (cone frontier nodes whose good/faulty
+difference word went to zero), and ``faults_dropped`` (faults removed
+from an active list after detection).  Equally deterministic, equally
+gateable (``benchmarks/compare_sim_baseline.py``); cache hits replay
+none of them.
 """
 
 from __future__ import annotations

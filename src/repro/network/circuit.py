@@ -102,6 +102,11 @@ class Circuit:
         #: primary input c0 arrives at time t = 5").  Keyed by PI gid.
         self.input_arrival: Dict[int, float] = {}
         self._topo_cache: Optional[List[int]] = None
+        #: monotonically increasing mutation counter.  Every structural
+        #: change bumps it, so derived artifacts (the compiled simulation
+        #: kernel in :mod:`repro.sim.kernel`) can detect staleness with
+        #: one integer compare instead of hashing the network.
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # construction primitives
@@ -273,6 +278,12 @@ class Circuit:
 
     def _dirty(self) -> None:
         self._topo_cache = None
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: changes iff the structure may have changed."""
+        return self._version
 
     def topological_order(self) -> List[int]:
         """gids in topological order (sources first).

@@ -1,0 +1,742 @@
+"""Compiled levelized simulation kernel.
+
+:func:`repro.sim.parallel.simulate_packed` re-derives the topological
+order and does per-gate dict lookups on every call, and
+:func:`repro.atpg.faultsim.simulate_fault_packed` re-simulates the whole
+circuit once per fault.  This module compiles a :class:`Circuit` once
+into a flat levelized schedule and makes both costs go away:
+
+* :class:`CompiledCircuit` lowers the network into parallel lists --
+  topological order, integer opcodes, fanin source *positions* -- built
+  once and reused across calls.  Staleness is detected with one integer
+  compare against :attr:`Circuit.version` (every structural mutation
+  bumps it), and consumers holding touched-gate sets from
+  :mod:`repro.network.transform` can call :meth:`CompiledCircuit.refresh`
+  explicitly (the PR-3 contract: a non-empty touched set means the
+  schedule may have changed, so the kernel recompiles).
+
+* two interchangeable, bit-identical backends: pure Python (arbitrary-
+  precision ints, one bitwise op per gate per call) and an optional
+  numpy backend that splits a pattern block into ``uint64`` lanes so a
+  4096-pattern word is 64 machine words instead of one 4096-bit Python
+  int.  Selection is automatic (numpy when importable and the block is
+  wider than one machine word) and forceable through the
+  ``REPRO_SIM_BACKEND`` environment variable (``python`` / ``numpy`` /
+  ``auto``).
+
+* event-driven parallel-pattern fault simulation
+  (:meth:`CompiledCircuit.fault_diffs`): the stuck value is injected at
+  the fault site and propagated only through the fanout cone, cutting
+  off as soon as the good/faulty difference word goes to zero.  The
+  faulty-value map is sparse -- gates outside the cone are never
+  evaluated -- which is where the >=5x gate-evaluation saving of
+  ``BENCH_sim.json`` comes from.
+
+All work is tracked in deterministic counters (``gate_evals_good``,
+``gate_evals_faulty``, ``cone_cutoffs``, ``faults_dropped``) -- exact
+functions of circuit + pattern block, no wall-clock jitter -- kept both
+per kernel and process-globally so :class:`SimWorkTracker` can attribute
+them per engine stage exactly like the SAT solve-call counter.
+
+The legacy interpreted path stays available everywhere as the A/B
+oracle: set ``REPRO_SIM_LEGACY=1`` (or pass ``compiled=False`` where a
+consumer exposes it) and every consumer falls back to
+``simulate_packed`` / ``simulate_fault_packed``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..network import Circuit, GateType
+
+try:  # optional [perf] extra; the pure-Python backend is always there
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    _np = None
+
+#: Environment variable selecting the evaluation backend.
+BACKEND_ENV = "REPRO_SIM_BACKEND"
+#: Environment variable forcing the legacy interpreted path (A/B oracle).
+LEGACY_ENV = "REPRO_SIM_LEGACY"
+
+#: ``auto`` stays on Python ints up to one machine word; wider blocks
+#: amortize numpy's per-op overhead across many uint64 lanes.
+AUTO_NUMPY_MIN_WIDTH = 65
+
+#: The kernel's deterministic work counters, in canonical order.
+WORK_COUNTERS = (
+    "gate_evals_good",
+    "gate_evals_faulty",
+    "cone_cutoffs",
+    "faults_dropped",
+)
+
+_ALL_ONES = 0xFFFF_FFFF_FFFF_FFFF
+
+# integer opcodes; OUTPUT markers evaluate as BUF, exactly as
+# sim.parallel.eval_gate_bits treats them
+_OP_INPUT = 0
+_OP_CONST0 = 1
+_OP_CONST1 = 2
+_OP_BUF = 3
+_OP_NOT = 4
+_OP_AND = 5
+_OP_NAND = 6
+_OP_OR = 7
+_OP_NOR = 8
+_OP_XOR = 9
+_OP_XNOR = 10
+
+_OPCODE = {
+    GateType.INPUT: _OP_INPUT,
+    GateType.CONST0: _OP_CONST0,
+    GateType.CONST1: _OP_CONST1,
+    GateType.BUF: _OP_BUF,
+    GateType.OUTPUT: _OP_BUF,
+    GateType.NOT: _OP_NOT,
+    GateType.AND: _OP_AND,
+    GateType.NAND: _OP_NAND,
+    GateType.OR: _OP_OR,
+    GateType.NOR: _OP_NOR,
+    GateType.XOR: _OP_XOR,
+    GateType.XNOR: _OP_XNOR,
+}
+
+
+# ---------------------------------------------------------------------- #
+# backend selection and legacy switch
+# ---------------------------------------------------------------------- #
+
+def numpy_available() -> bool:
+    """True when the optional numpy backend can be used."""
+    return _np is not None
+
+
+def available_backends() -> List[str]:
+    """The backends usable in this process, preferred-last."""
+    return ["python"] + (["numpy"] if _np is not None else [])
+
+
+def resolve_backend(
+    requested: Optional[str] = None, width: Optional[int] = None
+) -> str:
+    """Pick the evaluation backend for one call.
+
+    ``requested`` overrides everything; otherwise ``REPRO_SIM_BACKEND``
+    decides, defaulting to ``auto``: numpy when importable and the
+    pattern block is wider than one machine word, else pure Python.
+    Forcing ``numpy`` without numpy installed is an error (CI's
+    fallback leg forces ``python`` instead of silently downgrading).
+    """
+    choice = requested or os.environ.get(BACKEND_ENV, "auto") or "auto"
+    if choice == "python":
+        return "python"
+    if choice == "numpy":
+        if _np is None:
+            raise RuntimeError(
+                "REPRO_SIM_BACKEND=numpy but numpy is not installed "
+                "(pip install repro[perf])"
+            )
+        return "numpy"
+    if choice != "auto":
+        raise ValueError(
+            f"unknown simulation backend {choice!r}; "
+            f"expected python, numpy, or auto"
+        )
+    if _np is not None and (width or 0) >= AUTO_NUMPY_MIN_WIDTH:
+        return "numpy"
+    return "python"
+
+
+def kernel_enabled() -> bool:
+    """Should consumers route through the compiled kernel?
+
+    True unless ``REPRO_SIM_LEGACY`` is set to a non-empty, non-zero
+    value -- the env-level A/B switch mirroring ``kms(...,
+    incremental=False)``.
+    """
+    return os.environ.get(LEGACY_ENV, "") in ("", "0")
+
+
+# ---------------------------------------------------------------------- #
+# work counters
+# ---------------------------------------------------------------------- #
+
+class _SimWork:
+    """Mutable counter block shared by a kernel and the process global."""
+
+    __slots__ = WORK_COUNTERS
+
+    def __init__(self) -> None:
+        self.gate_evals_good = 0
+        self.gate_evals_faulty = 0
+        self.cone_cutoffs = 0
+        self.faults_dropped = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in WORK_COUNTERS}
+
+
+#: process-global counters (per worker process, like sat solve_calls)
+_GLOBAL_WORK = _SimWork()
+
+
+def sim_work_counters() -> Dict[str, int]:
+    """Snapshot of the process-global kernel work counters."""
+    return _GLOBAL_WORK.as_dict()
+
+
+class SimWorkTracker:
+    """Snapshot/delta view of the global sim work counters.
+
+    The engine opens one per stage attempt so telemetry records report
+    the stage's own gate evaluations -- the same pattern as
+    :class:`repro.sat.SolveCallTracker`.  Usable as a context manager.
+    """
+
+    def __init__(self) -> None:
+        self._mark = sim_work_counters()
+
+    def reset(self) -> None:
+        """Restart the delta window at the current counter values."""
+        self._mark = sim_work_counters()
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counter deltas in this process since construction/reset."""
+        now = sim_work_counters()
+        return {
+            name: max(0, now[name] - self._mark[name])
+            for name in WORK_COUNTERS
+        }
+
+    def __enter__(self) -> "SimWorkTracker":
+        self.reset()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------- #
+# the compiled circuit
+# ---------------------------------------------------------------------- #
+
+class CompiledCircuit:
+    """A :class:`Circuit` lowered to a flat levelized schedule.
+
+    Parallel lists indexed by *position* (rank in topological order):
+    ``ops[i]`` is the integer opcode, ``fanin_pos[i]`` the positions of
+    the gate's fanin sources in pin order, ``fanout_pos[i]`` the sorted
+    positions it feeds, ``level[i]`` the levelization depth.  ``order``
+    maps position -> gid and ``pos`` the inverse; ``conn_pin`` maps each
+    connection id to its ``(dst position, pin index)`` so connection
+    faults inject without touching the ``Circuit`` object.
+
+    The kernel records :attr:`Circuit.version` at compile time and
+    recompiles lazily whenever the circuit has mutated since; callers
+    holding touched-gate sets may also call :meth:`refresh` explicitly.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.work = _SimWork()
+        self._compile()
+
+    # ------------------------------ build ----------------------------- #
+
+    def _compile(self) -> None:
+        circuit = self.circuit
+        self.version = circuit.version
+        order = circuit.topological_order()
+        self.order: List[int] = order
+        pos = {gid: i for i, gid in enumerate(order)}
+        self.pos: Dict[int, int] = pos
+        n = len(order)
+        ops: List[int] = [0] * n
+        fanin_pos: List[Tuple[int, ...]] = [()] * n
+        fanout_pos: List[Tuple[int, ...]] = [()] * n
+        level: List[int] = [0] * n
+        conn_pin: Dict[int, Tuple[int, int]] = {}
+        conns = circuit.conns
+        for i, gid in enumerate(order):
+            gate = circuit.gates[gid]
+            ops[i] = _OPCODE[gate.gtype]
+            srcs = tuple(pos[conns[cid].src] for cid in gate.fanin)
+            fanin_pos[i] = srcs
+            for pin, cid in enumerate(gate.fanin):
+                conn_pin[cid] = (i, pin)
+            fanout_pos[i] = tuple(
+                sorted({pos[conns[cid].dst] for cid in gate.fanout})
+            )
+            level[i] = 1 + max((level[s] for s in srcs), default=-1)
+        self.ops = ops
+        self.fanin_pos = fanin_pos
+        self.fanout_pos = fanout_pos
+        self.level = level
+        self.conn_pin = conn_pin
+        self.num_levels = 1 + max(level, default=0)
+        self.pi_pos = [pos[g] for g in circuit.inputs]
+        self.po_pos = [pos[g] for g in circuit.outputs]
+        self._po_pos_set = set(self.po_pos)
+        #: positions the good-eval counter charges (everything but PIs)
+        self._num_eval_gates = sum(1 for op in ops if op != _OP_INPUT)
+
+    @property
+    def stale(self) -> bool:
+        """Has the circuit mutated since this schedule was built?"""
+        return self.version != self.circuit.version
+
+    def refresh(self, touched: Optional[Iterable[int]] = None) -> bool:
+        """Invalidate per the touched-gate-set contract.
+
+        A non-empty ``touched`` set (or any structural mutation since
+        compile) recompiles the schedule; an empty set on an unchanged
+        circuit is a no-op.  Returns True when a recompile happened.
+        """
+        if self.stale or (touched is not None and any(True for _ in touched)):
+            self._compile()
+            return True
+        return False
+
+    def _ensure_fresh(self) -> None:
+        if self.stale:
+            self._compile()
+
+    # ----------------------------- queries ---------------------------- #
+
+    def num_eval_gates(self) -> int:
+        """Gates one full-circuit evaluation costs (non-PI positions) --
+        the per-fault price of the legacy full resimulation."""
+        self._ensure_fresh()
+        return self._num_eval_gates
+
+    def counters(self) -> Dict[str, int]:
+        """This kernel's deterministic work-counter snapshot."""
+        return self.work.as_dict()
+
+    def words_from_values(self, values: Mapping[int, int]) -> List[int]:
+        """Positional word list from a gid-keyed value map (the shape
+        ``simulate_packed`` returns), for interop with legacy callers."""
+        self._ensure_fresh()
+        return [values[gid] for gid in self.order]
+
+    # --------------------------- good evaluation ----------------------- #
+
+    def evaluate(
+        self,
+        packed_inputs: Mapping[int, int],
+        width: int,
+        overrides: Optional[Mapping[int, int]] = None,
+        backend: Optional[str] = None,
+    ) -> Dict[int, int]:
+        """Drop-in, bit-identical replacement for ``simulate_packed``.
+
+        Returns packed words for every gate, keyed by gid.  ``overrides``
+        forces gate outputs exactly like the interpreted path.
+        """
+        words = self.evaluate_words(packed_inputs, width, overrides, backend)
+        return {gid: words[i] for i, gid in enumerate(self.order)}
+
+    def evaluate_words(
+        self,
+        packed_inputs: Mapping[int, int],
+        width: int,
+        overrides: Optional[Mapping[int, int]] = None,
+        backend: Optional[str] = None,
+    ) -> List[int]:
+        """Like :meth:`evaluate` but positional (index = topo rank) --
+        the representation the fault simulator consumes."""
+        self._ensure_fresh()
+        mask = (1 << width) - 1
+        over: Dict[int, int] = {}
+        if overrides:
+            over = {self.pos[g]: v & mask for g, v in overrides.items()}
+        which = resolve_backend(backend, width)
+        if which == "numpy":
+            values, evals = self._evaluate_numpy(
+                packed_inputs, width, mask, over
+            )
+        else:
+            values, evals = self._evaluate_python(packed_inputs, mask, over)
+        self.work.gate_evals_good += evals
+        _GLOBAL_WORK.gate_evals_good += evals
+        return values
+
+    def _evaluate_python(
+        self,
+        packed_inputs: Mapping[int, int],
+        mask: int,
+        over: Dict[int, int],
+    ) -> Tuple[List[int], int]:
+        ops = self.ops
+        fanin_pos = self.fanin_pos
+        order = self.order
+        values = [0] * len(ops)
+        evals = 0
+        for idx, op in enumerate(ops):
+            if idx in over:
+                values[idx] = over[idx]
+                continue
+            if op == _OP_INPUT:
+                values[idx] = packed_inputs.get(order[idx], 0) & mask
+                continue
+            evals += 1
+            srcs = fanin_pos[idx]
+            if op == _OP_AND or op == _OP_NAND:
+                acc = mask
+                for s in srcs:
+                    acc &= values[s]
+                values[idx] = acc if op == _OP_AND else ~acc & mask
+            elif op == _OP_OR or op == _OP_NOR:
+                acc = 0
+                for s in srcs:
+                    acc |= values[s]
+                values[idx] = acc if op == _OP_OR else ~acc & mask
+            elif op == _OP_BUF:
+                values[idx] = values[srcs[0]]
+            elif op == _OP_NOT:
+                values[idx] = ~values[srcs[0]] & mask
+            elif op == _OP_XOR or op == _OP_XNOR:
+                acc = 0
+                for s in srcs:
+                    acc ^= values[s]
+                values[idx] = acc if op == _OP_XOR else ~acc & mask
+            elif op == _OP_CONST0:
+                values[idx] = 0
+            else:  # _OP_CONST1
+                values[idx] = mask
+        return values, evals
+
+    def _evaluate_numpy(
+        self,
+        packed_inputs: Mapping[int, int],
+        width: int,
+        mask: int,
+        over: Dict[int, int],
+    ) -> Tuple[List[int], int]:
+        np = _np
+        nwords = (width + 63) // 64
+        lane_mask = np.full(nwords, _ALL_ONES, dtype=np.uint64)
+        rem = width % 64
+        if rem:
+            lane_mask[-1] = np.uint64((1 << rem) - 1)
+
+        def to_lanes(value: int):
+            return np.frombuffer(
+                (value & mask).to_bytes(nwords * 8, "little"), dtype="<u8"
+            ).astype(np.uint64, copy=True)
+
+        ops = self.ops
+        fanin_pos = self.fanin_pos
+        order = self.order
+        n = len(ops)
+        values = np.zeros((n, nwords), dtype=np.uint64)
+        evals = 0
+        for idx, op in enumerate(ops):
+            if idx in over:
+                values[idx] = to_lanes(over[idx])
+                continue
+            if op == _OP_INPUT:
+                values[idx] = to_lanes(packed_inputs.get(order[idx], 0))
+                continue
+            evals += 1
+            srcs = fanin_pos[idx]
+            if op == _OP_AND or op == _OP_NAND:
+                acc = lane_mask.copy()
+                for s in srcs:
+                    acc &= values[s]
+                values[idx] = acc if op == _OP_AND else ~acc & lane_mask
+            elif op == _OP_OR or op == _OP_NOR:
+                acc = np.zeros(nwords, dtype=np.uint64)
+                for s in srcs:
+                    acc |= values[s]
+                values[idx] = acc if op == _OP_OR else ~acc & lane_mask
+            elif op == _OP_BUF:
+                values[idx] = values[srcs[0]]
+            elif op == _OP_NOT:
+                values[idx] = ~values[srcs[0]] & lane_mask
+            elif op == _OP_XOR or op == _OP_XNOR:
+                acc = np.zeros(nwords, dtype=np.uint64)
+                for s in srcs:
+                    acc ^= values[s]
+                values[idx] = acc if op == _OP_XOR else ~acc & lane_mask
+            elif op == _OP_CONST0:
+                pass  # already zeros
+            else:  # _OP_CONST1
+                values[idx] = lane_mask
+        lanes = values.astype("<u8", copy=False).tobytes()
+        row = nwords * 8
+        out = [
+            int.from_bytes(lanes[i * row:(i + 1) * row], "little")
+            for i in range(n)
+        ]
+        return out, evals
+
+    def _eval_one(self, idx: int, ins: Sequence[int], mask: int) -> int:
+        """Evaluate one gate over explicit fanin words (fault path)."""
+        op = self.ops[idx]
+        if op == _OP_AND or op == _OP_NAND:
+            acc = mask
+            for v in ins:
+                acc &= v
+            return acc if op == _OP_AND else ~acc & mask
+        if op == _OP_OR or op == _OP_NOR:
+            acc = 0
+            for v in ins:
+                acc |= v
+            return acc if op == _OP_OR else ~acc & mask
+        if op == _OP_BUF:
+            return ins[0]
+        if op == _OP_NOT:
+            return ~ins[0] & mask
+        if op == _OP_XOR or op == _OP_XNOR:
+            acc = 0
+            for v in ins:
+                acc ^= v
+            return acc if op == _OP_XOR else ~acc & mask
+        if op == _OP_CONST0:
+            return 0
+        if op == _OP_CONST1:
+            return mask
+        raise ValueError("cannot evaluate a primary input")
+
+    # ------------------------ event-driven faults ---------------------- #
+
+    def fault_diffs(
+        self, fault, good_words: Sequence[int], width: int
+    ) -> Dict[int, int]:
+        """Event-driven faulty simulation: sparse position -> faulty word.
+
+        Injects the stuck value at the fault site and propagates only
+        through the fanout cone in topological order, cutting a branch
+        off the moment its good/faulty difference word goes to zero.
+        Only differing gates appear in the result; everything else holds
+        its good value.  ``fault`` is an :class:`repro.atpg.Fault`
+        (``kind`` ``"conn"`` or ``"stem"``) -- duck-typed to avoid a
+        sim -> atpg import cycle.
+        """
+        self._ensure_fresh()
+        mask = (1 << width) - 1
+        stuck = mask if fault.value else 0
+        work = self.work
+        if fault.kind == "conn":
+            seed, pin = self.conn_pin[fault.site]
+            ins = [good_words[s] for s in self.fanin_pos[seed]]
+            ins[pin] = stuck
+            word = self._eval_one(seed, ins, mask)
+            work.gate_evals_faulty += 1
+            _GLOBAL_WORK.gate_evals_faulty += 1
+        else:
+            seed = self.pos[fault.site]
+            word = stuck
+        if word == good_words[seed]:
+            work.cone_cutoffs += 1
+            _GLOBAL_WORK.cone_cutoffs += 1
+            return {}
+        diffs: Dict[int, int] = {seed: word}
+        heap = list(self.fanout_pos[seed])
+        heapq.heapify(heap)
+        queued = set(heap)
+        fanin_pos = self.fanin_pos
+        fanout_pos = self.fanout_pos
+        evals = 0
+        cutoffs = 0
+        while heap:
+            p = heapq.heappop(heap)
+            queued.discard(p)
+            ins = [diffs.get(s, good_words[s]) for s in fanin_pos[p]]
+            word = self._eval_one(p, ins, mask)
+            evals += 1
+            if word == good_words[p]:
+                cutoffs += 1
+                continue
+            diffs[p] = word
+            for q in fanout_pos[p]:
+                if q not in queued:
+                    queued.add(q)
+                    heapq.heappush(heap, q)
+        work.gate_evals_faulty += evals
+        work.cone_cutoffs += cutoffs
+        _GLOBAL_WORK.gate_evals_faulty += evals
+        _GLOBAL_WORK.cone_cutoffs += cutoffs
+        return diffs
+
+    def detecting_word(
+        self, fault, good_words: Sequence[int], width: int
+    ) -> int:
+        """Bitmask of patterns under which ``fault`` is visible at any
+        primary output (bit i = pattern i) -- the event-driven
+        equivalent of ``atpg.faultsim.detecting_patterns``."""
+        diffs = self.fault_diffs(fault, good_words, width)
+        if not diffs:
+            return 0
+        word = 0
+        for p in self._po_pos_set.intersection(diffs):
+            word |= diffs[p] ^ good_words[p]
+        return word
+
+    def simulate_fault(
+        self,
+        fault,
+        packed_inputs: Mapping[int, int],
+        width: int,
+        good_words: Optional[Sequence[int]] = None,
+        backend: Optional[str] = None,
+    ) -> Dict[int, int]:
+        """Full faulty-value map, bit-identical to
+        ``simulate_fault_packed``: the good values overlaid with the
+        fault's cone diffs.  Pass precomputed ``good_words`` to reuse
+        one good simulation across a whole fault list."""
+        if good_words is None:
+            good_words = self.evaluate_words(
+                packed_inputs, width, backend=backend
+            )
+        diffs = self.fault_diffs(fault, good_words, width)
+        return {
+            gid: diffs.get(i, good_words[i])
+            for i, gid in enumerate(self.order)
+        }
+
+    def note_dropped(self, count: int) -> None:
+        """Record ``count`` faults dropped from an active list after
+        detection (the fault simulator's drop-on-detect accounting)."""
+        if count > 0:
+            self.work.faults_dropped += count
+            _GLOBAL_WORK.faults_dropped += count
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledCircuit {self.circuit.name!r}: "
+            f"{len(self.order)} positions, {self.num_levels} levels, "
+            f"v{self.version}{' STALE' if self.stale else ''}>"
+        )
+
+
+def get_compiled(circuit: Circuit) -> CompiledCircuit:
+    """The circuit's cached compiled kernel, recompiled when stale.
+
+    The kernel is attached to the circuit object itself (copies start
+    clean; ``Circuit.copy`` does not carry it over), so every consumer
+    of the same mutating circuit shares one schedule and one counter
+    block.
+    """
+    kern = getattr(circuit, "_compiled_kernel", None)
+    if kern is None or kern.circuit is not circuit:
+        kern = CompiledCircuit(circuit)
+        circuit._compiled_kernel = kern
+    elif kern.stale:
+        kern._compile()
+    return kern
+
+
+def refresh_compiled(
+    circuit: Circuit, touched: Optional[Iterable[int]] = None
+) -> None:
+    """Apply the touched-gate-set invalidation contract to the
+    circuit's attached kernel, if any (no-op otherwise)."""
+    kern = getattr(circuit, "_compiled_kernel", None)
+    if kern is not None and kern.circuit is circuit:
+        kern.refresh(touched)
+
+
+# ---------------------------------------------------------------------- #
+# compiled AIG simulation (the fraig refinement path)
+# ---------------------------------------------------------------------- #
+
+class CompiledAig:
+    """Flat bit-parallel simulation schedule for an :class:`Aig`.
+
+    AIG node ids are already topological, so "compiling" means freezing
+    the live AND nodes and their (node, phase-mask) fanins into parallel
+    lists once, instead of re-walking ``fanins()`` tuples per call --
+    the cost :func:`repro.aig.fraig.fraig` pays once per counterexample
+    refinement.  AIGs are append-only; the schedule covers the node
+    range at compile time and refuses to simulate a grown graph
+    (rebuild for that -- fraig never grows the graph it refines).
+    """
+
+    def __init__(self, aig) -> None:
+        self.aig = aig
+        self.num_nodes = aig.num_nodes()
+        ands: List[int] = []
+        fanin_node0: List[int] = []
+        fanin_node1: List[int] = []
+        fanin_neg0: List[int] = []
+        fanin_neg1: List[int] = []
+        for node in aig.and_nodes():
+            f0, f1 = aig.fanins(node)
+            ands.append(node)
+            fanin_node0.append(f0 >> 1)
+            fanin_node1.append(f1 >> 1)
+            fanin_neg0.append(f0 & 1)
+            fanin_neg1.append(f1 & 1)
+        self.ands = ands
+        self.fanin_node0 = fanin_node0
+        self.fanin_node1 = fanin_node1
+        self.fanin_neg0 = fanin_neg0
+        self.fanin_neg1 = fanin_neg1
+        self.inputs = list(aig.inputs)
+
+    def simulate(
+        self,
+        packed_inputs: Mapping[int, int],
+        width: int,
+        backend: Optional[str] = None,
+    ) -> List[int]:
+        """Bit-identical to :meth:`Aig.simulate` over the compiled range."""
+        if self.aig.num_nodes() != self.num_nodes:
+            raise RuntimeError(
+                "CompiledAig is stale: the AIG grew since compile"
+            )
+        mask = (1 << width) - 1
+        which = resolve_backend(backend, width)
+        if which == "numpy":
+            return self._simulate_numpy(packed_inputs, width, mask)
+        values = [0] * self.num_nodes
+        for node in self.inputs:
+            values[node] = packed_inputs.get(node, 0) & mask
+        neg_words = (0, mask)
+        for i, node in enumerate(self.ands):
+            v0 = values[self.fanin_node0[i]] ^ neg_words[self.fanin_neg0[i]]
+            v1 = values[self.fanin_node1[i]] ^ neg_words[self.fanin_neg1[i]]
+            values[node] = v0 & v1
+        self.work_add(len(self.ands))
+        return values
+
+    def _simulate_numpy(
+        self, packed_inputs: Mapping[int, int], width: int, mask: int
+    ) -> List[int]:
+        np = _np
+        nwords = (width + 63) // 64
+        lane_mask = np.full(nwords, _ALL_ONES, dtype=np.uint64)
+        rem = width % 64
+        if rem:
+            lane_mask[-1] = np.uint64((1 << rem) - 1)
+        values = np.zeros((self.num_nodes, nwords), dtype=np.uint64)
+        for node in self.inputs:
+            values[node] = np.frombuffer(
+                (packed_inputs.get(node, 0) & mask).to_bytes(
+                    nwords * 8, "little"
+                ),
+                dtype="<u8",
+            ).astype(np.uint64, copy=True)
+        zeros = np.zeros(nwords, dtype=np.uint64)
+        neg_words = (zeros, lane_mask)
+        for i, node in enumerate(self.ands):
+            v0 = values[self.fanin_node0[i]] ^ neg_words[self.fanin_neg0[i]]
+            v1 = values[self.fanin_node1[i]] ^ neg_words[self.fanin_neg1[i]]
+            values[node] = v0 & v1
+        self.work_add(len(self.ands))
+        lanes = values.astype("<u8", copy=False).tobytes()
+        row = nwords * 8
+        return [
+            int.from_bytes(lanes[i * row:(i + 1) * row], "little")
+            for i in range(self.num_nodes)
+        ]
+
+    def work_add(self, evals: int) -> None:
+        _GLOBAL_WORK.gate_evals_good += evals

@@ -92,13 +92,17 @@ def pack_vectors(
 ) -> Tuple[Dict[int, int], int]:
     """Pack per-pattern PI assignments into words.
 
-    Returns (packed map PI gid -> word, width).
+    Returns (packed map PI gid -> word, width).  Masks consistently
+    against the PI set: keys outside ``circuit.inputs`` are ignored,
+    missing PIs pack as 0, and values are reduced to their low bit so
+    a sloppy ``{gid: 2}`` entry cannot silently set the wrong pattern.
     """
     packed: Dict[int, int] = {gid: 0 for gid in circuit.inputs}
     for i, vec in enumerate(vectors):
+        bit = 1 << i
         for gid in circuit.inputs:
-            if vec.get(gid, 0):
-                packed[gid] |= 1 << i
+            if vec.get(gid, 0) & 1:
+                packed[gid] |= bit
     return packed, len(vectors)
 
 
@@ -117,6 +121,7 @@ def random_equivalence_check(
     patterns: int = 4096,
     seed: int = 0,
     width: int = 256,
+    compiled: Optional[bool] = None,
 ) -> Optional[Dict[str, int]]:
     """Random-vector equivalence filter.
 
@@ -124,7 +129,14 @@ def random_equivalence_check(
     else a counterexample as a name -> value map.  A None result is *not*
     a proof -- use :mod:`repro.sat.equivalence` for that -- but this is a
     fast pre-filter and a cross-check that runs on any size of circuit.
+
+    Both circuits are compiled once (:mod:`repro.sim.kernel`) and every
+    pattern chunk reuses the schedules; ``compiled=False`` (or the
+    ``REPRO_SIM_LEGACY`` environment variable) forces the interpreted
+    per-call path as the A/B oracle.
     """
+    from .kernel import get_compiled, kernel_enabled
+
     a_pis = {a.gates[g].name: g for g in a.inputs}
     b_pis = {b.gates[g].name: g for g in b.inputs}
     if set(a_pis) != set(b_pis):
@@ -133,6 +145,9 @@ def random_equivalence_check(
     b_pos = {b.gates[g].name: g for g in b.outputs}
     if set(a_pos) != set(b_pos):
         raise ValueError("PO name sets differ")
+    use_kernel = kernel_enabled() if compiled is None else compiled
+    kern_a = get_compiled(a) if use_kernel else None
+    kern_b = get_compiled(b) if use_kernel else None
     rng = random.Random(seed)
     names = sorted(a_pis)
     remaining = patterns
@@ -140,8 +155,14 @@ def random_equivalence_check(
         w = min(width, remaining)
         remaining -= w
         words = {n: rng.getrandbits(w) for n in names}
-        va = simulate_packed(a, {a_pis[n]: words[n] for n in names}, w)
-        vb = simulate_packed(b, {b_pis[n]: words[n] for n in names}, w)
+        pa = {a_pis[n]: words[n] for n in names}
+        pb = {b_pis[n]: words[n] for n in names}
+        if use_kernel:
+            va = kern_a.evaluate(pa, w)
+            vb = kern_b.evaluate(pb, w)
+        else:
+            va = simulate_packed(a, pa, w)
+            vb = simulate_packed(b, pb, w)
         for name in a_pos:
             diff = va[a_pos[name]] ^ vb[b_pos[name]]
             if diff:

@@ -136,12 +136,25 @@ class IncrementalTiming:
     # ------------------------------------------------------------------ #
 
     def begin_iteration(self) -> None:
-        """Start one Fig. 3 iteration: fresh packed patterns, lazy oracle."""
+        """Start one Fig. 3 iteration: fresh packed patterns, lazy oracle.
+
+        The witness simulation routes through the compiled kernel
+        (:mod:`repro.sim.kernel`) -- the schedule is compiled once and
+        recompiled only when :meth:`refresh` reports structural edits;
+        ``REPRO_SIM_LEGACY`` forces the interpreted ``simulate_packed``
+        as the A/B oracle.  Either path is bit-identical.
+        """
         rng = random.Random((self.seed << 20) ^ self._iteration)
-        from ..sim import random_packed_inputs, simulate_packed
+        from ..sim import get_compiled, kernel_enabled, random_packed_inputs
+        from ..sim import simulate_packed
 
         packed = random_packed_inputs(self.circuit, PREFILTER_WIDTH, rng)
-        self._sim = simulate_packed(self.circuit, packed, PREFILTER_WIDTH)
+        if kernel_enabled():
+            self._sim = get_compiled(self.circuit).evaluate(
+                packed, PREFILTER_WIDTH
+            )
+        else:
+            self._sim = simulate_packed(self.circuit, packed, PREFILTER_WIDTH)
         self._oracle = None
         self._annotation = None
         self._iteration += 1
@@ -155,8 +168,11 @@ class IncrementalTiming:
 
     def refresh(self, touched) -> None:
         """Re-relax timing and re-hash fingerprints in the dirty cone."""
+        from ..sim import refresh_compiled
+
         self.sta.refresh(touched)
         self._update_fingerprints(touched)
+        refresh_compiled(self.circuit, touched)
         self._annotation = None
 
     # ------------------------------------------------------------------ #

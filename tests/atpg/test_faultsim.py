@@ -1,5 +1,7 @@
 """Bit-parallel fault simulation."""
 
+import logging
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -11,8 +13,10 @@ from repro.atpg import (
     inject,
     random_vectors,
     stem_fault,
+    validate_vectors,
 )
 from repro.circuits import random_circuit
+from repro.sim import get_compiled, pack_vectors, simulate_packed
 
 
 @given(seed=st.integers(0, 40), bits=st.integers(0, 255))
@@ -83,3 +87,93 @@ def test_random_vectors_deterministic(and_or_circuit):
     a = random_vectors(and_or_circuit, 10, seed=3)
     b = random_vectors(and_or_circuit, 10, seed=3)
     assert a == b
+
+
+def test_kernel_and_legacy_paths_agree(and_or_circuit):
+    """The compiled kernel is a drop-in for the interpreted grader."""
+    c = and_or_circuit
+    faults = collapsed_faults(c)
+    vectors = random_vectors(c, 40, seed=11)
+    fast = fault_coverage(c, faults, vectors)
+    slow = fault_coverage(c, faults, vectors, compiled=False)
+    assert fast.coverage == slow.coverage
+    assert fast.undetected_faults == slow.undetected_faults
+
+
+def test_kernel_and_legacy_paths_agree_random():
+    for seed in range(5):
+        c = random_circuit(num_inputs=4, num_gates=12, seed=seed)
+        faults = collapsed_faults(c)
+        vectors = random_vectors(c, 100, seed=seed)
+        fast = fault_coverage(c, faults, vectors)
+        slow = fault_coverage(c, faults, vectors, compiled=False)
+        assert fast.undetected_faults == slow.undetected_faults
+
+
+def test_detecting_patterns_reuses_good_words(and_or_circuit):
+    """Positional good words grade identically to a fresh good sim."""
+    c = and_or_circuit
+    vectors = random_vectors(c, 16, seed=2)
+    packed, width = pack_vectors(c, vectors)
+    kern = get_compiled(c)
+    good_words = kern.evaluate_words(packed, width)
+    good_values = simulate_packed(c, packed, width)
+    for fault in collapsed_faults(c):
+        via_words = detecting_patterns(
+            c, fault, packed, width, good_words=good_words
+        )
+        via_values = detecting_patterns(
+            c, fault, packed, width, good_values=good_values
+        )
+        fresh = detecting_patterns(c, fault, packed, width, compiled=False)
+        assert via_words == via_values == fresh
+
+
+def test_partial_vectors_warn_once_per_call(and_or_circuit, caplog):
+    """Regression: missing PI keys are reported once per call -- and
+    grading still treats them as 0, same as an explicit zero."""
+    c = and_or_circuit
+    a = c.find_input("a")
+    partial = [{a: 1} for _ in range(8)]
+    explicit = [
+        {gid: vec.get(gid, 0) for gid in c.inputs} for vec in partial
+    ]
+    faults = collapsed_faults(c)
+    with caplog.at_level(logging.WARNING, logger="repro.atpg.faultsim"):
+        report = fault_coverage(c, faults, partial)
+    warnings = [
+        r for r in caplog.records
+        if "missing primary-input keys" in r.message
+    ]
+    assert len(warnings) == 1
+    assert "8 of 8" in warnings[0].message
+    full = fault_coverage(c, faults, explicit)
+    assert report.undetected_faults == full.undetected_faults
+
+
+def test_complete_vectors_do_not_warn(and_or_circuit, caplog):
+    c = and_or_circuit
+    vectors = random_vectors(c, 8, seed=0)
+    with caplog.at_level(logging.WARNING, logger="repro.atpg.faultsim"):
+        fault_coverage(c, collapsed_faults(c), vectors)
+    assert not caplog.records
+
+
+def test_validate_vectors_counts_partial(and_or_circuit):
+    c = and_or_circuit
+    a = c.find_input("a")
+    full = {gid: 0 for gid in c.inputs}
+    assert validate_vectors(c, [full, {a: 1}, {}]) == 2
+    assert validate_vectors(c, []) == 0
+
+
+def test_pack_vectors_masks_against_pi_set(and_or_circuit):
+    """Non-PI keys are ignored and values reduce to their low bit."""
+    c = and_or_circuit
+    a = c.find_input("a")
+    g1 = c.find_gate("g1")  # not a PI: must be ignored
+    packed, width = pack_vectors(c, [{a: 1, g1: 1}, {a: 2}, {a: 3}])
+    assert width == 3
+    assert packed[a] == 0b101  # 2 has a zero low bit
+    assert g1 not in packed
+    assert set(packed) == set(c.inputs)

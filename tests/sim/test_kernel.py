@@ -1,0 +1,262 @@
+"""Directed tests for the compiled simulation kernel."""
+
+import pytest
+
+from repro.atpg import collapsed_faults, stem_fault
+from repro.circuits import random_circuit
+from repro.network import GateType
+from repro.sim import (
+    CompiledAig,
+    CompiledCircuit,
+    SimWorkTracker,
+    get_compiled,
+    kernel_enabled,
+    refresh_compiled,
+    resolve_backend,
+    simulate_packed,
+)
+from repro.sim import kernel as kernel_mod
+
+
+# ---------------------------------------------------------------------- #
+# backend selection
+# ---------------------------------------------------------------------- #
+
+def test_resolve_backend_explicit_python():
+    assert resolve_backend("python", 4096) == "python"
+
+
+def test_resolve_backend_env(monkeypatch):
+    monkeypatch.setenv(kernel_mod.BACKEND_ENV, "python")
+    assert resolve_backend(None, 4096) == "python"
+
+
+def test_resolve_backend_rejects_unknown():
+    with pytest.raises(ValueError):
+        resolve_backend("cuda", 64)
+
+
+def test_resolve_backend_auto_narrow_is_python():
+    # narrow blocks stay on Python ints regardless of numpy presence
+    assert resolve_backend("auto", 64) == "python"
+
+
+@pytest.mark.skipif(
+    not kernel_mod.numpy_available(), reason="numpy not installed"
+)
+def test_resolve_backend_auto_wide_is_numpy():
+    assert resolve_backend("auto", 4096) == "numpy"
+
+
+def test_forcing_numpy_without_numpy_raises(monkeypatch):
+    monkeypatch.setattr(kernel_mod, "_np", None)
+    with pytest.raises(RuntimeError):
+        resolve_backend("numpy", 64)
+
+
+def test_kernel_enabled_env(monkeypatch):
+    monkeypatch.delenv(kernel_mod.LEGACY_ENV, raising=False)
+    assert kernel_enabled()
+    monkeypatch.setenv(kernel_mod.LEGACY_ENV, "1")
+    assert not kernel_enabled()
+    monkeypatch.setenv(kernel_mod.LEGACY_ENV, "0")
+    assert kernel_enabled()
+
+
+# ---------------------------------------------------------------------- #
+# evaluation basics
+# ---------------------------------------------------------------------- #
+
+def test_evaluate_matches_simulate_packed(and_or_circuit):
+    c = and_or_circuit
+    packed = {
+        c.find_input("a"): 0b0101,
+        c.find_input("b"): 0b0011,
+        c.find_input("c"): 0b1000,
+    }
+    kern = CompiledCircuit(c)
+    assert kern.evaluate(packed, 4) == simulate_packed(c, packed, 4)
+
+
+def test_evaluate_overrides_precede_inputs(and_or_circuit):
+    c = and_or_circuit
+    a = c.find_input("a")
+    packed = {a: 0b11, c.find_input("b"): 0b01, c.find_input("c"): 0b00}
+    over = {a: 0b00, c.find_gate("g1"): 0b10}
+    kern = get_compiled(c)
+    assert kern.evaluate(packed, 2, overrides=over) == simulate_packed(
+        c, packed, 2, overrides=over
+    )
+
+
+def test_missing_input_defaults_to_zero(and_or_circuit):
+    c = and_or_circuit
+    kern = get_compiled(c)
+    assert kern.evaluate({}, 3) == simulate_packed(c, {}, 3)
+
+
+def test_words_from_values_roundtrip(and_or_circuit):
+    c = and_or_circuit
+    packed = {g: 0b101 for g in c.inputs}
+    kern = get_compiled(c)
+    values = kern.evaluate(packed, 3)
+    words = kern.words_from_values(values)
+    assert words == kern.evaluate_words(packed, 3)
+
+
+# ---------------------------------------------------------------------- #
+# invalidation
+# ---------------------------------------------------------------------- #
+
+def test_version_bumps_on_mutation(and_or_circuit):
+    c = and_or_circuit
+    before = c.version
+    c.add_gate(GateType.NOT, 1.0, name="inv")
+    assert c.version > before
+
+
+def test_kernel_goes_stale_and_recompiles(and_or_circuit):
+    c = and_or_circuit
+    kern = get_compiled(c)
+    assert not kern.stale
+    g = c.add_gate(GateType.NOT, 1.0, name="inv")
+    c.connect(c.find_input("a"), g)
+    assert kern.stale
+    # evaluation transparently recompiles
+    values = kern.evaluate({pi: 1 for pi in c.inputs}, 1)
+    assert values == simulate_packed(c, {pi: 1 for pi in c.inputs}, 1)
+    assert not kern.stale
+
+
+def test_get_compiled_caches_per_circuit(and_or_circuit):
+    c = and_or_circuit
+    assert get_compiled(c) is get_compiled(c)
+
+
+def test_copy_does_not_share_kernel(and_or_circuit):
+    c = and_or_circuit
+    kern = get_compiled(c)
+    dup = c.copy("dup")
+    assert get_compiled(dup) is not kern
+
+
+def test_refresh_touched_contract(and_or_circuit):
+    c = and_or_circuit
+    kern = get_compiled(c)
+    v = kern.version
+    # empty touched set on an unchanged circuit: no recompile
+    assert kern.refresh(set()) is False
+    assert kern.version == v
+    # non-empty touched set: recompile even if version-equal
+    assert kern.refresh({c.find_gate("g1")}) is True
+    # helper form is a no-op for circuits without an attached kernel
+    refresh_compiled(c.copy("fresh"), {1})
+
+
+# ---------------------------------------------------------------------- #
+# counters
+# ---------------------------------------------------------------------- #
+
+def test_good_eval_counter_is_gate_count(and_or_circuit):
+    c = and_or_circuit
+    kern = CompiledCircuit(c)
+    kern.evaluate({pi: 0 for pi in c.inputs}, 8)
+    # every non-INPUT gate costs exactly one eval per call
+    non_pi = sum(
+        1 for g in c.gates.values() if g.gtype is not GateType.INPUT
+    )
+    assert kern.counters()["gate_evals_good"] == non_pi
+    assert kern.num_eval_gates() == non_pi
+
+
+def test_cone_cutoff_on_undetectable_difference(and_or_circuit):
+    c = and_or_circuit
+    kern = CompiledCircuit(c)
+    g1 = c.find_gate("g1")
+    # with a=b=0 the AND output is 0: stuck-at-0 on its stem produces
+    # no difference word, so the cone is cut at the injection site
+    good = kern.evaluate_words({pi: 0 for pi in c.inputs}, 1)
+    assert kern.fault_diffs(stem_fault(g1, 0), good, 1) == {}
+    assert kern.counters()["cone_cutoffs"] == 1
+    assert kern.counters()["gate_evals_faulty"] == 0
+
+
+def test_fault_work_is_bounded_by_cone(and_or_circuit):
+    c = and_or_circuit
+    kern = CompiledCircuit(c)
+    good = kern.evaluate_words({pi: 1 for pi in c.inputs}, 1)
+    n_evals = kern.num_eval_gates()
+    for fault in collapsed_faults(c):
+        kern.work.gate_evals_faulty = 0
+        kern.fault_diffs(fault, good, 1)
+        assert kern.counters()["gate_evals_faulty"] <= n_evals
+
+
+def test_tracker_snapshots_deltas(and_or_circuit):
+    c = and_or_circuit
+    kern = get_compiled(c)
+    tracker = SimWorkTracker()
+    kern.evaluate({pi: 0 for pi in c.inputs}, 4)
+    delta = tracker.counters
+    assert delta["gate_evals_good"] == kern.num_eval_gates()
+    tracker.reset()
+    assert tracker.counters["gate_evals_good"] == 0
+
+
+def test_note_dropped_accumulates(and_or_circuit):
+    kern = CompiledCircuit(and_or_circuit)
+    kern.note_dropped(3)
+    kern.note_dropped(0)
+    assert kern.counters()["faults_dropped"] == 3
+
+
+# ---------------------------------------------------------------------- #
+# numpy backend specifics
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.skipif(
+    not kernel_mod.numpy_available(), reason="numpy not installed"
+)
+@pytest.mark.parametrize("width", [1, 63, 64, 65, 100, 128, 4096])
+def test_numpy_backend_matches_python(width):
+    c = random_circuit(num_inputs=5, num_gates=12, seed=9)
+    import random
+
+    rng = random.Random(width)
+    packed = {g: rng.getrandbits(width) for g in c.inputs}
+    kern = get_compiled(c)
+    assert kern.evaluate(packed, width, backend="numpy") == kern.evaluate(
+        packed, width, backend="python"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# compiled AIG
+# ---------------------------------------------------------------------- #
+
+def test_compiled_aig_matches_interpreted():
+    import random
+
+    from repro.aig import circuit_to_aig
+
+    c = random_circuit(num_inputs=5, num_gates=14, seed=3)
+    aig, _ = circuit_to_aig(c)
+    rng = random.Random(0)
+    for width in (1, 64, 200):
+        patterns = aig.random_patterns(width, rng)
+        assert CompiledAig(aig).simulate(patterns, width) == aig.simulate(
+            patterns, width
+        )
+
+
+def test_compiled_aig_rejects_grown_graph():
+    from repro.aig import Aig
+
+    aig = Aig("g")
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    aig.add_output("y", aig.add_and(a, b))
+    sim = CompiledAig(aig)
+    aig.add_and(a, b ^ 1)
+    with pytest.raises(RuntimeError):
+        sim.simulate({}, 1)
