@@ -1,0 +1,161 @@
+"""Shared CI perf-gate engine: compare a fresh BENCH_*.json against a
+committed baseline and fail on work-counter regressions.
+
+All perf gates (``compare_kms_baseline.py``, ``compare_sim_baseline.py``
+and the atpg gate, which uses this module directly) share the same
+mechanics:
+
+* every bench row names a workload and carries, under ``result_key``, a
+  ``counters`` dict of *deterministic* work counters plus informational
+  ``seconds``;
+* each gated counter may grow by at most ``tolerance`` (relative) plus
+  an absolute slack of 2 for near-zero counts;
+* a baseline row missing from the fresh results fails the gate; new
+  rows are reported but pass (extending a suite should not require a
+  simultaneous baseline bump to land);
+* a row whose ``identical`` flag went false fails the gate -- the
+  incremental engine must keep matching its from-scratch oracle;
+* wall-clock seconds are printed for context but never gate (they ride
+  along as a CI artifact instead).
+
+The gated counter list is read from the baseline payload's
+``gated_counters`` key, so tightening or extending a gate is a baseline
+edit, not a script edit; a per-gate default covers old baselines.  The
+result key is likewise read from ``result_key`` (payload) with a
+per-gate default.
+
+Usage (the atpg gate calls this file directly)::
+
+    python benchmarks/compare_baseline.py BENCH_atpg.json \
+        benchmarks/baselines/BENCH_atpg_baseline.json [--tolerance 0.10]
+
+Exit status: 0 = within tolerance, 1 = regression or malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+#: Absolute slack so a 1 -> 2 jump on a tiny counter is not a "100%
+#: regression"; real regressions move the big counters by far more.
+ABSOLUTE_SLACK = 2
+
+#: Defaults for direct invocation (the atpg proof-engine gate).
+DEFAULT_RESULT_KEY = "incremental"
+DEFAULT_GATED = [
+    "faults_requalified",
+    "verdicts_carried",
+    "witness_drops",
+    "sat_proofs",
+    "tseitin_builds",
+    "podem_calls",
+]
+DEFAULT_IDENTICAL_MESSAGE = (
+    "incremental result no longer matches the from-scratch oracle"
+)
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "rows" not in data:
+        raise ValueError(f"{path}: not a bench-rows json payload")
+    return data, {row["name"]: row for row in data["rows"]}
+
+
+def compare(
+    current_path: str,
+    baseline_path: str,
+    tolerance: float = 0.10,
+    result_key: str = DEFAULT_RESULT_KEY,
+    default_gated: Optional[List[str]] = None,
+    identical_message: str = DEFAULT_IDENTICAL_MESSAGE,
+) -> int:
+    """Run the gate; returns a process exit status (0 pass, 1 fail)."""
+    current_data, current = load_rows(current_path)
+    baseline_data, baseline = load_rows(baseline_path)
+    result_key = baseline_data.get("result_key", result_key)
+    gated = baseline_data.get(
+        "gated_counters",
+        default_gated if default_gated is not None else DEFAULT_GATED,
+    )
+
+    failures = []
+    for name, base_row in sorted(baseline.items()):
+        cur_row = current.get(name)
+        if cur_row is None:
+            failures.append(f"{name}: row missing from current results")
+            continue
+        if not cur_row.get("identical", False):
+            failures.append(f"{name}: {identical_message}")
+        base_counters = base_row[result_key]["counters"]
+        cur_counters = cur_row[result_key]["counters"]
+        for counter in gated:
+            base_value = base_counters.get(counter, 0)
+            cur_value = cur_counters.get(counter, 0)
+            limit = base_value * (1.0 + tolerance) + ABSOLUTE_SLACK
+            marker = ""
+            if cur_value > limit:
+                failures.append(
+                    f"{name}: {counter} regressed "
+                    f"{base_value} -> {cur_value} "
+                    f"(limit {limit:.1f} at {tolerance:.0%} tolerance)"
+                )
+                marker = "  <-- REGRESSION"
+            if cur_value != base_value:
+                print(f"{name}: {counter} {base_value} -> {cur_value}"
+                      f"{marker}")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name}: new row (no baseline; passes)")
+
+    base_secs = sum(r[result_key]["seconds"] for r in baseline.values())
+    cur_secs = sum(
+        r[result_key]["seconds"]
+        for n, r in current.items() if n in baseline
+    )
+    print(f"wall clock (informational, not gated): "
+          f"baseline {base_secs:.1f}s, current {cur_secs:.1f}s")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(baseline)} rows within "
+          f"{tolerance:.0%} counter tolerance")
+    return 0
+
+
+def main(
+    argv=None,
+    description: Optional[str] = None,
+    result_key: str = DEFAULT_RESULT_KEY,
+    default_gated: Optional[List[str]] = None,
+    identical_message: str = DEFAULT_IDENTICAL_MESSAGE,
+) -> int:
+    parser = argparse.ArgumentParser(
+        description=description or __doc__.splitlines()[0]
+    )
+    parser.add_argument("current", help="freshly produced bench json")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed relative counter growth (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+    return compare(
+        args.current,
+        args.baseline,
+        tolerance=args.tolerance,
+        result_key=result_key,
+        default_gated=default_gated,
+        identical_message=identical_message,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,101 +11,33 @@ kernel (``gate_evals_good``, ``gate_evals_faulty``) -- exact functions
 of circuit + fault list + seed, so a failure means an algorithmic
 regression (a cone that stopped cutting off, a schedule evaluated
 twice), never runner jitter.  ``cone_cutoffs`` / ``faults_dropped``
-ride along in the artifact but do not gate, and wall-clock seconds are
-printed for context only.
-
-Per baseline row, each gated counter of the kernel run may grow by at
-most ``tolerance`` (relative) plus a small absolute slack of 2 for
-near-zero counts.  A baseline row missing from the fresh results fails
-the gate; new rows are reported but pass (extending the suite should
-not require a simultaneous baseline bump to land).
+ride along in the artifact but do not gate.  Mechanics (tolerance,
+slack, missing/new-row policy, informational wall clock) live in the
+shared :mod:`compare_baseline` helper used by all perf gates.
 
 Exit status: 0 = within tolerance, 1 = regression or malformed input.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 
-#: Absolute slack so a 1 -> 2 jump on a tiny counter is not a "100%
-#: regression"; real regressions move the big counters by far more.
-ABSOLUTE_SLACK = 2
+import compare_baseline
 
-
-def load_rows(path):
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
-    if "rows" not in data:
-        raise ValueError(f"{path}: not a BENCH_sim.json payload")
-    return data, {row["name"]: row for row in data["rows"]}
+DEFAULT_GATED = ["gate_evals_good", "gate_evals_faulty"]
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", help="freshly produced BENCH_sim.json")
-    parser.add_argument("baseline", help="committed baseline json")
-    parser.add_argument(
-        "--tolerance", type=float, default=0.10,
-        help="allowed relative counter growth (default 0.10 = 10%%)",
+    return compare_baseline.main(
+        argv,
+        description=__doc__.splitlines()[0],
+        result_key="kernel",
+        default_gated=DEFAULT_GATED,
+        identical_message=(
+            "kernel coverage no longer matches the "
+            "interpreted full-resimulation oracle"
+        ),
     )
-    args = parser.parse_args(argv)
-
-    current_data, current = load_rows(args.current)
-    baseline_data, baseline = load_rows(args.baseline)
-    gated = baseline_data.get(
-        "gated_counters", ["gate_evals_good", "gate_evals_faulty"]
-    )
-
-    failures = []
-    for name, base_row in sorted(baseline.items()):
-        cur_row = current.get(name)
-        if cur_row is None:
-            failures.append(f"{name}: row missing from current results")
-            continue
-        if not cur_row.get("identical", False):
-            failures.append(
-                f"{name}: kernel coverage no longer matches the "
-                f"interpreted full-resimulation oracle"
-            )
-        base_counters = base_row["kernel"]["counters"]
-        cur_counters = cur_row["kernel"]["counters"]
-        for counter in gated:
-            base_value = base_counters.get(counter, 0)
-            cur_value = cur_counters.get(counter, 0)
-            limit = base_value * (1.0 + args.tolerance) + ABSOLUTE_SLACK
-            marker = ""
-            if cur_value > limit:
-                failures.append(
-                    f"{name}: {counter} regressed "
-                    f"{base_value} -> {cur_value} "
-                    f"(limit {limit:.1f} at {args.tolerance:.0%} tolerance)"
-                )
-                marker = "  <-- REGRESSION"
-            if cur_value != base_value:
-                print(f"{name}: {counter} {base_value} -> {cur_value}"
-                      f"{marker}")
-
-    for name in sorted(set(current) - set(baseline)):
-        print(f"{name}: new row (no baseline; passes)")
-
-    base_secs = sum(r["kernel"]["seconds"] for r in baseline.values())
-    cur_secs = sum(
-        r["kernel"]["seconds"]
-        for n, r in current.items() if n in baseline
-    )
-    print(f"wall clock (informational, not gated): "
-          f"baseline {base_secs:.1f}s, current {cur_secs:.1f}s")
-
-    if failures:
-        print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)
-        for line in failures:
-            print(f"  {line}", file=sys.stderr)
-        return 1
-    print(f"\nOK: {len(baseline)} rows within "
-          f"{args.tolerance:.0%} counter tolerance")
-    return 0
 
 
 if __name__ == "__main__":

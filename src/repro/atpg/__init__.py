@@ -6,11 +6,13 @@ from .faults import (
     STEM,
     Fault,
     all_faults,
+    anchor_gate,
     collapsed_faults,
     conn_fault,
     inject,
     stem_fault,
 )
+from .proofengine import PROOF_COUNTERS, ProofEngine
 from .podem import Podem, PodemResult, Status, generate_test
 from .satatpg import (
     SatAtpg,
@@ -20,6 +22,7 @@ from .satatpg import (
 )
 from .faultsim import (
     CoverageReport,
+    complete_vector,
     detecting_patterns,
     detects,
     fault_coverage,
@@ -51,6 +54,10 @@ from .redundancy import (
 __all__ = [
     "CONN",
     "Diagnosis",
+    "PROOF_COUNTERS",
+    "ProofEngine",
+    "anchor_gate",
+    "complete_vector",
     "FALLING",
     "FaultDictionary",
     "PathDelayFault",

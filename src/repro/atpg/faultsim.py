@@ -198,6 +198,18 @@ def fault_coverage(
     )
 
 
+def complete_vector(
+    circuit: Circuit, cube: Mapping[int, int]
+) -> Dict[int, int]:
+    """Extend a PI test cube to a full vector (don't-cares become 0).
+
+    PODEM returns only the PIs it assigned; graded simulation and the
+    proof engine's accumulated witness pool want every PI keyed so
+    :func:`validate_vectors` stays quiet and packing is total.
+    """
+    return {gid: int(cube.get(gid, 0)) & 1 for gid in circuit.inputs}
+
+
 def random_vectors(
     circuit: Circuit, count: int, seed: int = 0
 ) -> List[Dict[int, int]]:

@@ -60,6 +60,10 @@ class Podem:
     def __init__(self, circuit: Circuit, backtrack_limit: int = 20000):
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
+        #: accumulated over every :meth:`generate` call on this instance;
+        #: telemetry surfaces these as ``podem_calls`` /
+        #: ``podem_backtracks`` / ``podem_aborts``.
+        self.stats = {"calls": 0, "backtracks": 0, "aborts": 0}
         # static order: prefer objectives closer to outputs
         self._depth: Dict[int, int] = {}
         for gid in circuit.topological_order():
@@ -199,6 +203,14 @@ class Podem:
 
     def generate(self, fault: Fault) -> PodemResult:
         """Run PODEM for one fault."""
+        result = self._generate(fault)
+        self.stats["calls"] += 1
+        self.stats["backtracks"] += result.backtracks
+        if result.status is Status.ABORTED:
+            self.stats["aborts"] += 1
+        return result
+
+    def _generate(self, fault: Fault) -> PodemResult:
         assignment: Dict[int, Tuple] = {}
         decisions: List[Tuple[int, int, bool]] = []  # (pi, value, flipped)
         backtracks = 0

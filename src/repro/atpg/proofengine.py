@@ -1,0 +1,519 @@
+"""Persistent incremental redundancy-proof engine.
+
+The KMS epilogue ("remaining redundancies are then removable in any
+order") and every irredundancy check funnel through the same question --
+*which collapsed faults are untestable right now?* -- asked over and
+over on a circuit that changes only a little between questions.  The
+from-scratch funnel in :mod:`repro.atpg.satatpg` restarts completely
+each time: re-enumerate the fault universe, re-roll the same random
+vectors, re-run PODEM on every suspect, rebuild a full Tseitin CNF per
+SAT proof.  This engine keeps all of that state alive across removals,
+in the style of Teslenko--Dubrova's cone-limited redundancy removal:
+
+* **Verdict carry-over.**  A fault's testability classification is a
+  function of the fanin closure of its fanout cone (the gates that can
+  excite it plus everything its effect can reach and every side signal
+  feeding that region).  After :func:`repro.atpg.redundancy.remove_fault`
+  reports its touched-gate set (the PR-3 transform contract), only
+  faults whose anchor gate lies inside ``fanin*(fanout*(touched))`` are
+  re-qualified; every other verdict -- including the PODEM
+  aborted-vs-untestable distinction, which is a deterministic function
+  of the unchanged region -- carries over to the next epoch.
+
+* **One incremental SAT solver per epoch.**  The good circuit is
+  Tseitin-encoded once per circuit version into a single
+  :class:`repro.sat.Solver`; each hard fault adds only its faulty
+  fanout cone, every clause gated by a fresh activation literal, and is
+  decided by ``solve(assumptions=(act,))``.  Retired queries are
+  disabled with a root-level ``(-act)`` unit, and the solver's
+  size-capped learned-clause deletion keeps the database bounded.
+
+* **Witness feedback.**  Every testability witness (a PODEM cube or a
+  SAT model) is completed to a full vector, pushed through the PR-4
+  compiled kernel's event-driven fault grading to drop other suspects
+  in the same epoch, and accumulated into the vector pool so later
+  epochs start from every test discovered so far instead of re-rolling
+  ``random_vectors(seed=7)``.
+
+* **Optional proof sharding.**  Full-universe classification can shard
+  the surviving hard-fault proofs across a ``ProcessPoolExecutor``
+  (``jobs``), shipping circuits as primitive dicts the way
+  :mod:`repro.engine.runner` does and merging verdicts in deterministic
+  submission order.
+
+The engine is *bit-identical* to the from-scratch oracle: the removal
+loop picks the same fault at every step (first PODEM-proven untestable
+fault in collapsed order, else the first SAT-proven one among the PODEM
+aborts) and full classification returns the same verdict list, because
+simulation can only ever reclassify testable faults and the
+PODEM/SAT verdict classes are invariant on untouched regions.  The
+deterministic work counters -- exact functions of circuit + seed -- are
+exported through :class:`repro.core.kms.KmsResult`, engine telemetry,
+and the CLI, and gate the ``atpg-perf-gate`` CI job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..network import Circuit
+from ..sat import CircuitEncoder, Solver
+from ..sim.kernel import refresh_compiled
+from .faults import CONN, Fault, anchor_gate, collapsed_faults
+from .faultsim import complete_vector, fault_coverage, random_vectors
+from .podem import Podem, Status
+
+#: Verdict classes.  ``HARD`` means PODEM aborted and SAT has not been
+#: consulted yet -- the classification every oracle iteration would also
+#: reach before its SAT stage.
+TESTABLE = "testable"
+PODEM_UNTESTABLE = "podem_untestable"
+HARD = "hard"
+HARD_UNTESTABLE = "hard_untestable"
+
+_UNTESTABLE = (PODEM_UNTESTABLE, HARD_UNTESTABLE)
+
+#: Deterministic work counters the engine exports (telemetry glossary in
+#: :mod:`repro.engine.telemetry`; CI gate in
+#: ``benchmarks/compare_baseline.py``).
+PROOF_COUNTERS = (
+    "faults_requalified",
+    "verdicts_carried",
+    "witness_drops",
+    "cnf_reuses",
+    "sat_proofs",
+    "tseitin_builds",
+    "podem_calls",
+    "podem_backtracks",
+    "podem_aborts",
+    "learned_kept",
+    "learned_dropped",
+)
+
+#: Learned-clause cap for epoch solvers; one solver may serve hundreds
+#: of assumption-gated queries, so the DB is bounded (satellite of the
+#: same PR -- see ``Solver.learned_cap``).
+EPOCH_LEARNED_CAP = 5000
+
+
+class _ActivationCnf:
+    """CNF facade over a live solver that gates every clause.
+
+    ``CircuitEncoder`` emits clauses through the ``new_var`` /
+    ``add_clause`` / ``add_unit`` surface; routing them here appends the
+    negated activation literal so the whole faulty-cone encoding is
+    switched on only under ``solve(assumptions=(act,))`` and retired
+    with a single root-level ``(-act)`` unit afterwards.
+    """
+
+    def __init__(self, solver: Solver, act: int) -> None:
+        self._solver = solver
+        self._act = act
+
+    def new_var(self) -> int:
+        return self._solver.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        self._solver.add_clause(list(literals) + [-self._act])
+
+    def add_unit(self, literal: int) -> None:
+        self.add_clause((literal,))
+
+
+class ProofEngine:
+    """Incremental redundancy-proof engine bound to one live circuit.
+
+    The circuit may mutate between queries as long as every mutation is
+    reported through :meth:`invalidate` (or performed via
+    :meth:`remove`, which wraps :func:`~repro.atpg.redundancy.remove_fault`
+    and invalidates from its touched-gate set).
+
+    Args:
+        circuit: the live circuit (mutated in place by :meth:`remove`).
+        backtrack_limit: PODEM backtrack budget per fault (the funnel's
+            classic ``100``; raising it trades SAT proofs for search).
+        patterns: size of the seeded random-vector pool.
+        seed: seed for the initial random vectors (the oracle's ``7``).
+        jobs: when > 1, :meth:`redundant_faults` shards hard-fault SAT
+            proofs across that many worker processes.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        backtrack_limit: int = 100,
+        patterns: int = 64,
+        seed: int = 7,
+        jobs: Optional[int] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self.jobs = jobs
+        self.counters: Dict[str, int] = {name: 0 for name in PROOF_COUNTERS}
+        self._verdicts: Dict[Fault, str] = {}
+        self._vectors = random_vectors(circuit, patterns, seed)
+        # epoch solver state (rebuilt when the circuit version moves)
+        self._solver: Optional[Solver] = None
+        self._good_var: Dict[int, int] = {}
+        self._true_lit = 0
+        self._solver_version: Optional[int] = None
+        self._solver_stats_mark = (0, 0)
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, touched: Iterable[int]) -> int:
+        """Evict verdicts whose validity region intersects ``touched``.
+
+        A verdict for fault ``f`` depends exactly on the fanin closure
+        of the fanout cone of its anchor gate; that region intersects
+        the touched set iff the anchor lies in
+        ``fanin*(fanout*(touched))``.  Returns the number of evictions.
+        """
+        present = {g for g in touched if g in self.circuit.gates}
+        dirty = self.circuit.transitive_fanin(
+            self.circuit.transitive_fanout(present)
+        )
+        evicted = 0
+        for fault in list(self._verdicts):
+            anchor = anchor_gate(self.circuit, fault)
+            if anchor is None or anchor in dirty:
+                del self._verdicts[fault]
+                evicted += 1
+        return evicted
+
+    def remove(self, fault: Fault) -> Set[int]:
+        """Remove an untestable fault in place and invalidate from the
+        transforms' touched-gate union (also refreshing any attached
+        compiled simulation kernel incrementally)."""
+        from .redundancy import remove_fault
+
+        touched = remove_fault(self.circuit, fault)
+        refresh_compiled(self.circuit, touched)
+        self.invalidate(touched)
+        return touched
+
+    # ------------------------------------------------------------------ #
+    # classification
+    # ------------------------------------------------------------------ #
+
+    def _prepare_epoch(
+        self, faults: Optional[Sequence[Fault]]
+    ) -> Tuple[List[Fault], Podem]:
+        """Start an epoch: enumerate the universe, carry cached
+        verdicts, and simulation-prefilter the rest against the
+        accumulated vector pool."""
+        universe = (
+            list(faults)
+            if faults is not None
+            else collapsed_faults(self.circuit)
+        )
+        pending = [f for f in universe if f not in self._verdicts]
+        self.counters["verdicts_carried"] += len(universe) - len(pending)
+        self.counters["faults_requalified"] += len(pending)
+        if pending and self._vectors:
+            report = fault_coverage(self.circuit, pending, self._vectors)
+            undetected = set(report.undetected_faults)
+            for f in pending:
+                if f not in undetected:
+                    self._verdicts[f] = TESTABLE
+        podem = Podem(self.circuit, backtrack_limit=self.backtrack_limit)
+        return universe, podem
+
+    def _qualify_podem(
+        self, podem: Podem, fault: Fault, universe: Sequence[Fault]
+    ) -> str:
+        """PODEM stage for one unresolved fault; testable witnesses are
+        fed back to drop other suspects."""
+        result = podem.generate(fault)
+        self.counters["podem_calls"] += 1
+        self.counters["podem_backtracks"] += result.backtracks
+        if result.status is Status.UNTESTABLE:
+            verdict = PODEM_UNTESTABLE
+        elif result.status is Status.ABORTED:
+            self.counters["podem_aborts"] += 1
+            verdict = HARD
+        else:
+            verdict = TESTABLE
+        self._verdicts[fault] = verdict
+        if verdict == TESTABLE:
+            self._absorb_witness(result.test, universe)
+        return verdict
+
+    def _absorb_witness(
+        self, cube: Dict[int, int], universe: Sequence[Fault]
+    ) -> None:
+        """Accumulate a testability witness and grade every unresolved
+        (or still SAT-pending) suspect against it through the compiled
+        kernel's event-driven fault simulation."""
+        vector = complete_vector(self.circuit, cube or {})
+        self._vectors.append(vector)
+        targets = [
+            f
+            for f in universe
+            if self._verdicts.get(f) in (None, HARD)
+        ]
+        if not targets:
+            return
+        report = fault_coverage(self.circuit, targets, [vector])
+        undetected = set(report.undetected_faults)
+        for f in targets:
+            if f not in undetected:
+                self._verdicts[f] = TESTABLE
+                self.counters["witness_drops"] += 1
+
+    # ------------------------------------------------------------------ #
+    # the epoch SAT solver
+    # ------------------------------------------------------------------ #
+
+    def _epoch_solver(self) -> Solver:
+        """The shared incremental solver for the current circuit
+        version, building the good-circuit Tseitin once per epoch."""
+        if (
+            self._solver is not None
+            and self._solver_version == self.circuit.version
+        ):
+            self.counters["cnf_reuses"] += 1
+            return self._solver
+        self._harvest_solver_stats()
+        encoder = CircuitEncoder()
+        self._good_var = encoder.encode(self.circuit)
+        self.counters["tseitin_builds"] += 1
+        solver = Solver(encoder.cnf, learned_cap=EPOCH_LEARNED_CAP)
+        self._true_lit = solver.new_var()
+        solver.add_clause((self._true_lit,))
+        self._solver = solver
+        self._solver_version = self.circuit.version
+        self._solver_stats_mark = (0, 0)
+        return solver
+
+    def _harvest_solver_stats(self) -> None:
+        """Fold the retiring epoch solver's learned-DB counters into the
+        engine counters (delta since the last harvest)."""
+        if self._solver is None:
+            return
+        kept, dropped = self._solver_stats_mark
+        self.counters["learned_kept"] += (
+            self._solver.stats["learned_kept"] - kept
+        )
+        self.counters["learned_dropped"] += (
+            self._solver.stats["learned_dropped"] - dropped
+        )
+        self._solver_stats_mark = (
+            self._solver.stats["learned_kept"],
+            self._solver.stats["learned_dropped"],
+        )
+
+    def _sat_qualify(self, fault: Fault, universe: Sequence[Fault]) -> str:
+        """Complete decision for one PODEM-aborted fault on the epoch
+        solver: encode the faulty fanout cone under an activation
+        literal, solve under assumption, retire the literal."""
+        solver = self._epoch_solver()
+        solver.reset_to_root()
+        act = solver.new_var()
+        testable, model = _prove_on_solver(
+            self.circuit, fault, solver, self._good_var,
+            self._true_lit, act,
+        )
+        self.counters["sat_proofs"] += 1
+        self._harvest_solver_stats()
+        if not testable:
+            self._verdicts[fault] = HARD_UNTESTABLE
+            return HARD_UNTESTABLE
+        self._verdicts[fault] = TESTABLE
+        cube = {
+            gid: int(model.get(self._good_var[gid], False))
+            for gid in self.circuit.inputs
+        }
+        self._absorb_witness(cube, universe)
+        return TESTABLE
+
+    # ------------------------------------------------------------------ #
+    # public queries
+    # ------------------------------------------------------------------ #
+
+    def next_redundant(self) -> Optional[Fault]:
+        """The fault the from-scratch oracle iteration would remove now.
+
+        Scan the collapsed universe in deterministic order: the first
+        PODEM-proven untestable fault wins; only if none exists are the
+        PODEM aborts handed to SAT, first proof wins.  Returns ``None``
+        when the circuit is irredundant.
+        """
+        universe, podem = self._prepare_epoch(None)
+        hard: List[Fault] = []
+        for fault in universe:
+            verdict = self._verdicts.get(fault)
+            if verdict is None:
+                verdict = self._qualify_podem(podem, fault, universe)
+            if verdict == PODEM_UNTESTABLE:
+                return fault
+            if verdict in (HARD, HARD_UNTESTABLE):
+                hard.append(fault)
+        for fault in hard:
+            verdict = self._verdicts[fault]
+            if verdict == HARD:
+                verdict = self._sat_qualify(fault, universe)
+            if verdict == HARD_UNTESTABLE:
+                return fault
+        return None
+
+    def redundant_faults(
+        self, faults: Optional[Sequence[Fault]] = None
+    ) -> List[Fault]:
+        """All untestable faults from ``faults`` (default: the collapsed
+        universe), classifying every fault -- the full-verdict
+        counterpart of :func:`repro.atpg.satatpg.redundant_faults`."""
+        universe, podem = self._prepare_epoch(faults)
+        for fault in universe:
+            if self._verdicts.get(fault) is None:
+                self._qualify_podem(podem, fault, universe)
+        hard = [f for f in universe if self._verdicts[f] == HARD]
+        if hard and self.jobs and self.jobs > 1:
+            self._sat_qualify_sharded(hard)
+        else:
+            for fault in hard:
+                if self._verdicts[fault] == HARD:
+                    self._sat_qualify(fault, universe)
+        redundant = [
+            f for f in universe if self._verdicts[f] in _UNTESTABLE
+        ]
+        redundant.sort(key=lambda f: (f.kind, f.site, f.value))
+        return redundant
+
+    def is_irredundant(self) -> bool:
+        return not self.redundant_faults()
+
+    # ------------------------------------------------------------------ #
+    # parallel hard-fault sharding
+    # ------------------------------------------------------------------ #
+
+    def _sat_qualify_sharded(self, hard: Sequence[Fault]) -> None:
+        """Shard hard-fault proofs across a process pool.
+
+        Circuits travel as primitive dicts and verdicts merge in
+        deterministic submission order (the :mod:`repro.engine.runner`
+        fan-out pattern); each worker builds its own epoch solver, so
+        ``sat_proofs`` counts every fault exactly once.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..engine.serialize import circuit_to_dict
+
+        payload = circuit_to_dict(self.circuit)
+        jobs = min(self.jobs or 1, len(hard))
+        chunks = [list(hard[i::jobs]) for i in range(jobs)]
+        specs = [
+            [(f.kind, f.site, f.value) for f in chunk] for chunk in chunks
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_prove_chunk_worker, payload, spec)
+                for spec in specs
+            ]
+            results = [future.result() for future in futures]
+        for chunk, verdicts in zip(chunks, results):
+            for fault, testable in zip(chunk, verdicts):
+                self._verdicts[fault] = (
+                    TESTABLE if testable else HARD_UNTESTABLE
+                )
+                self.counters["sat_proofs"] += 1
+
+
+# ---------------------------------------------------------------------- #
+# the assumption-gated faulty-cone encoding
+# ---------------------------------------------------------------------- #
+
+
+def _prove_on_solver(
+    circuit: Circuit,
+    fault: Fault,
+    solver: Solver,
+    good_var: Dict[int, int],
+    true_lit: int,
+    act: int,
+) -> Tuple[bool, Dict[int, bool]]:
+    """Encode ``fault``'s faulty cone onto ``solver`` gated by ``act``
+    and decide testability under that assumption.
+
+    Only the fanout cone of the fault is re-encoded; cone inputs fed
+    from outside the cone share the good-circuit variables, and the
+    stuck site reads a constant literal.  Returns ``(testable, model)``
+    with the activation literal retired either way.
+    """
+    stuck_lit = true_lit if fault.value else -true_lit
+    if fault.kind == CONN:
+        conn = circuit.conns[fault.site]
+        cone = circuit.transitive_fanout([conn.dst])
+        stem_gid = None
+    else:
+        cone = circuit.transitive_fanout([fault.site])
+        cone.discard(fault.site)
+        stem_gid = fault.site
+    gated = _ActivationCnf(solver, act)
+    encoder = CircuitEncoder.__new__(CircuitEncoder)
+    encoder.cnf = gated
+    faulty_var: Dict[int, int] = {}
+    for gid in circuit.topological_order():
+        if gid not in cone:
+            continue
+        gate = circuit.gates[gid]
+        ins: List[int] = []
+        for cid in gate.fanin:
+            src = circuit.conns[cid].src
+            if fault.kind == CONN and cid == fault.site:
+                ins.append(stuck_lit)
+            elif src == stem_gid:
+                ins.append(stuck_lit)
+            else:
+                ins.append(faulty_var.get(src, good_var[src]))
+        out = solver.new_var()
+        faulty_var[gid] = out
+        encoder._constrain(gate.gtype, out, ins)
+    diff_lits: List[int] = []
+    for po in circuit.outputs:
+        if po not in faulty_var:
+            continue  # outside the cone: cannot differ
+        va, vb = good_var[po], faulty_var[po]
+        d = solver.new_var()
+        gated.add_clause((-va, -vb, -d))
+        gated.add_clause((va, vb, -d))
+        gated.add_clause((-va, vb, d))
+        gated.add_clause((va, -vb, d))
+        diff_lits.append(d)
+    gated.add_clause(diff_lits)  # empty cone-to-PO: forces UNSAT
+    testable = bool(solver.solve(assumptions=(act,)))
+    model = solver.model() if testable else {}
+    solver.reset_to_root()
+    solver.add_clause((-act,))
+    return testable, model
+
+
+def _prove_chunk_worker(
+    circuit_dict: Dict, fault_specs: List[Tuple[str, int, int]]
+) -> List[bool]:
+    """Process-pool worker: decide a chunk of hard faults.
+
+    Rebuilds the circuit from primitives, encodes the good circuit once,
+    and answers each fault on the shared worker-local solver -- the same
+    epoch-solver economics as the serial path.
+    """
+    from ..engine.serialize import circuit_from_dict
+
+    circuit = circuit_from_dict(circuit_dict)
+    encoder = CircuitEncoder()
+    good_var = encoder.encode(circuit)
+    solver = Solver(encoder.cnf, learned_cap=EPOCH_LEARNED_CAP)
+    true_lit = solver.new_var()
+    solver.add_clause((true_lit,))
+    verdicts: List[bool] = []
+    for kind, site, value in fault_specs:
+        solver.reset_to_root()
+        act = solver.new_var()
+        testable, _ = _prove_on_solver(
+            circuit, Fault(kind, site, value), solver, good_var,
+            true_lit, act,
+        )
+        verdicts.append(testable)
+    return verdicts

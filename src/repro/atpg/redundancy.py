@@ -11,12 +11,23 @@ constant, sweep, and *recompute the remaining redundancies* before the
 next removal (removal can create or destroy other redundancies).  The
 order is arbitrary -- which is exactly why it can destroy carry-skip
 speed, the effect the KMS benches quantify.
+
+Two drivers implement the loop:
+
+* ``incremental=True`` (default): the persistent
+  :class:`repro.atpg.proofengine.ProofEngine`, which carries verdicts
+  across removals, keeps one assumption-gated SAT solver per epoch, and
+  feeds every witness back through the compiled simulation kernel.
+* ``incremental=False``: the from-scratch funnel below, kept verbatim
+  as the A/B oracle.  Both take bit-identical decisions; the property
+  suite (``tests/atpg/test_proofengine_property.py``) and the
+  ``atpg-perf-gate`` CI benchmark enforce it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from ..network import Circuit, GateType
 from ..network.transform import (
@@ -44,29 +55,45 @@ class RemovalResult:
 
     circuit: Circuit
     steps: List[RemovalStep] = field(default_factory=list)
+    #: deterministic proof-work counters (see
+    #: :data:`repro.atpg.proofengine.PROOF_COUNTERS`); filled by both
+    #: drivers so the A/B benchmark can compare like for like.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def removed(self) -> int:
         return len(self.steps)
 
 
-def remove_fault(circuit: Circuit, fault: Fault) -> None:
+def remove_fault(circuit: Circuit, fault: Fault) -> Set[int]:
     """Tie the fault site to its stuck value and simplify, in place.
 
-    Sound only for *untestable* faults (the caller is responsible for the
-    redundancy proof).
+    Sound only for *untestable* faults (the caller is responsible for
+    the redundancy proof).  Returns the union of the transforms'
+    touched-gate sets (the PR-3 contract in
+    :mod:`repro.network.transform`) so incremental consumers -- the
+    proof engine's verdict cache, the compiled simulation kernel -- can
+    invalidate cone-locally instead of from scratch.
     """
+    touched: Set[int] = set()
     if fault.kind == CONN:
-        set_connection_constant(circuit, fault.site, fault.value)
+        _, const_touched = set_connection_constant(
+            circuit, fault.site, fault.value
+        )
+        touched |= const_touched
     else:
         gate = circuit.gates[fault.site]
         const = circuit.add_gate(
             GateType.CONST1 if fault.value else GateType.CONST0, 0.0
         )
+        touched.add(const)
+        touched.add(fault.site)
         for cid in list(gate.fanout):
+            touched.add(circuit.conns[cid].dst)
             circuit.move_connection_source(cid, const)
-    propagate_constants(circuit)
-    sweep(circuit, collapse_buffers=True)
+    touched |= propagate_constants(circuit)[1]
+    touched |= sweep(circuit, collapse_buffers=True)[1]
+    return touched
 
 
 def _undetected_by_random(
@@ -86,10 +113,54 @@ def _undetected_by_random(
     return report.undetected_faults
 
 
+def _next_redundant_scratch(
+    work: Circuit,
+    backtrack_limit: int,
+    patterns: int,
+    counters: Dict[str, int],
+) -> Optional[Fault]:
+    """One from-scratch oracle iteration: the first PODEM-proven
+    untestable suspect in collapsed order, else the first SAT-proven
+    one among the PODEM aborts."""
+    from .podem import Podem, Status
+
+    universe = collapsed_faults(work)
+    # no verdict cache: the whole universe is qualified from scratch
+    counters["faults_requalified"] += len(universe)
+    suspects = _undetected_by_random(work, universe, patterns=patterns)
+    podem = Podem(work, backtrack_limit=backtrack_limit)
+    hard: List[Fault] = []
+    fault: Optional[Fault] = None
+    for candidate in suspects:
+        result = podem.generate(candidate)
+        if result.status is Status.UNTESTABLE:
+            fault = candidate
+            break
+        if result.status is Status.ABORTED:
+            hard.append(candidate)
+    counters["podem_calls"] += podem.stats["calls"]
+    counters["podem_backtracks"] += podem.stats["backtracks"]
+    counters["podem_aborts"] += podem.stats["aborts"]
+    if fault is None and hard:
+        engine = SatAtpg(work)
+        counters["tseitin_builds"] += 1
+        for candidate in hard:
+            counters["sat_proofs"] += 1
+            counters["tseitin_builds"] += 1  # fresh faulty CNF per query
+            if engine.is_redundant(candidate):
+                fault = candidate
+                break
+    return fault
+
+
 def remove_redundancies(
     circuit: Circuit,
     choose: Optional[Callable[[List[Fault]], Fault]] = None,
     max_iterations: int = 10000,
+    incremental: bool = True,
+    backtrack_limit: int = 100,
+    patterns: int = 64,
+    jobs: Optional[int] = None,
 ) -> RemovalResult:
     """Iteratively remove untestable faults until the circuit is
     irredundant.
@@ -98,45 +169,62 @@ def remove_redundancies(
     list of currently-untestable collapsed faults (default: the first in
     the deterministic fault-list order; in that default mode the scan
     stops at the first untestable fault instead of proving the whole
-    list, and a random-pattern fault-simulation prefilter skips SAT
-    proofs for easily-testable faults).  The input circuit is not
-    modified; the result holds the transformed copy.
-    """
-    from .podem import Podem, Status
-    from .satatpg import SatAtpg, redundant_faults
+    list, and a fault-simulation prefilter skips proofs for
+    easily-testable faults).  The input circuit is not modified; the
+    result holds the transformed copy.
 
+    ``incremental`` selects the persistent proof engine (default) or the
+    from-scratch oracle; both remove the same faults in the same order
+    for any shared ``backtrack_limit`` (the PODEM budget per fault, the
+    funnel's classic 100) and ``patterns`` (random-prefilter pool size).
+    ``jobs`` shards hard-fault proofs in the ``choose`` path's full
+    classifications (serial otherwise).
+    """
     work = circuit.copy(f"{circuit.name}#irr")
     steps: List[RemovalStep] = []
+    counters: Dict[str, int] = {}
+    engine = None
+    if incremental:
+        from .proofengine import ProofEngine
+
+        engine = ProofEngine(
+            work,
+            backtrack_limit=backtrack_limit,
+            patterns=patterns,
+            jobs=jobs,
+        )
+        counters = engine.counters
+    else:
+        from .proofengine import PROOF_COUNTERS
+
+        counters = {name: 0 for name in PROOF_COUNTERS}
     for _ in range(max_iterations):
         if choose is not None:
-            redundant = redundant_faults(work)
+            if engine is not None:
+                # lazy funnel: carried verdicts make each re-proof
+                # cone-local instead of whole-universe
+                redundant = engine.redundant_faults()
+            else:
+                from .satatpg import redundant_faults
+
+                redundant = redundant_faults(work, incremental=False)
             if not redundant:
                 break
             fault = choose(redundant)
+        elif engine is not None:
+            fault = engine.next_redundant()
         else:
-            # default order: stop at the first proven redundancy, using
-            # the same cheap-first funnel as redundant_faults
-            suspects = _undetected_by_random(work, collapsed_faults(work))
-            podem = Podem(work, backtrack_limit=100)
-            fault = None
-            hard: List[Fault] = []
-            for candidate in suspects:
-                status = podem.generate(candidate).status
-                if status is Status.UNTESTABLE:
-                    fault = candidate
-                    break
-                if status is Status.ABORTED:
-                    hard.append(candidate)
-            if fault is None and hard:
-                engine = SatAtpg(work)
-                fault = next(
-                    (f for f in hard if engine.is_redundant(f)), None
-                )
-            if fault is None:
-                break
+            fault = _next_redundant_scratch(
+                work, backtrack_limit, patterns, counters
+            )
+        if fault is None:
+            break
         before = work.num_gates()
         description = fault.describe(work)
-        remove_fault(work, fault)
+        if engine is not None:
+            engine.remove(fault)
+        else:
+            remove_fault(work, fault)
         steps.append(
             RemovalStep(
                 fault=fault,
@@ -147,12 +235,12 @@ def remove_redundancies(
         )
     else:
         raise RuntimeError("redundancy removal did not converge")
-    return RemovalResult(circuit=work, steps=steps)
+    return RemovalResult(circuit=work, steps=steps, counters=dict(counters))
 
 
-def is_irredundant(circuit: Circuit) -> bool:
+def is_irredundant(circuit: Circuit, incremental: bool = True) -> bool:
     """True if every collapsed stuck-at fault is testable -- the paper's
     "fully testable for all single stuck faults"."""
     from .satatpg import redundant_faults
 
-    return not redundant_faults(circuit)
+    return not redundant_faults(circuit, incremental=incremental)

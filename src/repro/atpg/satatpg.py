@@ -75,7 +75,10 @@ class SatAtpg:
 
 
 def redundant_faults(
-    circuit: Circuit, faults: Optional[List[Fault]] = None
+    circuit: Circuit,
+    faults: Optional[List[Fault]] = None,
+    incremental: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Fault]:
     """All untestable faults from the given list (default: collapsed).
 
@@ -87,11 +90,22 @@ def redundant_faults(
        than SAT on sparse functions;
     3. SAT-ATPG for the rare PODEM aborts -- a complete decision either
        way.
+
+    ``incremental`` (default) routes through the persistent
+    :class:`repro.atpg.proofengine.ProofEngine` -- one shared
+    assumption-gated solver for every hard fault, witness feedback
+    between suspects, optional proof sharding across ``jobs`` worker
+    processes -- and returns the identical verdict list.  ``False``
+    keeps the from-scratch funnel below as the A/B oracle.
     """
     from .faults import collapsed_faults
     from .podem import Podem, Status
     from .redundancy import _undetected_by_random
 
+    if incremental:
+        from .proofengine import ProofEngine
+
+        return ProofEngine(circuit, jobs=jobs).redundant_faults(faults)
     worklist = faults if faults is not None else collapsed_faults(circuit)
     suspects = _undetected_by_random(circuit, list(worklist))
     if not suspects:
@@ -114,7 +128,7 @@ def redundant_faults(
     return redundant
 
 
-def count_redundancies(circuit: Circuit) -> int:
+def count_redundancies(circuit: Circuit, incremental: bool = True) -> int:
     """Number of untestable faults in the collapsed fault list -- the
     paper's Table I "Red." column metric."""
-    return len(redundant_faults(circuit))
+    return len(redundant_faults(circuit, incremental=incremental))

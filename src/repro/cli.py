@@ -136,10 +136,24 @@ def cmd_atpg(args) -> int:
     circuit = _load(args.input)
     faults = collapsed_faults(circuit)
     print(f"collapsed faults : {len(faults)}")
-    redundant = redundant_faults(circuit, faults)
+    proof_counters = {}
+    if args.no_proofengine:
+        redundant = redundant_faults(circuit, faults, incremental=False)
+    else:
+        from .atpg import ProofEngine
+
+        engine = ProofEngine(circuit, jobs=args.jobs)
+        redundant = engine.redundant_faults(faults)
+        proof_counters = engine.counters
     print(f"redundant faults : {len(redundant)}")
     for fault in redundant:
         print(f"  {fault.describe(circuit)}")
+    if proof_counters:
+        # deterministic proof-work counters, on stderr like the kernel's
+        proof = ", ".join(
+            f"{k}={v}" for k, v in proof_counters.items()
+        )
+        print(f"proof work       : {proof}", file=sys.stderr)
     if not args.tests:
         return 0
     vectors = random_vectors(circuit, args.random, seed=args.seed)
@@ -361,6 +375,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="grade faults on the interpreted per-call simulator "
         "instead of the compiled kernel (A/B oracle)",
+    )
+    p.add_argument(
+        "--no-proofengine",
+        action="store_true",
+        help="classify redundancies with the from-scratch funnel "
+        "instead of the persistent proof engine (A/B oracle)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard hard-fault SAT proofs across N worker processes",
     )
     p.set_defaults(func=cmd_atpg)
 

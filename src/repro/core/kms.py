@@ -90,9 +90,11 @@ class KmsResult:
     duplicated_gates: int = 0
     #: deterministic work counters (arrival_relaxations,
     #: paths_enumerated, viability_checks_exact,
-    #: viability_checks_prefiltered, cube_cache_hits, paths_capped);
-    #: the engine exports these through telemetry and the CI perf gate
-    #: compares them against the committed baseline.
+    #: viability_checks_prefiltered, cube_cache_hits, paths_capped,
+    #: plus the cleanup phase's redundancy-proof counters listed in
+    #: :data:`repro.atpg.proofengine.PROOF_COUNTERS`); the engine
+    #: exports these through telemetry and the CI perf gates compare
+    #: them against the committed baselines.
     counters: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -160,6 +162,8 @@ def kms(
         )
     model = model if model is not None else AsBuiltDelayModel()
     work = circuit.copy(f"{circuit.name}#kms")
+    from ..atpg.proofengine import PROOF_COUNTERS
+
     result = KmsResult(circuit=work)
     counters = result.counters
     for name in (
@@ -170,7 +174,7 @@ def kms(
         "viability_checks_prefiltered",
         "cube_cache_hits",
         "paths_capped",
-    ):
+    ) + PROOF_COUNTERS:
         counters[name] = 0
 
     baseline_delay = None
@@ -228,9 +232,13 @@ def kms(
     area_optimize(work)
 
     # Fig. 3's final line: remove remaining redundancies in any order.
+    # The same incremental switch drives the cleanup's proof engine
+    # (persistent verdicts, shared epoch solver) vs the A/B oracle.
     from ..atpg.redundancy import remove_redundancies
 
-    cleanup = remove_redundancies(work)
+    cleanup = remove_redundancies(work, incremental=incremental)
+    for name, value in cleanup.counters.items():
+        counters[name] = counters.get(name, 0) + value
     result.circuit = cleanup.circuit
     result.circuit.name = f"{circuit.name}#kms"
     result.cleanup_steps = cleanup.removed

@@ -199,13 +199,22 @@ def _stage_speed_up(
 def _stage_atpg(
     circuit: Circuit, params: Dict[str, Any], ctx: Dict[str, Any]
 ) -> StageOutcome:
-    from ..atpg import count_redundancies
+    if params.get("incremental", True):
+        from ..atpg import ProofEngine
 
-    red = count_redundancies(circuit)
+        engine = ProofEngine(circuit, jobs=params.get("jobs"))
+        red = len(engine.redundant_faults())
+        proof_counters = dict(engine.counters)
+    else:
+        from ..atpg import count_redundancies
+
+        red = count_redundancies(circuit, incremental=False)
+        proof_counters = {}
     return StageOutcome(
         circuit,
         {"redundancies": red},
-        counters={"redundancies": red, "gates_in": circuit.num_gates()},
+        counters={"redundancies": red, "gates_in": circuit.num_gates(),
+                  **proof_counters},
     )
 
 

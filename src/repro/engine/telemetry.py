@@ -57,6 +57,22 @@ difference word went to zero), and ``faults_dropped`` (faults removed
 from an active list after detection).  Equally deterministic, equally
 gateable (``benchmarks/compare_sim_baseline.py``); cache hits replay
 none of them.
+
+``atpg`` stage records -- and ``kms`` records, via the cleanup phase --
+carry the redundancy-proof engine's counters
+(:data:`repro.atpg.proofengine.PROOF_COUNTERS`, see ``docs/ATPG.md``):
+``faults_requalified`` / ``verdicts_carried`` (faults re-proved from
+scratch vs served from the verdict cache after a removal),
+``witness_drops`` (suspects settled by replaying another fault's test
+witness through the compiled kernel), ``cnf_reuses`` /
+``tseitin_builds`` (epoch SAT solvers reused vs freshly encoded),
+``sat_proofs`` (assumption-gated SAT qualifications),
+``podem_calls`` / ``podem_backtracks`` / ``podem_aborts`` (branch-and-
+bound effort and budget exhaustions), and ``learned_kept`` /
+``learned_dropped`` (epoch-solver learned-clause retention).  Exact
+functions of circuit + seed, gated by
+``benchmarks/compare_baseline.py`` against the committed
+``BENCH_atpg_baseline.json``.
 """
 
 from __future__ import annotations
