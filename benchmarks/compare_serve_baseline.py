@@ -1,0 +1,53 @@
+"""CI perf gate: compare a fresh BENCH_serve.json against the committed
+baseline and fail on scheduling/dedup counter regressions.
+
+Usage::
+
+    python benchmarks/compare_serve_baseline.py BENCH_serve.json \
+        benchmarks/baselines/BENCH_serve_baseline.json [--tolerance 0.10]
+
+The gate is on the *deterministic* scheduling counters of the serve
+daemon under the fixed load-test workload (``submissions``,
+``executions_created``, ``coalesced_total``, ``kms_executions``,
+``failed``, ``timeout``, ``retried``) -- exact functions of the
+workload, so a failure means the dedup/supervision logic changed, never
+runner jitter.  The ``identical`` flag covers bit-identity of every
+served netlist against the one-shot pipeline.  Mechanics (tolerance,
+slack, missing/new-row policy, informational wall clock) live in the
+shared :mod:`compare_baseline` helper used by all perf gates.
+
+Exit status: 0 = within tolerance, 1 = regression or malformed input.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import compare_baseline
+
+DEFAULT_GATED = [
+    "submissions",
+    "executions_created",
+    "coalesced_total",
+    "kms_executions",
+    "failed",
+    "timeout",
+    "retried",
+]
+
+
+def main(argv=None) -> int:
+    return compare_baseline.main(
+        argv,
+        description=__doc__.splitlines()[0],
+        result_key="serve",
+        default_gated=DEFAULT_GATED,
+        identical_message=(
+            "served results no longer bit-identical to the "
+            "one-shot pipeline"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,258 @@
+"""Load benchmark of the ``repro.serve`` daemon: concurrency, dedup,
+and crash recovery under fire.
+
+Two rows land in ``BENCH_serve.json`` for the ``serve-perf-gate`` CI
+job (via the shared ``benchmarks/compare_baseline.py``):
+
+* **mixed load 50x5** -- 50 concurrent submissions spread over 5
+  distinct Table I circuits against a 2-worker daemon.  The dedup
+  contract is counter-verified: exactly 5 executions are created and
+  exactly 5 kms stage runs happen (45 of 50 submissions coalesce), and
+  every response's netlist is *bit-identical* (BLIF text and content
+  fingerprint) to the one-shot in-process pipeline for its circuit.
+  Throughput and p50/p99 latency ride along informationally.
+* **killed worker mid-job** -- a real ``SIGKILL`` to the worker
+  process while it is mid-job.  The supervisor must respawn the worker
+  and retry, and the client's request completes with the same
+  bit-identical result -- no dropped request, counter-verified
+  (``retried`` = 1, ``failed`` = 0).
+
+The gated counters are exact functions of the workload (submission
+counts, execution counts, stage runs), so a gate failure means the
+scheduling/dedup logic changed, never runner jitter; wall clock is
+informational only.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from conftest import once
+from repro.circuits import named_circuit
+from repro.engine import StageCall, run_pipeline
+from repro.engine.hashing import circuit_fingerprint
+from repro.engine.serialize import circuit_from_dict
+from repro.io import write_blif
+from repro.serve import InProcessServer, ServeClient, ServeConfig
+from repro.serve.protocol import DEFAULT_MODEL
+
+#: The mixed workload: 5 distinct Table I circuits, 10 submissions each.
+CIRCUITS = ["csa2.2", "csa4.2", "csa8.2", "rca8", "cla8"]
+SUBMISSIONS_PER_CIRCUIT = 10
+TOTAL = len(CIRCUITS) * SUBMISSIONS_PER_CIRCUIT
+
+#: Deterministic scheduling/dedup counters the CI gate protects.
+GATED_COUNTERS = (
+    "submissions",
+    "executions_created",
+    "coalesced_total",
+    "kms_executions",
+    "failed",
+    "timeout",
+    "retried",
+)
+
+_ROWS = []
+
+
+def _oracle(name):
+    """The one-shot in-process result the daemon must match bit-for-bit
+    (the same expansion ``repro kms`` and a served ``kms`` job use)."""
+    result = run_pipeline(
+        named_circuit(name),
+        [StageCall("kms", {"model": DEFAULT_MODEL, "mode": "static"})],
+        keep_final=True,
+    )
+    assert result.ok, f"oracle pipeline failed on {name}: {result.error}"
+    final = circuit_from_dict(result.final_circuit)
+    return {
+        "fingerprint": circuit_fingerprint(final),
+        "blif": write_blif(final),
+    }
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+
+def _serve_counters(stats):
+    counters = stats["counters"]
+    return {
+        "submissions": counters["submissions"],
+        "executions_created": counters["executions_created"],
+        "coalesced_total": counters["coalesced_total"],
+        "kms_executions": stats["stage_executions"].get("kms", 0),
+        "failed": counters["failed"],
+        "timeout": counters["timeout"],
+        "cancelled": counters["cancelled"],
+        "done": counters["done"],
+        "retried": stats["pool"]["retried"],
+    }
+
+
+def _mixed_load_row():
+    oracles = {name: _oracle(name) for name in CIRCUITS}
+    workload = CIRCUITS * SUBMISSIONS_PER_CIRCUIT
+    responses = [None] * TOTAL
+    latencies = [None] * TOTAL
+    errors = []
+    barrier = threading.Barrier(TOTAL)
+
+    config = ServeConfig(workers=2, retries=1, job_timeout=300.0)
+    start = time.perf_counter()
+    with InProcessServer(config) as server:
+        client = ServeClient(port=server.port)
+
+        def submit(i, name):
+            try:
+                barrier.wait(timeout=60)
+                t0 = time.perf_counter()
+                job = client.submit_builtin(name, pipeline="kms")
+                responses[i] = client.wait(job["job_id"], timeout=280)
+                responses[i]["_circuit"] = name
+                latencies[i] = time.perf_counter() - t0
+            except Exception as exc:
+                errors.append((i, name, repr(exc)))
+
+        threads = [
+            threading.Thread(target=submit, args=(i, name))
+            for i, name in enumerate(workload)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        elapsed = time.perf_counter() - start
+        stats = client.stats()
+
+    assert not errors, f"dropped/errored requests: {errors[:5]}"
+    assert all(r is not None and r["state"] == "done" for r in responses)
+
+    identical = all(
+        r["result"]["final_fingerprint"]
+        == oracles[r["_circuit"]]["fingerprint"]
+        and r["result"]["blif"] == oracles[r["_circuit"]]["blif"]
+        for r in responses
+    )
+    counters = _serve_counters(stats)
+    # the acceptance contract: 50 submissions, at most one execution
+    # (and one kms run) per distinct circuit
+    assert counters["submissions"] == TOTAL
+    assert counters["executions_created"] <= len(CIRCUITS)
+    assert counters["kms_executions"] <= len(CIRCUITS)
+    assert counters["coalesced_total"] == TOTAL - counters[
+        "executions_created"]
+    assert counters["failed"] == 0 and counters["timeout"] == 0
+
+    return {
+        "name": f"mixed load {TOTAL}x{len(CIRCUITS)}",
+        "identical": identical,
+        "serve": {
+            "seconds": elapsed,
+            "counters": counters,
+            "throughput_jobs_per_s": TOTAL / elapsed,
+            "latency_p50_s": _percentile(latencies, 0.50),
+            "latency_p99_s": _percentile(latencies, 0.99),
+            "dedup_hit_rate": counters["coalesced_total"]
+            / counters["submissions"],
+        },
+    }
+
+
+def _killed_worker_row():
+    oracle = _oracle("csa4.2")
+    config = ServeConfig(workers=1, retries=1, debug=True,
+                         job_timeout=300.0)
+    start = time.perf_counter()
+    with InProcessServer(config) as server:
+        client = ServeClient(port=server.port)
+        # the spin keeps attempt 1 alive long enough to be murdered
+        # before its kms stage runs, so the retry does the only real work
+        job = client.submit_builtin(
+            "csa4.2", pipeline="kms", debug={"spin": 2.0}
+        )
+        victim = None
+        deadline = time.monotonic() + 30
+        while victim is None:
+            assert time.monotonic() < deadline, "job never reached a worker"
+            for worker in client.stats()["pool"]["workers"]:
+                if worker["job"] == job["exec_id"] and worker["pid"]:
+                    victim = worker["pid"]
+            time.sleep(0.02)
+        os.kill(victim, signal.SIGKILL)
+        response = client.wait(job["job_id"], timeout=280)
+        elapsed = time.perf_counter() - start
+        stats = client.stats()
+
+    assert response["state"] == "done", response
+    assert response["result"]["ok"] is True
+    assert response["result"]["attempt"] == 2, "expected one retry"
+    identical = (
+        response["result"]["final_fingerprint"] == oracle["fingerprint"]
+        and response["result"]["blif"] == oracle["blif"]
+    )
+    counters = _serve_counters(stats)
+    assert counters["retried"] == 1
+    assert counters["failed"] == 0 and counters["done"] == 1
+
+    return {
+        "name": "killed worker mid-job",
+        "identical": identical,
+        "serve": {"seconds": elapsed, "counters": counters},
+    }
+
+
+def test_mixed_load_dedup_and_identity(benchmark):
+    row = once(benchmark, _mixed_load_row)
+    _ROWS.append(row)
+    assert row["identical"], (
+        "served results diverged from the one-shot pipeline"
+    )
+
+
+def test_killed_worker_mid_job_recovers(benchmark):
+    row = once(benchmark, _killed_worker_row)
+    _ROWS.append(row)
+    assert row["identical"], (
+        "post-retry result diverged from the one-shot pipeline"
+    )
+
+
+def test_zz_emit_bench_json():
+    """Artifact emitter; named to sort last.  Tolerates partial
+    collection (-k) by only requiring what ran."""
+    if not _ROWS:
+        pytest.skip("no serve load rows collected in this session")
+    assert all(r["identical"] for r in _ROWS)
+    totals = {
+        "seconds": sum(r["serve"]["seconds"] for r in _ROWS),
+        "counters": {
+            name: sum(r["serve"]["counters"].get(name, 0) for r in _ROWS)
+            for name in GATED_COUNTERS
+        },
+    }
+    payload = {
+        "suite": "serve-load",
+        "result_key": "serve",
+        "gated_counters": list(GATED_COUNTERS),
+        "rows": _ROWS,
+        "totals": totals,
+    }
+    out_path = os.environ.get("BENCH_SERVE_JSON", "BENCH_serve.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    mixed = next((r for r in _ROWS if r["name"].startswith("mixed")), None)
+    note = ""
+    if mixed is not None:
+        note = (
+            f", {mixed['serve']['throughput_jobs_per_s']:.1f} jobs/s, "
+            f"p99 {mixed['serve']['latency_p99_s']:.2f}s, dedup "
+            f"{mixed['serve']['dedup_hit_rate']:.0%}"
+        )
+    print(f"\nwrote {out_path}: {len(_ROWS)} rows{note}")

@@ -1,0 +1,69 @@
+"""Tour of the repro.serve optimization service.
+
+Starts an in-process daemon (the same code path as ``repro serve``,
+minus the socket being shared with the outside world), then walks the
+client surface: submission, long-polling, the NDJSON progress stream,
+request coalescing, and the /stats counters.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/serve_client.py
+"""
+
+from repro.serve import InProcessServer, ServeClient, ServeConfig
+
+
+def main() -> None:
+    config = ServeConfig(workers=2)
+    with InProcessServer(config) as server:
+        client = ServeClient(port=server.port)
+        print(f"daemon up on port {server.port}:", client.health())
+
+        # -- 1. submit a built-in circuit through the kms pipeline ---- #
+        job = client.submit_builtin("csa8.2", pipeline="kms")
+        print(f"\nsubmitted {job['job_id']} (state {job['state']}, "
+              f"key {job['key'][:12]}...)")
+
+        # -- 2. stream progress while it runs ------------------------- #
+        print("progress stream:")
+        for event in client.events(job["job_id"]):
+            if event["type"] == "stage":
+                record = event["record"]
+                print(f"  stage {record['stage']:<12} "
+                      f"{record['seconds']:6.2f}s  cache={record['cache']}")
+            else:
+                print(f"  {event['type']}")
+
+        # -- 3. fetch the terminal result ----------------------------- #
+        response = client.wait(job["job_id"], timeout=120)
+        result = response["result"]
+        print(f"\nstate={response['state']}  "
+              f"fingerprint={result['final_fingerprint'][:16]}...")
+        print("transformed netlist, first lines:")
+        for line in result["blif"].splitlines()[:4]:
+            print(f"  {line}")
+
+        # -- 4. duplicate submissions coalesce ------------------------ #
+        dup = client.submit_builtin("csa8.2", pipeline="kms")
+        print(f"\nresubmitted: coalesced={dup['coalesced']} "
+              f"(same execution {dup['exec_id']}, no new work)")
+        client.wait(dup["job_id"], timeout=10)
+
+        # a *different* pipeline over the same circuit is new work, but
+        # its kms stage reuses the shared artifact store
+        verify = client.submit_builtin("csa8.2", pipeline="verify")
+        response = client.wait(verify["job_id"], timeout=120)
+        caches = {r["stage"]: r["cache"]
+                  for r in response["result"]["records"]}
+        print(f"verify pipeline stage caches: {caches}")
+
+        # -- 5. the daemon's accounting ------------------------------- #
+        stats = client.stats()
+        print(f"\ncounters: {stats['counters']}")
+        print(f"stage executions: {stats['stage_executions']}")
+        print(f"artifact store: {stats['cache']}")
+    print("\ndaemon drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

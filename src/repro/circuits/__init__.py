@@ -8,6 +8,7 @@ from .adders import (
     ripple_carry_adder,
 )
 from .mcnc import MCNC_NAMES, mcnc_circuit, mcnc_pla, mcnc_shapes
+from .named import named_circuit
 from .random_logic import random_circuit, random_redundant_circuit
 from .paper import (
     C0_ARRIVAL,
@@ -25,6 +26,7 @@ __all__ = [
     "mcnc_circuit",
     "mcnc_pla",
     "mcnc_shapes",
+    "named_circuit",
     "random_circuit",
     "random_redundant_circuit",
     "adder_reference",

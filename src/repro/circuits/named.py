@@ -1,0 +1,55 @@
+"""Compact circuit names shared by the CLI and the serve daemon.
+
+``named_circuit("csa8.2")`` resolves the same spellings ``repro
+generate`` accepts -- paper figures, the adder families with inline
+sizes, seeded random generators, and MCNC names -- so a serve client
+can submit ``{"kind": "builtin", "name": "csa8.2"}`` and get exactly
+the circuit the one-shot CLI would have produced.
+"""
+
+from __future__ import annotations
+
+from ..network import Circuit
+from .adders import (
+    carry_lookahead_adder,
+    carry_skip_adder,
+    ripple_carry_adder,
+)
+from .mcnc import MCNC_NAMES, mcnc_circuit
+from .paper import fig1_carry_skip_block, fig2_irredundant_block, fig4_c2_cone
+from .random_logic import random_circuit, random_redundant_circuit
+
+#: Paper-figure shorthands.
+FIGURES = {
+    "fig1": fig1_carry_skip_block,
+    "fig2": fig2_irredundant_block,
+    "fig4": fig4_c2_cone,
+}
+
+
+def named_circuit(name: str, seed: int = 0) -> Circuit:
+    """Build a circuit from its compact CLI name.
+
+    Accepted spellings: ``fig1|fig2|fig4``, ``csa<N>.<B>``, ``rca<N>``,
+    ``cla<N>``, ``rand``/``randred`` (seeded), or an MCNC name.  Raises
+    :class:`ValueError` for anything else (including malformed sizes).
+    """
+    try:
+        if name in FIGURES:
+            return FIGURES[name]()
+        if name.startswith("csa"):
+            nbits, block = name[3:].split(".")
+            return carry_skip_adder(int(nbits), int(block))
+        if name.startswith("rca"):
+            return ripple_carry_adder(int(name[3:]))
+        if name.startswith("cla"):
+            return carry_lookahead_adder(int(name[3:]))
+        if name == "rand":
+            return random_circuit(seed=seed)
+        if name == "randred":
+            return random_redundant_circuit(seed=seed)
+        if name in MCNC_NAMES:
+            return mcnc_circuit(name)
+    except ValueError as exc:
+        raise ValueError(f"malformed circuit name {name!r}: {exc}") from None
+    raise ValueError(f"unknown circuit {name!r}")

@@ -17,7 +17,10 @@ would run:
   node counts), ``fraig`` (SAT-sweep a BLIF circuit), ``redundant``
   (stuck-at-redundant AIG edges, the Teslenko--Dubrova funnel);
 * ``generate`` -- emit the built-in circuits (adders, paper figures,
-  MCNC-like suite, seeded random circuits) as BLIF.
+  MCNC-like suite, seeded random circuits) as BLIF;
+* ``serve``    -- run the async optimization service: an HTTP/JSON
+  daemon with a supervised worker pool, request coalescing by circuit
+  fingerprint, and a shared artifact store (see ``docs/SERVE.md``).
 """
 
 from __future__ import annotations
@@ -298,36 +301,65 @@ def cmd_aig(args) -> int:
     raise AssertionError(f"unhandled aig action {args.action!r}")
 
 
-_GENERATORS = {
-    "fig1": "fig1_carry_skip_block",
-    "fig2": "fig2_irredundant_block",
-    "fig4": "fig4_c2_cone",
-}
-
-
 def cmd_generate(args) -> int:
-    from . import circuits as circuit_mod
+    from .circuits import named_circuit
 
-    name = args.circuit
-    if name in _GENERATORS:
-        circuit = getattr(circuit_mod, _GENERATORS[name])()
-    elif name.startswith("csa"):
-        nbits, block = name[3:].split(".")
-        circuit = circuit_mod.carry_skip_adder(int(nbits), int(block))
-    elif name.startswith("rca"):
-        circuit = circuit_mod.ripple_carry_adder(int(name[3:]))
-    elif name.startswith("cla"):
-        circuit = circuit_mod.carry_lookahead_adder(int(name[3:]))
-    elif name == "rand":
-        circuit = circuit_mod.random_circuit(seed=args.seed)
-    elif name == "randred":
-        circuit = circuit_mod.random_redundant_circuit(seed=args.seed)
-    elif name in circuit_mod.MCNC_NAMES:
-        circuit = circuit_mod.mcnc_circuit(name)
-    else:
-        print(f"unknown circuit {name!r}", file=sys.stderr)
+    try:
+        circuit = named_circuit(args.circuit, seed=args.seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
     _save(circuit, args.output, args.format)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import ServeConfig, ServeDaemon
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        job_timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=args.cache,
+        cache_max_bytes=args.cache_max_bytes,
+        drain_timeout=args.drain_timeout,
+        debug=args.debug,
+    )
+    daemon = ServeDaemon(config)
+
+    async def announce() -> None:
+        await daemon.start()
+        print(
+            f"# serve: listening on {config.host}:{daemon.port} "
+            f"({config.workers} workers, queue depth "
+            f"{config.queue_depth})",
+            file=sys.stderr,
+        )
+
+    # ServeDaemon.run() owns the loop; announce the bound port by
+    # running start() inside it, so --port 0 is still usable.
+    import asyncio
+    import signal
+
+    async def main() -> None:
+        await announce()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, daemon._stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await daemon._stop.wait()
+        print("# serve: draining", file=sys.stderr)
+        await daemon.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -483,6 +515,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["blif", "verilog"], default="blif"
     )
     p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async optimization service (HTTP/JSON daemon)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8571,
+        help="listen port (0 = OS-assigned, announced on stderr)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes in the pool",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="pending-queue capacity before submissions get 429",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="default per-job timeout in seconds",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="crash-retry budget per job",
+    )
+    p.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="artifact store directory (default: private temp dir)",
+    )
+    p.add_argument(
+        "--cache-max-bytes", type=int, default=None,
+        help="trim the artifact store to this budget after each job",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight jobs on shutdown",
+    )
+    p.add_argument(
+        "--debug", action="store_true",
+        help="enable worker fault-injection hooks (tests only)",
+    )
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -4,12 +4,13 @@ One JSON file per entry, fanned into 256 two-hex-digit subdirectories.
 Two properties the engine relies on:
 
 * **atomic writes** -- entries are written to a temp file in the target
-  directory and published with :func:`os.replace`, so a concurrent
-  reader (another worker process on the same cache) sees either the old
-  bytes, the new bytes, or no file -- never a torn write;
+  directory, **fsync'd**, and published with :func:`os.replace`, so a
+  concurrent reader (another worker process on the same cache, or the
+  serve daemon's pool) sees either the old bytes, the new bytes, or no
+  file -- never a torn write, even across a crash mid-publish;
 * **corruption-tolerant reads** -- a truncated, garbled, or wrong-shape
-  entry is a *miss*, never an exception.  A subsequent ``put`` simply
-  replaces the bad file.
+  entry is a *miss*, never an exception.  A malformed file is evicted
+  on detection so a subsequent ``put`` starts clean.
 
 The stored entry echoes its full key, so a hash collision (or a file
 renamed into the wrong slot) is detected and treated as a miss.
@@ -48,6 +49,7 @@ class ResultCache:
         self.root = Path(root) if root else None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
 
@@ -66,9 +68,18 @@ class ResultCache:
         if self.root is None:
             return None
         key = cache_key(circuit_hash, stage, params)
+        path = self._path(key)
         try:
-            with open(self._path(key), encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:  # truncated / non-JSON / bad encoding
+            self._evict(path)
+            self.misses += 1
+            return None
+        try:
             if entry["schema"] != SCHEMA:
                 raise ValueError("schema mismatch")
             stored = entry["key"]
@@ -79,11 +90,22 @@ class ResultCache:
             ):
                 raise ValueError("key mismatch")
             value = entry["value"]
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            # the file exists but is garbage (torn write survivor,
+            # foreign schema, misplaced slot): evict it so the slot
+            # heals instead of mis-parsing on every lookup
+            self._evict(path)
             self.misses += 1
             return None
         self.hits += 1
         return value
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        self.evictions += 1
 
     def put(
         self,
@@ -111,6 +133,12 @@ class ResultCache:
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     json.dump(entry, handle, separators=(",", ":"))
+                    # flush + fsync BEFORE the rename: os.replace makes
+                    # the *name* atomic, but without the fsync a crash
+                    # can publish a name whose bytes never hit disk,
+                    # and a later reader would see a truncated entry.
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -127,12 +155,59 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters (this handle) plus on-disk size.
+
+        ``hits``/``misses``/``evictions`` are per-handle -- every worker
+        process counts its own traffic; ``entries``/``bytes`` walk the
+        shared directory, so they reflect all writers.
+        """
+        entries = 0
+        size = 0
+        if self.root is not None:
+            for path in self.root.glob("*/*.json"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": entries,
+            "bytes": size,
+        }
+
+    def trim(self, max_bytes: int) -> int:
+        """Evict oldest entries (by mtime) until the store fits in
+        ``max_bytes``.  Returns the number of entries evicted."""
+        if self.root is None or max_bytes < 0:
+            return 0
+        aged = []
+        total = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            aged.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        aged.sort(key=lambda item: (item[0], str(item[2])))
+        evicted = 0
+        for _, size, path in aged:
+            if total <= max_bytes:
+                break
+            before = self.evictions
+            self._evict(path)
+            if self.evictions > before:
+                total -= size
+                evicted += 1
+        return evicted
+
     def clear(self) -> None:
         """Delete every entry (leaves the directory tree in place)."""
         if self.root is None:
             return
         for path in self.root.glob("*/*.json"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._evict(path)

@@ -129,7 +129,14 @@ class EngineConfig:
 
 @dataclass
 class JobResult:
-    """Everything one job produced."""
+    """Everything one job produced.
+
+    ``final_circuit`` (the serialized circuit that fell out of the last
+    stage) is only populated when the pipeline ran with
+    ``keep_final=True`` -- consumers like the serve daemon need the
+    transformed netlist itself, while the bench sweeps only read
+    payloads and would pay pickling cost across the pool for nothing.
+    """
 
     name: str
     ok: bool
@@ -137,6 +144,7 @@ class JobResult:
     records: List[StageRecord] = field(default_factory=list)
     fingerprint: Optional[str] = None
     error: Optional[str] = None
+    final_circuit: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -146,6 +154,7 @@ class JobResult:
             "records": [r.to_dict() for r in self.records],
             "fingerprint": self.fingerprint,
             "error": self.error,
+            "final_circuit": self.final_circuit,
         }
 
     @classmethod
@@ -157,6 +166,7 @@ class JobResult:
             records=[StageRecord.from_dict(r) for r in data["records"]],
             fingerprint=data.get("fingerprint"),
             error=data.get("error"),
+            final_circuit=data.get("final_circuit"),
         )
 
 
@@ -326,6 +336,7 @@ def run_pipeline(
     cache: Optional[ResultCache] = None,
     config: Optional[EngineConfig] = None,
     telemetry: Optional[Telemetry] = None,
+    keep_final: bool = False,
 ) -> JobResult:
     """Run a pipeline over an already-built circuit, in-process.
 
@@ -351,6 +362,8 @@ def run_pipeline(
             break
         result.results[call.key] = outcome.payload
         current = outcome.circuit
+    if keep_final and result.ok:
+        result.final_circuit = circuit_to_dict(current)
     result.records = [r for r in telemetry.records if r.job == job_name]
     return result
 

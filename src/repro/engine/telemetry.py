@@ -78,9 +78,10 @@ functions of circuit + seed, gated by
 from __future__ import annotations
 
 import json
+import queue
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 SCHEMA = "repro.engine.telemetry/1"
 
@@ -136,19 +137,103 @@ class StageRecord:
         )
 
 
+class TelemetryStream:
+    """Blocking iterator over records as they are appended.
+
+    Produced by :meth:`Telemetry.stream`.  Backed by a thread-safe
+    queue, so a consumer thread (e.g. the serve daemon forwarding
+    NDJSON progress) can drain records while the run is still
+    executing on another thread.  Iteration ends after :meth:`close`
+    once the queue drains; ``get`` returns ``None`` on timeout.
+    """
+
+    _DONE = object()
+
+    def __init__(self, telemetry: "Telemetry") -> None:
+        self._telemetry = telemetry
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._closed = False
+
+    def _push(self, record: StageRecord) -> None:
+        if not self._closed:
+            self._queue.put(record)
+
+    def get(self, timeout: Optional[float] = None) -> Optional[StageRecord]:
+        """Next record, or ``None`` on timeout / end of stream."""
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if item is TelemetryStream._DONE:
+            return None
+        return item
+
+    def close(self) -> None:
+        """Unsubscribe and unblock any pending iteration."""
+        if not self._closed:
+            self._closed = True
+            self._telemetry.unsubscribe(self._push)
+            self._queue.put(TelemetryStream._DONE)
+
+    def __iter__(self) -> Iterator[StageRecord]:
+        while True:
+            item = self._queue.get()
+            if item is TelemetryStream._DONE:
+                return
+            yield item
+
+
 class Telemetry:
-    """Append-only collection of stage records for one engine run."""
+    """Append-only collection of stage records for one engine run.
+
+    Live consumers can observe records as they land -- without waiting
+    for end-of-run collection -- through two equivalent APIs:
+
+    * :meth:`subscribe` registers a callback invoked (synchronously, on
+      the appending thread) with every record added from then on;
+    * :meth:`stream` returns a :class:`TelemetryStream`, a thread-safe
+      blocking iterator fed by an internal subscription.
+
+    Neither changes the stored records or the ``to_dict`` JSON schema.
+    """
 
     def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
         self.meta: Dict[str, Any] = dict(meta or {})
         self.records: List[StageRecord] = []
+        self._subscribers: List[Callable[[StageRecord], None]] = []
+
+    def subscribe(
+        self, callback: Callable[[StageRecord], None]
+    ) -> Callable[[StageRecord], None]:
+        """Call ``callback(record)`` for every record appended after
+        this point.  Returns the callback (for ``unsubscribe``)."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[StageRecord], None]) -> None:
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def stream(self) -> TelemetryStream:
+        """A live, thread-safe iterator over future records."""
+        stream = TelemetryStream(self)
+        self.subscribe(stream._push)
+        return stream
+
+    def _notify(self, record: StageRecord) -> None:
+        for callback in list(self._subscribers):
+            callback(record)
 
     def add(self, record: StageRecord) -> StageRecord:
         self.records.append(record)
+        self._notify(record)
         return record
 
     def extend(self, records: Iterable[StageRecord]) -> None:
-        self.records.extend(records)
+        for record in records:
+            self.add(record)
 
     # ------------------------------------------------------------------ #
     # aggregation

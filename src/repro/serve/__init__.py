@@ -1,0 +1,45 @@
+"""``repro.serve`` -- async optimization service.
+
+A stdlib-only daemon (asyncio + hand-rolled HTTP/JSON) that accepts
+circuits, schedules ``kms | atpg | fraig | verify | sweep`` pipelines
+onto a supervised worker pool, coalesces duplicate requests by circuit
+fingerprint, and shares one on-disk artifact store across its lifetime.
+
+Start one from the CLI (``repro serve``), embed one in-process for
+tests (:class:`InProcessServer`), and talk to either with the
+synchronous :class:`ServeClient`.  See ``docs/SERVE.md``.
+"""
+
+from .client import ServeClient, ServeError
+from .daemon import InProcessServer, ServeConfig, ServeDaemon
+from .jobs import Draining, JobManager, QueueFull, UnknownJob
+from .pool import WorkerPool
+from .protocol import (
+    SCHEMA,
+    BadRequest,
+    JobSpec,
+    build_pipeline,
+    job_key,
+    parse_spec,
+    resolve_circuit,
+)
+
+__all__ = [
+    "SCHEMA",
+    "BadRequest",
+    "Draining",
+    "InProcessServer",
+    "JobManager",
+    "JobSpec",
+    "QueueFull",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "UnknownJob",
+    "WorkerPool",
+    "build_pipeline",
+    "job_key",
+    "parse_spec",
+    "resolve_circuit",
+]

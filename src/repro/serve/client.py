@@ -1,0 +1,170 @@
+"""Synchronous client for the serve daemon (stdlib ``http.client``).
+
+Used by the tests, the examples, and the load benchmark; also a
+reasonable template for users scripting against the daemon.  Every
+call opens one connection (the daemon is connection-per-request), so a
+``ServeClient`` is freely shareable across threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+class ServeError(Exception):
+    """A non-2xx daemon response."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talk to one daemon at ``host:port``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8571,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+            if response.status >= 400:
+                raise ServeError(response.status, data)
+            data["_status"] = response.status
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints ------------------------------------------------------ #
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(
+        self,
+        circuit: Dict[str, Any],
+        pipeline: Union[str, List[Dict[str, Any]]] = "kms",
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        name: Optional[str] = None,
+        debug: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns the job handle (``job_id``, ``state``,
+        ``coalesced``, ...).  Raises :class:`ServeError` 429 on
+        backpressure."""
+        body: Dict[str, Any] = {
+            "circuit": circuit,
+            "pipeline": pipeline,
+            "priority": priority,
+        }
+        if params:
+            body["params"] = params
+        if timeout is not None:
+            body["timeout"] = timeout
+        if name is not None:
+            body["name"] = name
+        if debug is not None:
+            body["debug"] = debug
+        return self._request("POST", "/jobs", body)
+
+    def submit_builtin(self, circuit_name: str, **kwargs) -> Dict[str, Any]:
+        return self.submit(
+            {"kind": "builtin", "name": circuit_name},
+            name=kwargs.pop("name", circuit_name),
+            **kwargs,
+        )
+
+    def submit_blif(self, text: str, **kwargs) -> Dict[str, Any]:
+        return self.submit({"kind": "blif", "text": text}, **kwargs)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def result(
+        self, job_id: str, wait: float = 0.0
+    ) -> Optional[Dict[str, Any]]:
+        """The terminal response, or ``None`` if still running after
+        ``wait`` seconds of long-polling."""
+        path = f"/jobs/{job_id}/result"
+        if wait:
+            path += f"?wait={wait:g}"
+        response = self._request(
+            "GET", path,
+            timeout=max(self.timeout, wait + 10.0),
+        )
+        if response.get("_status") == 202:
+            return None
+        return response
+
+    def wait(self, job_id: str, timeout: float = 120.0) -> Dict[str, Any]:
+        """Block until the job finishes; raises ``TimeoutError`` if it
+        does not inside ``timeout`` seconds."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} still running")
+            response = self.result(job_id, wait=min(remaining, 30.0))
+            if response is not None:
+                return response
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON progress events (history included),
+        ending after the terminal ``{"type": "done"}`` line."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServeError(
+                    response.status,
+                    json.loads(response.read().decode("utf-8")),
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()

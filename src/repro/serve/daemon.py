@@ -1,0 +1,231 @@
+"""The serve daemon: config, lifecycle, graceful drain.
+
+:class:`ServeDaemon` wires the pieces together on one asyncio loop:
+an :class:`~repro.serve.http.HttpFrontend` accepting requests, a
+:class:`~repro.serve.jobs.JobManager` coalescing them, and a
+:class:`~repro.serve.pool.WorkerPool` executing them, all sharing one
+content-addressed artifact store (:class:`~repro.engine.ResultCache`)
+for the daemon's lifetime.
+
+Shutdown (SIGTERM/SIGINT, or :meth:`request_stop`) drains gracefully:
+new submissions get 503, in-flight executions run to completion (up to
+``drain_timeout`` seconds), then worker processes are reaped.
+
+:class:`InProcessServer` runs the same daemon on a background thread
+with an OS-assigned port -- the harness the tests, the examples, and
+the load benchmark all use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..engine import ResultCache
+from .http import HttpFrontend
+from .jobs import JobManager
+from .pool import WorkerPool
+
+
+@dataclass
+class ServeConfig:
+    """Daemon knobs (all have serviceable defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = OS-assigned; read ServeDaemon.port after start
+    workers: int = 2
+    queue_depth: int = 64
+    job_timeout: Optional[float] = 300.0
+    retries: int = 1
+    cache_dir: Optional[str] = None  # None = private temp dir
+    cache_max_bytes: Optional[int] = None
+    memo: bool = True
+    memo_cap: int = 1024
+    drain_timeout: float = 30.0
+    debug: bool = False  # enable worker fault-injection hooks (tests)
+
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class ServeDaemon:
+    """One long-running optimization service."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.manager: Optional[JobManager] = None
+        self.pool: Optional[WorkerPool] = None
+        self.cache: Optional[ResultCache] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        # created on the running loop in start() (py3.9 binds Events to
+        # the loop current at construction time)
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    async def start(self) -> None:
+        config = self.config
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        cache_dir = config.cache_dir
+        if cache_dir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+            cache_dir = self._tmpdir.name
+        self.cache = ResultCache(cache_dir)
+        self.pool = WorkerPool(
+            size=config.workers,
+            loop=self._loop,
+            on_event=lambda execution, event: self.manager.on_event(
+                execution, event
+            ),
+            on_done=lambda execution, outcome, payload: self._on_done(
+                execution, outcome, payload
+            ),
+            cache_dir=cache_dir,
+            retries=config.retries,
+            default_timeout=config.job_timeout,
+        )
+        self.manager = JobManager(
+            self.pool,
+            queue_depth=config.queue_depth,
+            memo=config.memo,
+            memo_cap=config.memo_cap,
+            debug=config.debug,
+        )
+        self.pool.start()
+        frontend = HttpFrontend(self)
+        self._server = await asyncio.start_server(
+            frontend.handle, host=config.host, port=config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def _on_done(self, execution, outcome, payload) -> None:
+        self.manager.on_done(execution, outcome, payload)
+        limit = self.config.cache_max_bytes
+        if limit is not None and self.cache is not None:
+            self.cache.trim(limit)
+
+    async def stop(self) -> None:
+        """Graceful drain, then teardown."""
+        if self.manager is not None:
+            await self.manager.drain(self.config.drain_timeout)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.pool is not None:
+            await self.pool.shutdown()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        await self._stop.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown trigger."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass
+
+    def stats(self) -> Dict[str, Any]:
+        stats = self.manager.stats() if self.manager is not None else {}
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        stats["port"] = self.port
+        stats["config"] = {
+            "workers": self.config.workers,
+            "queue_depth": self.config.queue_depth,
+            "job_timeout": self.config.job_timeout,
+            "retries": self.config.retries,
+            "memo": self.config.memo,
+            "debug": self.config.debug,
+        }
+        return stats
+
+    def run(self) -> int:
+        """Blocking entry point (the ``repro serve`` CLI command)."""
+
+        async def main() -> None:
+            await self.start()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self._stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            await self._stop.wait()
+            await self.stop()
+
+        asyncio.run(main())
+        return 0
+
+
+class InProcessServer:
+    """The daemon on a background thread: the test/bench harness.
+
+    Usage::
+
+        with InProcessServer(ServeConfig(workers=2)) as server:
+            client = ServeClient(port=server.port)
+            ...
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.daemon = ServeDaemon(config)
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="serve-daemon", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        assert self.daemon.port is not None
+        return self.daemon.port
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.daemon.start()
+            except BaseException as exc:
+                self._error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.daemon._stop.wait()
+            await self.daemon.stop()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surface startup failures to start()
+            if not self._ready.is_set():
+                self._error = exc
+                self._ready.set()
+
+    def start(self) -> "InProcessServer":
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._error is not None:
+            raise RuntimeError(
+                f"serve daemon failed to start: {self._error}"
+            )
+        if self.daemon.port is None:
+            raise RuntimeError("serve daemon did not bind a port")
+        return self
+
+    def stop(self) -> None:
+        self.daemon.request_stop()
+        self._thread.join(timeout=60)
+
+    def __enter__(self) -> "InProcessServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,245 @@
+"""Minimal stdlib HTTP/1.1 front-end for the serve daemon.
+
+No web framework: requests are parsed straight off the asyncio stream
+(request line, headers, Content-Length body) and every response closes
+the connection, which keeps the parser ~50 lines and makes the NDJSON
+progress stream trivial (write lines until done, close).
+
+Endpoints (see ``docs/SERVE.md`` for the full reference):
+
+====== ============================ ===========================================
+POST   /jobs                        submit; 200 + job handle, 400 bad spec,
+                                    429 queue full, 503 draining
+GET    /jobs/<id>                   status snapshot
+GET    /jobs/<id>/result[?wait=S]   result; 202 + status while unfinished
+                                    (``wait`` long-polls up to S seconds)
+POST   /jobs/<id>/cancel            cancel this client's interest
+GET    /jobs/<id>/events            NDJSON progress stream (history, then
+                                    live records, then a ``done`` line)
+GET    /stats                       counters, queue, workers, cache
+GET    /healthz                     liveness probe
+====== ============================ ===========================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .jobs import Draining, QueueFull, UnknownJob
+from .protocol import BadRequest
+
+#: Submission bodies above this are refused (a Table I circuit is ~100kB
+#: of BLIF; 16MB leaves two orders of magnitude of headroom).
+MAX_BODY = 16 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """(method, target, headers, body) for one request."""
+    line = await reader.readline()
+    if not line:
+        raise HttpError(400, "empty request")
+    try:
+        method, target, _version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY:
+        raise HttpError(413, f"body exceeds {MAX_BODY} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def encode_response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = json.dumps(payload).encode("utf-8") + b"\n"
+    head = (
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _json_body(body: bytes) -> Any:
+    if not body:
+        return {}
+    try:
+        return json.loads(body)
+    except ValueError:
+        raise HttpError(400, "body is not valid JSON") from None
+
+
+class HttpFrontend:
+    """Routes requests onto a :class:`~repro.serve.jobs.JobManager`."""
+
+    def __init__(self, daemon) -> None:
+        self.daemon = daemon
+
+    @property
+    def manager(self):
+        return self.daemon.manager
+
+    async def handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            try:
+                method, target, _headers, body = await read_request(reader)
+                await self._route(method, target, body, writer)
+            except HttpError as exc:
+                writer.write(encode_response(
+                    exc.status, {"error": str(exc)}
+                ))
+            except (
+                asyncio.IncompleteReadError, ConnectionError, OSError
+            ):
+                return
+            except Exception as exc:  # daemon must survive handler bugs
+                writer.write(encode_response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}
+                ))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        url = urlsplit(target)
+        parts = [p for p in url.path.split("/") if p]
+        query = {
+            k: v[-1] for k, v in parse_qs(url.query).items()
+        }
+
+        if parts == ["healthz"] and method == "GET":
+            writer.write(encode_response(200, {"ok": True}))
+            return
+        if parts == ["stats"] and method == "GET":
+            writer.write(encode_response(200, self.daemon.stats()))
+            return
+        if parts == ["jobs"] and method == "POST":
+            self._submit(_json_body(body), writer)
+            return
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job_id = parts[1]
+            rest = parts[2:]
+            try:
+                if not rest and method == "GET":
+                    job = self.manager.get(job_id)
+                    writer.write(encode_response(200, job.describe()))
+                    return
+                if rest == ["result"] and method == "GET":
+                    await self._result(job_id, query, writer)
+                    return
+                if rest == ["cancel"] and method == "POST":
+                    job = self.manager.cancel(job_id)
+                    writer.write(encode_response(200, job.describe()))
+                    return
+                if rest == ["events"] and method == "GET":
+                    await self._events(job_id, writer)
+                    return
+            except UnknownJob:
+                raise HttpError(404, f"no such job {job_id!r}") from None
+        raise HttpError(
+            405 if parts[:1] in (["jobs"], ["stats"], ["healthz"]) else 404,
+            f"no route for {method} {url.path}",
+        )
+
+    def _submit(self, body: Any, writer: asyncio.StreamWriter) -> None:
+        try:
+            job = self.manager.submit(body)
+        except BadRequest as exc:
+            raise HttpError(400, str(exc)) from None
+        except QueueFull as exc:
+            raise HttpError(429, str(exc)) from None
+        except Draining as exc:
+            raise HttpError(503, str(exc)) from None
+        writer.write(encode_response(200, job.describe()))
+
+    async def _result(
+        self,
+        job_id: str,
+        query: Dict[str, str],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        job = self.manager.get(job_id)
+        try:
+            wait = float(query.get("wait", "0") or "0")
+        except ValueError:
+            raise HttpError(
+                400, f"bad wait value {query.get('wait')!r}"
+            ) from None
+        if wait > 0 and not job.cancelled:
+            try:
+                await asyncio.wait_for(
+                    job.execution.finished.wait(), timeout=wait
+                )
+            except asyncio.TimeoutError:
+                pass
+        response = self.manager.result(job_id)
+        if response is None:
+            writer.write(encode_response(202, job.describe()))
+        else:
+            writer.write(encode_response(200, response))
+
+    async def _events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.manager.get(job_id)
+        history, live = job.execution.subscribe()
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        for event in history:
+            writer.write(json.dumps(event).encode("utf-8") + b"\n")
+        await writer.drain()
+        if job.execution.finished.is_set():
+            return
+        while True:
+            event = await live.get()
+            if event is None:
+                return
+            writer.write(json.dumps(event).encode("utf-8") + b"\n")
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return

@@ -1,0 +1,343 @@
+"""Job manager: coalescing, queueing, lifecycle, and counters.
+
+The unit of *work* is an :class:`Execution`, keyed by
+:func:`~repro.serve.protocol.job_key` (circuit fingerprint + expanded
+pipeline).  The unit of *interest* is a :class:`ClientJob` -- what a
+``POST /jobs`` returns.  Many client jobs may attach to one execution:
+
+* a submission whose key matches an execution still queued/running
+  **coalesces in flight** -- it gets its own job id, shares the
+  execution's progress stream and result, and consumes no queue slot;
+* a submission whose key matches an already-completed execution is
+  served from the daemon-lifetime **result memo** without touching the
+  queue at all (and underneath both sits the on-disk artifact store,
+  which would make even a cold re-execution mostly cache hits);
+* otherwise a new execution is created -- or refused with
+  :class:`QueueFull` (HTTP 429 backpressure) when the pending queue is
+  at its configured depth.
+
+Cancellation is per client: an execution only stops (queued: dropped;
+running: worker killed) when *every* attached client has cancelled.
+
+All methods run on the daemon's event-loop thread; the only cross-
+thread surface is each execution's ``cancel_requested`` event, which
+worker-slot threads poll.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine.hashing import circuit_fingerprint
+from .protocol import JobSpec, job_key, parse_spec
+
+#: Client-visible terminal states.
+TERMINAL = ("done", "failed", "timeout", "cancelled")
+
+
+class QueueFull(Exception):
+    """Backpressure: the pending queue is at capacity (HTTP 429)."""
+
+
+class Draining(Exception):
+    """The daemon is shutting down and refuses new work (HTTP 503)."""
+
+
+class UnknownJob(KeyError):
+    """No such job id (HTTP 404)."""
+
+
+class Execution:
+    """One scheduled unit of work, shared by its attached clients."""
+
+    def __init__(
+        self,
+        exec_id: str,
+        key: str,
+        spec: JobSpec,
+    ) -> None:
+        self.exec_id = exec_id
+        self.key = key
+        self.name = spec.name
+        self.payload = spec.worker_payload()
+        self.priority = spec.priority
+        self.timeout = spec.timeout
+        self.fingerprint = spec.fingerprint
+        self.state = "queued"
+        self.attempts = 0
+        self.worker_pid: Optional[int] = None
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.cancel_requested = threading.Event()
+        self.finished = asyncio.Event()
+        self.events: List[Dict[str, Any]] = []
+        self.subscribers: List[asyncio.Queue] = []
+        self.clients: Dict[str, "ClientJob"] = {}
+
+    # -- progress stream ----------------------------------------------- #
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+        for q in list(self.subscribers):
+            q.put_nowait(event)
+
+    def subscribe(self) -> Tuple[List[Dict[str, Any]], asyncio.Queue]:
+        """(history so far, live queue).  The queue ends with ``None``."""
+        q: asyncio.Queue = asyncio.Queue()
+        history = list(self.events)
+        if self.finished.is_set():
+            q.put_nowait(None)
+        else:
+            self.subscribers.append(q)
+        return history, q
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def finish(
+        self,
+        state: str,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        if self.finished.is_set():
+            return
+        self.state = state
+        self.result = result
+        self.error = error
+        self.publish({"type": "done", "state": state, "error": error})
+        for q in list(self.subscribers):
+            q.put_nowait(None)
+        self.subscribers.clear()
+        self.finished.set()
+
+    @property
+    def live_clients(self) -> int:
+        return sum(1 for j in self.clients.values() if not j.cancelled)
+
+
+class ClientJob:
+    """One client's handle on an execution."""
+
+    def __init__(
+        self, job_id: str, execution: Execution, coalesced: Optional[str]
+    ) -> None:
+        self.job_id = job_id
+        self.execution = execution
+        self.coalesced = coalesced  # None | "inflight" | "completed"
+        self.cancelled = False
+
+    @property
+    def state(self) -> str:
+        if self.cancelled:
+            return "cancelled"
+        return self.execution.state
+
+    def describe(self) -> Dict[str, Any]:
+        execution = self.execution
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "key": execution.key,
+            "exec_id": execution.exec_id,
+            "name": execution.name,
+            "fingerprint": execution.fingerprint,
+            "coalesced": self.coalesced,
+            "attempts": execution.attempts,
+            "error": execution.error,
+        }
+
+
+class JobManager:
+    """Submission front-end over a :class:`~repro.serve.pool.WorkerPool`.
+
+    The pool is injected (constructed by the daemon) so the manager
+    stays testable without processes.
+    """
+
+    def __init__(
+        self,
+        pool,
+        queue_depth: int = 64,
+        memo: bool = True,
+        memo_cap: int = 1024,
+        debug: bool = False,
+    ) -> None:
+        self.pool = pool
+        self.queue_depth = queue_depth
+        self.memo_enabled = memo
+        self.memo_cap = memo_cap
+        self.debug = debug
+        self.draining = False
+        self.jobs: Dict[str, ClientJob] = {}
+        self.active: Dict[str, Execution] = {}  # key -> unfinished
+        self.memo: "OrderedDict[str, Execution]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self.counters: Dict[str, int] = {
+            "submissions": 0,
+            "coalesced_inflight": 0,
+            "coalesced_completed": 0,
+            "executions_created": 0,
+            "done": 0,
+            "failed": 0,
+            "timeout": 0,
+            "cancelled": 0,
+        }
+        self.stage_executions: Dict[str, int] = {}
+
+    # -- pool callbacks (loop thread) ----------------------------------- #
+
+    def on_event(self, execution: Execution, event: Dict[str, Any]) -> None:
+        if event.get("type") == "running":
+            self._mark_running(execution)
+        execution.publish(event)
+
+    def on_done(
+        self,
+        execution: Execution,
+        outcome: str,
+        payload: Optional[Dict[str, Any]],
+    ) -> None:
+        if execution.finished.is_set():
+            return
+        if outcome == "done":
+            assert payload is not None
+            if payload.get("ok"):
+                state, error = "done", None
+                for record in payload.get("records", []):
+                    if record.get("cache") != "hit" and not record.get("error"):
+                        stage = record["stage"]
+                        self.stage_executions[stage] = (
+                            self.stage_executions.get(stage, 0) + 1
+                        )
+                if self.memo_enabled:
+                    self.memo[execution.key] = execution
+                    while len(self.memo) > self.memo_cap:
+                        self.memo.popitem(last=False)
+            else:
+                state, error = "failed", payload.get("error")
+        elif outcome == "crashed":
+            state = "failed"
+            error = (
+                f"worker crashed {execution.attempts} time(s); "
+                f"job abandoned"
+            )
+            payload = None
+        elif outcome == "timeout":
+            state, error, payload = "timeout", "job timed out", None
+        else:
+            state, error, payload = "cancelled", None, None
+        self.counters[state] += 1
+        if self.active.get(execution.key) is execution:
+            del self.active[execution.key]
+        execution.finish(state, result=payload, error=error)
+
+    def _mark_running(self, execution: Execution) -> None:
+        if execution.state == "queued":
+            execution.state = "running"
+
+    # -- client API (loop thread) --------------------------------------- #
+
+    def submit(self, body: Any) -> ClientJob:
+        """Validate, coalesce or enqueue, and return the client job."""
+        if self.draining:
+            raise Draining("daemon is draining; resubmit elsewhere")
+        self.counters["submissions"] += 1
+        spec = parse_spec(body, debug_enabled=self.debug)
+        spec.fingerprint = circuit_fingerprint(spec.circuit)
+        key = job_key(spec.fingerprint, spec.pipeline)
+
+        execution = self.active.get(key)
+        coalesced: Optional[str] = None
+        if execution is not None:
+            coalesced = "inflight"
+            self.counters["coalesced_inflight"] += 1
+        elif self.memo_enabled and key in self.memo:
+            execution = self.memo[key]
+            coalesced = "completed"
+            self.counters["coalesced_completed"] += 1
+        else:
+            if self.pool.queue_depth >= self.queue_depth:
+                raise QueueFull(
+                    f"pending queue at capacity ({self.queue_depth})"
+                )
+            execution = Execution(
+                exec_id=f"x{next(self._ids)}", key=key, spec=spec
+            )
+            self.active[key] = execution
+            self.counters["executions_created"] += 1
+            execution.publish({"type": "queued", "key": key})
+            self.pool.enqueue(execution)
+        job = ClientJob(f"j{next(self._ids)}", execution, coalesced)
+        execution.clients[job.job_id] = job
+        self.jobs[job.job_id] = job
+        return job
+
+    def get(self, job_id: str) -> ClientJob:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise UnknownJob(job_id) from None
+
+    def cancel(self, job_id: str) -> ClientJob:
+        """Cancel this client's interest; stop the execution if it was
+        the last one."""
+        job = self.get(job_id)
+        execution = job.execution
+        if job.cancelled or execution.finished.is_set():
+            return job
+        job.cancelled = True
+        if execution.live_clients == 0:
+            execution.cancel_requested.set()
+            if execution.state == "queued":
+                # drop it before a slot ever picks it up
+                if self.active.get(execution.key) is execution:
+                    del self.active[execution.key]
+                self.counters["cancelled"] += 1
+                execution.finish("cancelled")
+            # running: the slot thread sees the flag, kills the worker,
+            # and on_done() resolves the execution
+        return job
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The terminal response body, or ``None`` while unfinished."""
+        job = self.get(job_id)
+        execution = job.execution
+        if job.cancelled:
+            return {**job.describe(), "result": None}
+        if not execution.finished.is_set():
+            return None
+        return {**job.describe(), "result": execution.result}
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Refuse new work, wait for in-flight executions to finish.
+
+        Returns True when everything finished inside ``timeout``."""
+        self.draining = True
+        pending = [e.finished.wait() for e in self.active.values()]
+        if not pending:
+            return True
+        waiter = asyncio.gather(*pending)
+        try:
+            await asyncio.wait_for(waiter, timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def stats(self) -> Dict[str, Any]:
+        counters = dict(self.counters)
+        counters["coalesced_total"] = (
+            counters["coalesced_inflight"] + counters["coalesced_completed"]
+        )
+        return {
+            "counters": counters,
+            "stage_executions": dict(self.stage_executions),
+            "active_executions": len(self.active),
+            "memo_entries": len(self.memo),
+            "jobs": len(self.jobs),
+            "draining": self.draining,
+            "pool": self.pool.stats(),
+        }

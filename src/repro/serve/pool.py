@@ -1,0 +1,299 @@
+"""Worker-pool supervisor: crash isolation, timeouts, retries.
+
+The pool owns N *slots*.  Each slot pairs a supervisor thread with a
+(respawnable) worker process; the thread blocks on a ``queue.Queue``
+inbox for assignments, relays job payloads over the process pipe,
+forwards streamed telemetry events, and polls for four ways a job can
+end:
+
+* ``done``      -- the worker sent a result (ok or failed);
+* ``crashed``   -- the pipe died (worker segfaulted, was OOM-killed,
+  or someone ``kill -9``-ed it mid-job): the slot kills/reaps the
+  process and the pool respawns it; the job is retried until its
+  attempt budget runs out, so a killed worker never drops a request;
+* ``timeout``   -- the per-job deadline passed: the worker is killed
+  (it is wedged -- there is no safe way to interrupt a SAT solve) and
+  replaced; timeouts are *not* retried (a poisoned circuit would just
+  poison the next worker);
+* ``cancelled`` -- the execution's cancel flag was set while running.
+
+All pool *state* (the priority queue, idle slots, counters) is owned by
+the asyncio event-loop thread: slot threads communicate results back
+exclusively through ``loop.call_soon_threadsafe``, so there are no
+locks and no data races by construction.
+
+Worker processes use the ``spawn`` start method: slots fork from
+supervisor threads, and forking a threaded process risks inheriting a
+held import lock mid-``import`` -- a deadlocked worker is exactly the
+failure this subsystem exists to contain, not to cause.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import multiprocessing
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .worker import worker_main
+
+#: How often a busy slot checks cancel flags / deadlines while waiting
+#: on its worker pipe.
+POLL_SECONDS = 0.02
+
+_SHUTDOWN = object()
+
+
+class WorkerSlot:
+    """One supervisor thread + one respawnable worker process."""
+
+    def __init__(self, pool: "WorkerPool", index: int) -> None:
+        self.pool = pool
+        self.index = index
+        self.inbox: "queue.Queue[Any]" = queue.Queue()
+        self.process = None
+        self.conn = None
+        self.restarts = 0
+        self.current: Optional[Any] = None  # execution, for /stats
+        self.thread = threading.Thread(
+            target=self._loop, name=f"serve-worker-{index}", daemon=True
+        )
+
+    # -- process lifecycle (slot thread only) -------------------------- #
+
+    def _spawn(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        parent, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(child, self.pool.cache_dir),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        self.conn = parent
+
+    def _kill(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=5)
+            self.process = None
+
+    def _ensure_process(self) -> bool:
+        if self.process is not None and self.process.is_alive():
+            return True
+        self._kill()
+        try:
+            self._spawn()
+        except OSError:
+            return False
+        self.restarts += 1
+        return True
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    # -- job supervision (slot thread only) ---------------------------- #
+
+    def _loop(self) -> None:
+        while True:
+            item = self.inbox.get()
+            if item is _SHUTDOWN:
+                self._shutdown_process()
+                return
+            execution = item
+            self.current = execution
+            outcome, payload = self._run(execution)
+            self.current = None
+            self.pool._to_loop(
+                self.pool._slot_finished, self, execution, outcome, payload
+            )
+
+    def _shutdown_process(self) -> None:
+        """Polite stop: ask the idle worker to exit, then reap."""
+        if self.conn is not None:
+            try:
+                self.conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        if self.process is not None:
+            self.process.join(timeout=2)
+        self._kill()
+
+    def _run(self, execution) -> tuple:
+        if not self._ensure_process():
+            return "crashed", None
+        try:
+            self.conn.send({
+                "payload": execution.payload,
+                "attempt": execution.attempts,
+            })
+        except (OSError, BrokenPipeError, ValueError):
+            self._kill()
+            return "crashed", None
+        timeout = execution.timeout
+        if timeout is None:
+            timeout = self.pool.default_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if execution.cancel_requested.is_set():
+                self._kill()
+                return "cancelled", None
+            if deadline is not None and time.monotonic() >= deadline:
+                self._kill()
+                return "timeout", None
+            try:
+                ready = self.conn.poll(POLL_SECONDS)
+            except (OSError, EOFError):
+                self._kill()
+                return "crashed", None
+            if not ready:
+                continue
+            try:
+                kind, data = self.conn.recv()
+            except (EOFError, OSError):
+                self._kill()
+                return "crashed", None
+            if kind == "event":
+                self.pool._to_loop(self.pool.on_event, execution, data)
+            elif kind == "result":
+                return "done", data
+
+
+class WorkerPool:
+    """Priority-FIFO dispatch over supervised worker slots.
+
+    ``on_event(execution, event_dict)`` and ``on_done(execution,
+    outcome, payload)`` are invoked on the event-loop thread.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        loop,
+        on_event: Callable[[Any, Dict[str, Any]], None],
+        on_done: Callable[[Any, str, Optional[Dict[str, Any]]], None],
+        cache_dir: Optional[str] = None,
+        retries: int = 1,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        self.loop = loop
+        self.on_event = on_event
+        self.on_done = on_done
+        self.cache_dir = cache_dir
+        self.retries = retries
+        self.default_timeout = default_timeout
+        self.retried = 0
+        self._seq = itertools.count()
+        self._retry_seq = itertools.count(-1, -1)
+        self._heap: List[tuple] = []
+        self._slots = [WorkerSlot(self, i) for i in range(max(1, size))]
+        self._idle: List[WorkerSlot] = list(self._slots)
+        self._stopped = False
+
+    def start(self) -> None:
+        for slot in self._slots:
+            slot.thread.start()
+
+    def _to_loop(self, fn, *args) -> None:
+        try:
+            self.loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:
+            pass  # loop already closed during teardown
+
+    # -- loop-thread API ----------------------------------------------- #
+
+    @property
+    def queue_depth(self) -> int:
+        """Executions waiting for a slot (running ones excluded)."""
+        return sum(
+            1 for _, _, e in self._heap if not e.finished.is_set()
+        )
+
+    @property
+    def busy(self) -> int:
+        return len(self._slots) - len(self._idle)
+
+    def enqueue(self, execution) -> None:
+        heapq.heappush(
+            self._heap, (execution.priority, next(self._seq), execution)
+        )
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._idle and self._heap and not self._stopped:
+            _, _, execution = heapq.heappop(self._heap)
+            if execution.finished.is_set():
+                continue  # cancelled while queued
+            if execution.cancel_requested.is_set():
+                self.on_done(execution, "cancelled", None)
+                continue
+            slot = self._idle.pop()
+            execution.attempts += 1
+            execution.worker_pid = slot.pid
+            self.on_event(execution, {
+                "type": "running",
+                "attempt": execution.attempts,
+                "slot": slot.index,
+            })
+            slot.inbox.put(execution)
+
+    def _slot_finished(self, slot, execution, outcome, payload) -> None:
+        self._idle.append(slot)
+        if outcome == "crashed" and not execution.cancel_requested.is_set():
+            if execution.attempts <= self.retries:
+                self.retried += 1
+                # retry ahead of its priority class: the client already
+                # waited one full attempt
+                heapq.heappush(
+                    self._heap,
+                    (execution.priority, next(self._retry_seq), execution),
+                )
+                self._dispatch()
+                return
+        self.on_done(execution, outcome, payload)
+        self._dispatch()
+
+    def idle_now(self) -> bool:
+        return not self._heap and len(self._idle) == len(self._slots)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "size": len(self._slots),
+            "busy": self.busy,
+            "queued": self.queue_depth,
+            "retried": self.retried,
+            "workers": [
+                {
+                    "index": slot.index,
+                    "pid": slot.pid,
+                    "restarts": slot.restarts,
+                    "job": (
+                        slot.current.exec_id
+                        if slot.current is not None else None
+                    ),
+                }
+                for slot in self._slots
+            ],
+        }
+
+    async def shutdown(self) -> None:
+        """Stop dispatching, stop slot threads, reap worker processes."""
+        self._stopped = True
+        for slot in self._slots:
+            slot.inbox.put(_SHUTDOWN)
+        for slot in self._slots:
+            while slot.thread.is_alive():
+                await asyncio.sleep(0.02)

@@ -1,0 +1,217 @@
+"""Wire protocol of the optimization service: job specs and keys.
+
+A submission body (``POST /jobs``) names a circuit source, a pipeline,
+and scheduling knobs::
+
+    {
+      "circuit":  {"kind": "builtin", "name": "csa8.2", "seed": 0}
+                | {"kind": "factory", "factory": "carry_skip_adder",
+                   "params": {"nbits": 8, "block": 2}}
+                | {"kind": "blif", "text": ".model ..."}
+                | {"kind": "json", "circuit": {...repro.engine.serialize...}},
+      "pipeline": "kms" | "atpg" | "fraig" | "verify" | "sweep"
+                | [{"stage": "kms", "params": {...}, "label": null}, ...],
+      "params":   {...},        # named-pipeline overrides (mode, model, ...)
+      "priority": 0,            # lower runs sooner; FIFO within a priority
+      "timeout":  12.5,         # per-job wall-clock seconds (null = default)
+      "name":     "my-job"      # display label in telemetry records
+    }
+
+The daemon resolves the circuit immediately (a bad netlist fails at
+submit time, not minutes later on a worker) and keys the job by
+``job_key(circuit fingerprint, pipeline)`` -- the dedup identity: two
+submissions whose *resolved* circuits hash identically are the same
+work, whatever the encoding of their source.  (BLIF is a lossy
+encoding -- it drops PI arrival times and re-parses NANDs as AND+NOT
+-- so a builtin and its BLIF export may legitimately key apart; the
+``json`` encoding round-trips exactly.)
+
+Named pipelines expand to the same :class:`~repro.engine.StageCall`
+lists the CLI/bench flows use, so a served result is bit-identical to
+the one-shot command by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..circuits import named_circuit
+from ..engine import StageCall, build_circuit, circuit_to_dict, get_stage
+from ..engine.serialize import circuit_from_dict
+from ..engine.sweep import table1_pipeline
+from ..io import parse_blif
+from ..network import Circuit
+
+SCHEMA = "repro.serve/1"
+
+#: Default delay model for named pipelines: CLI parity (``repro kms``
+#: honors PI arrival times unless ``--zero-arrivals``).
+DEFAULT_MODEL: Dict[str, Any] = {"kind": "unit", "use_arrival_times": True}
+
+PIPELINE_NAMES = ("kms", "atpg", "fraig", "verify", "sweep")
+
+
+class BadRequest(ValueError):
+    """A malformed submission; maps to HTTP 400."""
+
+
+def build_pipeline(
+    pipeline: Union[str, List[Dict[str, Any]]],
+    params: Optional[Dict[str, Any]] = None,
+) -> List[StageCall]:
+    """Expand a named pipeline (or validate an explicit stage list)."""
+    params = dict(params or {})
+    if isinstance(pipeline, str):
+        model = params.get("model", DEFAULT_MODEL)
+        mode = params.get("mode", "static")
+        if pipeline == "kms":
+            return [StageCall("kms", {"model": model, "mode": mode})]
+        if pipeline == "atpg":
+            return [StageCall("atpg", {})]
+        if pipeline == "fraig":
+            return [StageCall("fraig", {
+                "seed": int(params.get("seed", 0)),
+                "conflict_limit": params.get("conflict_limit", 1000),
+            })]
+        if pipeline == "verify":
+            return [
+                StageCall("kms", {"model": model, "mode": mode}),
+                StageCall("verify", {
+                    "method": params.get("method", "fraig")
+                }),
+            ]
+        if pipeline == "sweep":
+            return table1_pipeline(model, mode)
+        raise BadRequest(
+            f"unknown pipeline {pipeline!r}; "
+            f"choose from {PIPELINE_NAMES} or pass a stage list"
+        )
+    if not isinstance(pipeline, list) or not pipeline:
+        raise BadRequest("pipeline must be a name or a non-empty list")
+    calls = []
+    for item in pipeline:
+        if not isinstance(item, dict) or "stage" not in item:
+            raise BadRequest(f"bad pipeline entry {item!r}")
+        try:
+            get_stage(item["stage"])
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from None
+        stage_params = item.get("params", {})
+        if "_model" in stage_params:
+            raise BadRequest("live delay models cannot cross the wire")
+        calls.append(StageCall(
+            item["stage"], dict(stage_params), item.get("label")
+        ))
+    return calls
+
+
+def resolve_circuit(source: Any) -> Circuit:
+    """Build the submitted circuit, whatever its encoding."""
+    if not isinstance(source, dict) or "kind" not in source:
+        raise BadRequest("circuit must be a dict with a 'kind'")
+    kind = source["kind"]
+    try:
+        if kind == "builtin":
+            return named_circuit(
+                source["name"], seed=int(source.get("seed", 0))
+            )
+        if kind == "factory":
+            return build_circuit(
+                source["factory"], dict(source.get("params", {}))
+            )
+        if kind == "blif":
+            return parse_blif(source["text"])
+        if kind == "json":
+            return circuit_from_dict(source["circuit"])
+    except BadRequest:
+        raise
+    except KeyError as exc:
+        raise BadRequest(f"circuit source missing field {exc}") from None
+    except Exception as exc:  # parse/build errors are client errors
+        raise BadRequest(f"bad circuit: {type(exc).__name__}: {exc}") from None
+    raise BadRequest(f"unknown circuit kind {kind!r}")
+
+
+def job_key(fingerprint: str, pipeline: List[StageCall]) -> str:
+    """Dedup identity of one unit of work.
+
+    Canonical over the *resolved* circuit (content fingerprint:
+    structurally identical netlists coalesce regardless of encoding)
+    and the expanded pipeline (params JSON-canonicalized,
+    order-independent).
+    """
+    blob = json.dumps(
+        {
+            "schema": SCHEMA,
+            "fingerprint": fingerprint,
+            "pipeline": [call.to_dict() for call in pipeline],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobSpec:
+    """A validated submission, ready to schedule."""
+
+    name: str
+    circuit: Circuit
+    pipeline: List[StageCall]
+    fingerprint: str = ""
+    priority: int = 0
+    timeout: Optional[float] = None
+    debug: Dict[str, Any] = field(default_factory=dict)
+
+    def worker_payload(self) -> Dict[str, Any]:
+        """The picklable message a worker process executes."""
+        return {
+            "name": self.name,
+            "circuit": circuit_to_dict(self.circuit),
+            "pipeline": [call.to_dict() for call in self.pipeline],
+            "debug": dict(self.debug),
+        }
+
+
+def parse_spec(body: Any, debug_enabled: bool = False) -> JobSpec:
+    """Validate a ``POST /jobs`` body into a :class:`JobSpec`.
+
+    ``debug`` hooks (worker spin/crash injection, used by the test and
+    load-bench suites) are stripped unless the daemon enables them.
+    """
+    if not isinstance(body, dict):
+        raise BadRequest("submission body must be a JSON object")
+    if "circuit" not in body:
+        raise BadRequest("submission needs a 'circuit' source")
+    circuit = resolve_circuit(body["circuit"])
+    pipeline = build_pipeline(
+        body.get("pipeline", "kms"), body.get("params")
+    )
+    timeout = body.get("timeout")
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError):
+            raise BadRequest(f"bad timeout {timeout!r}") from None
+        if timeout <= 0:
+            raise BadRequest("timeout must be positive")
+    try:
+        priority = int(body.get("priority", 0))
+    except (TypeError, ValueError):
+        raise BadRequest(f"bad priority {body.get('priority')!r}") from None
+    debug = body.get("debug") or {}
+    if debug and not debug_enabled:
+        raise BadRequest("debug hooks are disabled on this daemon")
+    name = str(body.get("name") or "job")
+    return JobSpec(
+        name=name,
+        circuit=circuit,
+        pipeline=pipeline,
+        priority=priority,
+        timeout=timeout,
+        debug=dict(debug),
+    )

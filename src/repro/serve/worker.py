@@ -1,0 +1,128 @@
+"""Worker-process entry point of the serve daemon.
+
+One worker = one long-lived ``multiprocessing`` process executing jobs
+sequentially: it receives a picklable job payload over its pipe, runs
+the pipeline through the shared engine machinery (content-addressed
+:class:`~repro.engine.ResultCache` opened on the daemon's artifact
+directory, so cross-request reuse is automatic), streams every
+telemetry record back as an ``("event", ...)`` message the moment it
+lands -- via :meth:`Telemetry.subscribe` -- and finishes with one
+``("result", ...)`` message.
+
+Workers are *expendable*: the supervisor treats a dead pipe as a crash,
+respawns the process, and retries the job.  Nothing in here may take
+the daemon down -- every exception is folded into a failed result.
+
+The ``debug`` payload field (only forwarded by daemons started with
+``debug=True``; the test/bench suites) injects controlled misbehavior:
+``{"spin": s}`` sleeps before executing (timeout and mid-job-kill
+tests), ``{"exit_below_attempt": n}`` hard-exits the process while
+attempt < n (deterministic crash-recovery tests).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from typing import Any, Dict, Optional
+
+from ..engine import (
+    EngineConfig,
+    ResultCache,
+    StageCall,
+    Telemetry,
+    run_pipeline,
+)
+from ..engine.hashing import circuit_fingerprint
+from ..engine.serialize import circuit_from_dict
+from ..io import write_blif
+
+
+def execute_payload(
+    payload: Dict[str, Any],
+    attempt: int,
+    cache: ResultCache,
+    send=None,
+) -> Dict[str, Any]:
+    """Run one job payload; returns the result dict sent to the daemon.
+
+    Split out from the process loop so tests can drive it in-process.
+    """
+    debug = payload.get("debug") or {}
+    if debug.get("exit_below_attempt") and attempt < int(
+        debug["exit_below_attempt"]
+    ):
+        os._exit(3)  # simulated segfault: no cleanup, no result
+    if debug.get("spin"):
+        time.sleep(float(debug["spin"]))
+
+    circuit = circuit_from_dict(payload["circuit"])
+    pipeline = [StageCall.from_dict(c) for c in payload["pipeline"]]
+    telemetry = Telemetry()
+    if send is not None:
+        telemetry.subscribe(
+            lambda record: send(("event", {
+                "type": "stage",
+                "attempt": attempt,
+                "record": record.to_dict(),
+            }))
+        )
+    result = run_pipeline(
+        circuit,
+        pipeline,
+        job_name=payload.get("name", "job"),
+        cache=cache,
+        config=EngineConfig(jobs=1, retries=0),
+        telemetry=telemetry,
+        keep_final=True,
+    )
+    out = result.to_dict()
+    out["attempt"] = attempt
+    if result.ok and result.final_circuit is not None:
+        final = circuit_from_dict(result.final_circuit)
+        out["final_fingerprint"] = circuit_fingerprint(final)
+        out["blif"] = write_blif(final)
+    # the serialized netlist already rode back as BLIF; the raw dict
+    # would double the response for nothing
+    out.pop("final_circuit", None)
+    return out
+
+
+def worker_main(conn, cache_dir: Optional[str]) -> None:
+    """Process target: serve jobs from ``conn`` until EOF/None.
+
+    SIGINT is ignored -- a Ctrl-C to the daemon's process group must
+    not kill workers before the graceful drain does.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    cache = ResultCache(cache_dir)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        try:
+            result = execute_payload(
+                message["payload"],
+                int(message.get("attempt", 1)),
+                cache,
+                send=conn.send,
+            )
+        except Exception as exc:  # job bug, never a worker death
+            result = {
+                "name": message.get("payload", {}).get("name", "job"),
+                "ok": False,
+                "results": {},
+                "records": [],
+                "error": f"{type(exc).__name__}: {exc}\n"
+                         f"{traceback.format_exc(limit=5)}",
+                "attempt": int(message.get("attempt", 1)),
+            }
+        try:
+            conn.send(("result", result))
+        except (OSError, BrokenPipeError):
+            return

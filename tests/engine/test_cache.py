@@ -1,7 +1,9 @@
-"""Cache round-trip, key discrimination, and corruption tolerance."""
+"""Cache round-trip, key discrimination, corruption tolerance, stats,
+and torn-write safety of the fsync'd atomic-rename publish path."""
 
 import json
 import os
+import threading
 
 from repro.engine import ResultCache, cache_key
 
@@ -106,3 +108,118 @@ def test_clear(tmp_path):
     cache.clear()
     assert cache.entry_count() == 0
     assert cache.get(HASH_A, "kms", {}) is None
+    assert cache.evictions == 1
+
+
+def test_stats_accessor(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(HASH_A, "kms", {}, {"payload": {"n": 1}})
+    cache.put(HASH_A, "atpg", {}, {"payload": {"n": 2}})
+    assert cache.get(HASH_A, "kms", {}) is not None
+    assert cache.get(HASH_B, "kms", {}) is None
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["evictions"] == 0
+    assert stats["entries"] == 2
+    assert stats["bytes"] == sum(
+        p.stat().st_size for p in cache.root.glob("*/*.json")
+    )
+    disabled = ResultCache(None)
+    assert disabled.stats() == {
+        "hits": 0, "misses": 0, "evictions": 0, "entries": 0, "bytes": 0,
+    }
+
+
+def test_corrupt_entry_is_evicted_on_read(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(HASH_A, "kms", {}, {"payload": {}})
+    path = _entry_path(cache, HASH_A, "kms", {})
+    path.write_bytes(b"\x00garbage")
+    assert cache.get(HASH_A, "kms", {}) is None
+    assert not path.exists()
+    assert cache.evictions == 1
+    # a missing file is a plain miss, not an eviction
+    assert cache.get(HASH_A, "kms", {}) is None
+    assert cache.evictions == 1
+
+
+def test_put_fsyncs_before_publish(tmp_path, monkeypatch):
+    """The temp file must reach disk before os.replace makes it
+    visible; otherwise a crash can publish a name with torn bytes."""
+    events = []
+    real_fsync, real_replace = os.fsync, os.replace
+
+    def spy_fsync(fd):
+        events.append("fsync")
+        return real_fsync(fd)
+
+    def spy_replace(src, dst):
+        events.append("replace")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "fsync", spy_fsync)
+    monkeypatch.setattr(os, "replace", spy_replace)
+    cache = ResultCache(tmp_path)
+    cache.put(HASH_A, "kms", {}, {"payload": {"n": 1}})
+    assert "fsync" in events and "replace" in events
+    assert events.index("fsync") < events.index("replace")
+    assert cache.get(HASH_A, "kms", {}) == {"payload": {"n": 1}}
+
+
+def test_concurrent_readers_never_observe_partial_entry(tmp_path):
+    """Writers rewriting one slot while readers poll it: every read is
+    either a miss or a *complete* value (the atomic-rename publish).
+    A non-atomic write-in-place would fail this within a few rounds."""
+    cache = ResultCache(tmp_path)
+    # big enough that a torn write would be very likely to truncate
+    blob = "x" * 65536
+    values = [{"payload": {"v": i, "blob": blob}} for i in range(2)]
+    stop = threading.Event()
+    bad = []
+
+    def writer():
+        i = 0
+        while not stop.is_set():
+            cache.put(HASH_A, "kms", {}, values[i % 2])
+            i += 1
+
+    def reader():
+        mine = ResultCache(tmp_path)  # own handle, like a worker
+        while not stop.is_set():
+            value = mine.get(HASH_A, "kms", {})
+            if value is not None and value not in values:
+                bad.append(value)
+
+    threads = [threading.Thread(target=writer) for _ in range(2)]
+    threads += [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    try:
+        import time
+
+        time.sleep(0.5)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert bad == []
+
+
+def test_trim_evicts_oldest_until_under_budget(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(4):
+        cache.put(HASH_A, "kms", {"i": i}, {"payload": {"i": i}})
+        path = _entry_path(cache, HASH_A, "kms", {"i": i})
+        os.utime(path, (1000 + i, 1000 + i))  # deterministic age order
+    sizes = {
+        i: _entry_path(cache, HASH_A, "kms", {"i": i}).stat().st_size
+        for i in range(4)
+    }
+    budget = sizes[2] + sizes[3]
+    assert cache.trim(budget) == 2
+    assert cache.get(HASH_A, "kms", {"i": 0}) is None
+    assert cache.get(HASH_A, "kms", {"i": 1}) is None
+    assert cache.get(HASH_A, "kms", {"i": 3}) == {"payload": {"i": 3}}
+    assert cache.stats()["evictions"] == 2
+    assert cache.trim(budget) == 0  # already under budget

@@ -201,3 +201,26 @@ def test_telemetry_json_round_trip(tmp_path):
         report.telemetry.stage_executions()
     )
     assert restored.to_dict()["totals"] == report.telemetry.to_dict()["totals"]
+
+
+def test_run_pipeline_keep_final_returns_transformed_circuit():
+    from repro.circuits import carry_skip_adder
+    from repro.engine import circuit_from_dict, run_pipeline
+    from repro.engine.hashing import circuit_fingerprint
+
+    circuit = carry_skip_adder(2, 2)
+    pipeline = [StageCall("kms", {"model": CSA_MODEL, "mode": "static"})]
+    plain = run_pipeline(circuit, pipeline)
+    assert plain.ok and plain.final_circuit is None
+
+    kept = run_pipeline(carry_skip_adder(2, 2), pipeline, keep_final=True)
+    assert kept.ok and kept.final_circuit is not None
+    final = circuit_from_dict(kept.final_circuit)
+    assert final.num_gates() == kept.results["kms"]["gates_final"]
+    # round-trips through to_dict/from_dict for the pool path
+    from repro.engine import JobResult
+
+    clone = JobResult.from_dict(kept.to_dict())
+    assert clone.final_circuit == kept.final_circuit
+    assert circuit_fingerprint(circuit_from_dict(clone.final_circuit)) \
+        == circuit_fingerprint(final)

@@ -1,0 +1,77 @@
+"""The coalescing contract, property-style: N concurrent submissions
+of the same work cost ONE execution and return N identical,
+fingerprint-checked results."""
+
+import threading
+
+from repro.engine import StageCall, run_pipeline
+from repro.engine.hashing import circuit_fingerprint
+from repro.engine.serialize import circuit_from_dict
+from repro.circuits import named_circuit
+from repro.serve import InProcessServer, ServeClient, ServeConfig
+from repro.serve.protocol import DEFAULT_MODEL
+
+N = 16
+
+
+def test_n_concurrent_submissions_one_execution_identical_results():
+    config = ServeConfig(workers=2, retries=1, debug=True)
+    with InProcessServer(config) as server:
+        client = ServeClient(port=server.port)
+        barrier = threading.Barrier(N)
+        responses = [None] * N
+        errors = []
+
+        def submit(i):
+            try:
+                barrier.wait(timeout=30)
+                # spin keeps the first execution in flight long enough
+                # that stragglers coalesce onto it rather than hitting
+                # the completed-memo path -- but both paths must agree,
+                # so the assertion below does not distinguish them.
+                job = client.submit_builtin(
+                    "csa8.2", pipeline="kms", debug={"spin": 1.0}
+                )
+                responses[i] = client.wait(job["job_id"], timeout=120)
+                responses[i]["_handle"] = job
+            except Exception as exc:  # surfaced after join
+                errors.append((i, exc))
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(N)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=180)
+        assert not errors, errors
+
+        stats = client.stats()
+
+    # one execution, N submissions, N-1 coalesced
+    counters = stats["counters"]
+    assert counters["submissions"] == N
+    assert counters["executions_created"] == 1
+    assert counters["coalesced_total"] == N - 1
+    assert stats["stage_executions"] == {"kms": 1}
+
+    # every client saw the same done result
+    assert all(r is not None for r in responses)
+    assert all(r["state"] == "done" for r in responses)
+    fingerprints = {r["result"]["final_fingerprint"] for r in responses}
+    assert len(fingerprints) == 1
+    blifs = {r["result"]["blif"] for r in responses}
+    assert len(blifs) == 1
+    exec_ids = {r["_handle"]["exec_id"] for r in responses}
+    assert len(exec_ids) == 1
+
+    # and that result is bit-identical to the one-shot in-process run
+    oracle = run_pipeline(
+        named_circuit("csa8.2"),
+        [StageCall("kms", {"model": DEFAULT_MODEL, "mode": "static"})],
+        keep_final=True,
+    )
+    assert oracle.ok
+    assert fingerprints == {
+        circuit_fingerprint(circuit_from_dict(oracle.final_circuit))
+    }

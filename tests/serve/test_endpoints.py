@@ -1,0 +1,205 @@
+"""Endpoint tests against a live in-process daemon.
+
+One module-scoped daemon (2 workers, debug hooks on) serves every test
+here; tests that need special pool shapes (queue depth, retries) live
+in ``test_supervision.py``.  Each test uses distinct circuits unless it
+is *about* dedup, since the daemon memoizes for its whole lifetime.
+"""
+
+import pytest
+
+from repro.engine import StageCall, circuit_to_dict, run_pipeline
+from repro.engine.hashing import circuit_fingerprint
+from repro.engine.serialize import circuit_from_dict
+from repro.circuits import named_circuit
+from repro.io import write_blif
+from repro.serve import InProcessServer, ServeClient, ServeConfig, ServeError
+from repro.serve.protocol import DEFAULT_MODEL
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServeConfig(workers=2, retries=1, debug=True,
+                         job_timeout=120.0)
+    with InProcessServer(config) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(port=server.port)
+
+
+def test_health_and_stats_shape(client):
+    assert client.health()["ok"] is True
+    stats = client.stats()
+    assert {"counters", "pool", "cache", "config"} <= set(stats)
+    assert stats["pool"]["size"] == 2
+    assert {"hits", "misses", "evictions", "entries", "bytes"} <= set(
+        stats["cache"]
+    )
+
+
+def test_submit_result_matches_one_shot_pipeline(client):
+    """A served kms result is bit-identical to the in-process run."""
+    job = client.submit_builtin("fig1", pipeline="kms")
+    response = client.wait(job["job_id"], timeout=90)
+    assert response["state"] == "done"
+    served = response["result"]
+    assert served["ok"] is True
+
+    circuit = named_circuit("fig1")
+    oracle = run_pipeline(
+        circuit,
+        [StageCall("kms", {"model": DEFAULT_MODEL, "mode": "static"})],
+        keep_final=True,
+    )
+    assert oracle.ok
+    oracle_final = circuit_from_dict(oracle.final_circuit)
+    assert served["final_fingerprint"] == circuit_fingerprint(oracle_final)
+    assert served["blif"] == write_blif(oracle_final)
+    assert served["results"]["kms"] == oracle.to_dict()["results"]["kms"]
+
+
+def test_status_endpoint_reaches_terminal_state(client):
+    job = client.submit_builtin("rca4", pipeline="atpg")
+    response = client.wait(job["job_id"], timeout=90)
+    status = client.status(job["job_id"])
+    assert status["state"] == response["state"] == "done"
+    assert status["job_id"] == job["job_id"]
+    assert status["attempts"] >= 1
+
+
+def test_completed_submission_coalesces_from_memo(client):
+    first = client.submit_builtin("cla4", pipeline="kms")
+    r1 = client.wait(first["job_id"], timeout=90)
+    second = client.submit_builtin("cla4", pipeline="kms")
+    assert second["coalesced"] == "completed"
+    r2 = client.wait(second["job_id"], timeout=10)
+    assert r2["result"]["final_fingerprint"] == \
+        r1["result"]["final_fingerprint"]
+    # same execution, not a re-run
+    assert second["exec_id"] == first["exec_id"]
+
+
+def test_json_spelling_coalesces_with_builtin(client):
+    circuit = named_circuit("rca8")
+    a = client.submit_builtin("rca8", pipeline="kms")
+    b = client.submit(
+        {"kind": "json", "circuit": circuit_to_dict(circuit)},
+        pipeline="kms",
+    )
+    assert b["key"] == a["key"]
+    assert b["coalesced"] in ("inflight", "completed")
+
+
+def test_different_pipelines_do_not_coalesce(client):
+    a = client.submit_builtin("fig2", pipeline="kms")
+    b = client.submit_builtin("fig2", pipeline="atpg")
+    assert a["key"] != b["key"]
+    assert b["coalesced"] is None
+    assert client.wait(a["job_id"], timeout=90)["state"] == "done"
+    assert client.wait(b["job_id"], timeout=90)["state"] == "done"
+
+
+def test_events_stream_has_full_lifecycle(client):
+    job = client.submit_builtin("fig4", pipeline="kms")
+    client.wait(job["job_id"], timeout=90)
+    events = list(client.events(job["job_id"]))
+    kinds = [e["type"] for e in events]
+    assert kinds[0] == "queued"
+    assert "running" in kinds
+    assert kinds[-1] == "done"
+    stages = [e for e in events if e["type"] == "stage"]
+    assert stages, "expected streamed telemetry records"
+    record = stages[0]["record"]
+    assert {"job", "stage", "label", "seconds", "cache",
+            "counters", "error"} <= set(record)
+
+
+def test_live_event_stream_while_running(client):
+    """Subscribe before the job finishes; the stream must still end."""
+    job = client.submit_builtin(
+        "rand", pipeline="kms", debug={"spin": 0.6}, name="slowpoke"
+    )
+    seen = []
+    for event in client.events(job["job_id"]):
+        seen.append(event["type"])
+    assert seen[-1] == "done"
+    assert "stage" in seen
+
+
+def test_result_long_poll_waits(client):
+    job = client.submit_builtin(
+        "randred", pipeline="kms", debug={"spin": 0.5}
+    )
+    # wait=0 immediately -> almost certainly still running (202)
+    early = client.result(job["job_id"], wait=0)
+    response = client.result(job["job_id"], wait=60)
+    assert response is not None and response["state"] == "done"
+    assert early is None or early["state"] == "done"
+
+
+def test_bad_submissions_are_400(client):
+    with pytest.raises(ServeError) as exc:
+        client.submit({"kind": "builtin", "name": "no-such"}, "kms")
+    assert exc.value.status == 400
+    with pytest.raises(ServeError) as exc:
+        client.submit_builtin("fig1", pipeline="mystery")
+    assert exc.value.status == 400
+    with pytest.raises(ServeError) as exc:
+        client.submit_blif("not blif at all")
+    assert exc.value.status == 400
+
+
+def test_unknown_job_is_404(client):
+    for probe in (
+        lambda: client.status("j999999"),
+        lambda: client.result("j999999"),
+        lambda: client.cancel("j999999"),
+        lambda: list(client.events("j999999")),
+    ):
+        with pytest.raises(ServeError) as exc:
+            probe()
+        assert exc.value.status == 404
+
+
+def test_unknown_routes_are_404_or_405(client):
+    with pytest.raises(ServeError) as exc:
+        client._request("GET", "/nonsense")
+    assert exc.value.status == 404
+    with pytest.raises(ServeError) as exc:
+        client._request("DELETE", "/jobs")
+    assert exc.value.status == 405
+
+
+def test_malformed_body_and_wait_are_400(client):
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", client.port, timeout=10)
+    conn.request("POST", "/jobs", body=b"{not json",
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    assert response.status == 400
+    conn.close()
+
+    job = client.submit_builtin("csa2.2", pipeline="atpg")
+    with pytest.raises(ServeError) as exc:
+        client._request("GET", f"/jobs/{job['job_id']}/result?wait=never")
+    assert exc.value.status == 400
+    client.wait(job["job_id"], timeout=90)
+
+
+def test_artifact_store_shared_across_requests(client):
+    """Same circuit under two *different* job keys still reuses the
+    stage artifact: the second pipeline's kms stage is a cache hit."""
+    blif = write_blif(named_circuit("csa4.4"))
+    a = client.submit_blif(blif, pipeline="kms")
+    client.wait(a["job_id"], timeout=90)
+    # kms+verify expands to [kms, verify]: different key, same kms stage
+    b = client.submit_blif(blif, pipeline="verify")
+    assert b["coalesced"] is None
+    response = client.wait(b["job_id"], timeout=90)
+    records = {r["stage"]: r["cache"] for r in response["result"]["records"]}
+    assert records["kms"] == "hit"
+    assert response["result"]["results"]["verify"]["equivalent"] is True
