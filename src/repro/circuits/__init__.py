@@ -9,7 +9,11 @@ from .adders import (
 )
 from .mcnc import MCNC_NAMES, mcnc_circuit, mcnc_pla, mcnc_shapes
 from .named import named_circuit
-from .random_logic import random_circuit, random_redundant_circuit
+from .random_logic import (
+    random_circuit,
+    random_redundant_circuit,
+    random_redundant_circuit_with_faults,
+)
 from .paper import (
     C0_ARRIVAL,
     fig1_carry_skip_block,
@@ -29,6 +33,7 @@ __all__ = [
     "named_circuit",
     "random_circuit",
     "random_redundant_circuit",
+    "random_redundant_circuit_with_faults",
     "adder_reference",
     "carry_lookahead_adder",
     "carry_skip_adder",

@@ -24,7 +24,7 @@ Two flavours:
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..network import Builder, Circuit, GateType
 
@@ -75,25 +75,31 @@ def random_circuit(
     return b.done()
 
 
-def random_redundant_circuit(
+def random_redundant_circuit_with_faults(
     num_inputs: int = 5,
     num_gates: int = 15,
     seed: int = 0,
     name: Optional[str] = None,
     max_arrival: float = 0.0,
-) -> Circuit:
-    """A random circuit with guaranteed stuck-at redundancy.
+) -> Tuple[Circuit, List["Fault"]]:  # noqa: F821 - doc type
+    """A random circuit with guaranteed stuck-at redundancy, plus the
+    ground-truth list of planted untestable faults.
 
     Takes a random circuit's output f and replaces it with
     ``f OR (x AND NOT x AND g)`` -- the added AND's output is
-    constant 0, so its s-a-0 fault is untestable by construction (and
-    usually drags a few structural friends along).
+    constant 0, so the s-a-0 fault on its branch into the OR is
+    untestable by construction (and usually drags a few structural
+    friends along).  That branch fault is the returned ground truth;
+    fuzz grading (``repro.fuzz``) and the CLI's ``generate randred``
+    report recall against it instead of just "some redundancy exists".
 
     The splice sites are drawn from ``seed``'s stream while the base
     circuit uses a derived sub-seed, so the same base circuit appears
     with different redundant structure under different seeds only when
     the full seed differs -- reproducibility is exact either way.
     """
+    from ..atpg.faults import conn_fault
+
     rng = random.Random(seed)
     circuit = random_circuit(
         num_inputs, num_gates, 1, seed=seed ^ 0x5EED,
@@ -114,5 +120,25 @@ def random_redundant_circuit(
     nx = circuit.add_simple(GateType.NOT, [x], 1.0)
     dead = circuit.add_simple(GateType.AND, [x, nx, g], 1.0)
     new_root = circuit.add_simple(GateType.OR, [f, dead], 1.0)
+    branch = next(
+        cid for cid in reversed(circuit.gates[new_root].fanin)
+        if circuit.conns[cid].src == dead
+    )
     circuit.move_connection_source(po_conn, new_root)
+    return circuit, [conn_fault(branch, 0)]
+
+
+def random_redundant_circuit(
+    num_inputs: int = 5,
+    num_gates: int = 15,
+    seed: int = 0,
+    name: Optional[str] = None,
+    max_arrival: float = 0.0,
+) -> Circuit:
+    """:func:`random_redundant_circuit_with_faults` without the ground
+    truth, for callers that only need the netlist (engine factories,
+    BLIF export)."""
+    circuit, _ = random_redundant_circuit_with_faults(
+        num_inputs, num_gates, seed, name=name, max_arrival=max_arrival
+    )
     return circuit

@@ -204,6 +204,8 @@ def cmd_bench(args) -> int:
     from .bench import render
     from .engine import (
         EngineConfig,
+        fuzz_nightly_jobs,
+        fuzz_smoke_jobs,
         random_jobs,
         rows_from_report,
         run_jobs,
@@ -222,6 +224,10 @@ def cmd_bench(args) -> int:
                            mode=args.mode, verify=verify)
     elif args.suite == "scaling":
         jobs = scaling_jobs(mode=args.mode)
+    elif args.suite == "fuzz_smoke":
+        jobs = fuzz_smoke_jobs()
+    elif args.suite == "fuzz_nightly":
+        jobs = fuzz_nightly_jobs(seed=args.seed, count=args.count)
     else:
         jobs = random_jobs(count=args.count, seed=args.seed,
                            mode=args.mode)
@@ -231,6 +237,34 @@ def cmd_bench(args) -> int:
               "quick": args.quick, "mode": args.mode, "seed": args.seed,
               "verify": verify},
     )
+    if args.suite in ("fuzz_smoke", "fuzz_nightly"):
+        from .fuzz import summarize
+
+        payloads = [
+            r.results.get("fuzz", {"ok": False, "error": r.error,
+                                   "mismatches": []})
+            for r in report.results
+        ]
+        summary = summarize(payloads)
+        for payload, result in zip(payloads, report.results):
+            if not payload.get("ok", False):
+                detail = payload.get("error") or "; ".join(
+                    f"{m['kind']}: {m['detail']}"
+                    for m in payload.get("mismatches", [])
+                )
+                print(f"# FAILED {result.name}: {detail}",
+                      file=sys.stderr)
+        print(
+            f"fuzz: {summary['scenarios']} scenarios, "
+            f"{summary['failures']} failures, recall "
+            f"{summary['proved']}/{summary['planted']}"
+        )
+        print(report.telemetry.summary(), file=sys.stderr)
+        if args.telemetry:
+            report.telemetry.write_json(args.telemetry)
+            print(f"# telemetry written to {args.telemetry}",
+                  file=sys.stderr)
+        return 0 if report.ok and summary["failures"] == 0 else 1
     if args.suite == "table1":
         rows = rows_from_report(report)
         csa = [r for r in rows if r.row.name.startswith("csa ")]
@@ -304,6 +338,20 @@ def cmd_aig(args) -> int:
 def cmd_generate(args) -> int:
     from .circuits import named_circuit
 
+    if args.circuit == "randred":
+        # expose the generator's ground truth: the planted untestable
+        # fault sites ride along on stderr (stdout stays parseable BLIF)
+        from .circuits import random_redundant_circuit_with_faults
+
+        circuit, planted = random_redundant_circuit_with_faults(
+            seed=args.seed
+        )
+        for fault in planted:
+            print(f"# planted: {fault.describe(circuit)} "
+                  f"[{fault.kind} {fault.site} s-a-{fault.value}]",
+                  file=sys.stderr)
+        _save(circuit, args.output, args.format)
+        return 0
     try:
         circuit = named_circuit(args.circuit, seed=args.seed)
     except ValueError as exc:
@@ -311,6 +359,135 @@ def cmd_generate(args) -> int:
         return 2
     _save(circuit, args.output, args.format)
     return 0
+
+
+def _fuzz_spec(args):
+    """The ScenarioSpec the fuzz grade/minimize commands share."""
+    from .fuzz import ScenarioSpec
+
+    return ScenarioSpec(
+        name=f"fuzz-{args.seed}-{args.variant[:3]}",
+        base={
+            "factory": "random",
+            "params": {
+                "num_inputs": args.num_inputs,
+                "num_gates": args.num_gates,
+                "num_outputs": args.num_outputs,
+                "seed": args.seed ^ 0x5EED,
+            },
+        },
+        seed=args.seed,
+        plants=args.plants,
+        variant=args.variant,
+    )
+
+
+def cmd_fuzz_gen(args) -> int:
+    from .fuzz import build_scenario
+
+    result = build_scenario(_fuzz_spec(args))
+    for plant in result.plants:
+        print(f"# planted: {plant.description} "
+              f"[{plant.fault_kind} {plant.fault_site} "
+              f"s-a-{plant.fault_value}]",
+              file=sys.stderr)
+    _save(result.circuit, args.output, args.format)
+    return 0
+
+
+def cmd_fuzz_grade(args) -> int:
+    import json
+
+    from .fuzz import grade_scenario
+
+    payload = grade_scenario(
+        _fuzz_spec(args),
+        oracle=not args.no_oracle,
+        mode=args.mode,
+        incremental=not args.no_incremental,
+    )
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0 if payload["ok"] else 1
+
+
+def cmd_fuzz_minimize(args) -> int:
+    import json
+
+    from .fuzz import SHRINKABLE_KINDS, minimize_failure
+
+    with open(args.report) as handle:
+        report = json.load(handle)
+    written = []
+    for payload in report.get("scenarios", []):
+        if payload.get("ok", False) or "error" in payload:
+            continue
+        done = set()
+        for item in payload.get("mismatches", []):
+            kind = item["kind"]
+            if kind not in SHRINKABLE_KINDS or kind in done:
+                continue
+            done.add(kind)
+            shrunk = minimize_failure(
+                payload["spec"], item, out_dir=args.out,
+                max_checks=args.max_checks,
+            )
+            if shrunk is not None:
+                written.append(shrunk)
+                print(f"# {shrunk['scenario']} {shrunk['kind']}: "
+                      f"{shrunk['gates_before']} -> "
+                      f"{shrunk['gates_after']} gates -> "
+                      f"{shrunk.get('path')}",
+                      file=sys.stderr)
+    print(f"minimized {len(written)} failure(s) into {args.out}")
+    return 0
+
+
+def cmd_fuzz_campaign(args) -> int:
+    from .fuzz import campaign_specs, run_campaign
+
+    specs = campaign_specs(
+        args.count,
+        seed=args.seed,
+        variant=args.variant,
+        num_inputs=args.num_inputs,
+        num_gates=args.num_gates,
+        num_outputs=args.num_outputs,
+        plants=args.plants,
+    )
+    report = run_campaign(
+        specs,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        stage_timeout=args.timeout,
+        oracle=not args.no_oracle,
+        mode=args.mode,
+        incremental=not args.no_incremental,
+        report_path=args.report,
+        minimize_dir=args.minimize_dir,
+    )
+    summary = report.summary
+    for payload in report.scenarios:
+        if not payload.get("ok", False):
+            name = payload.get("spec", {}).get("name", "?")
+            detail = payload.get("error") or "; ".join(
+                f"{m['kind']}: {m['detail']}"
+                for m in payload.get("mismatches", [])
+            )
+            print(f"# FAILED {name}: {detail}", file=sys.stderr)
+    for shrunk in report.minimized:
+        print(f"# minimized {shrunk['scenario']} {shrunk['kind']} to "
+              f"{shrunk['gates_after']} gates -> {shrunk.get('path')}",
+              file=sys.stderr)
+    print(
+        f"campaign: {summary['scenarios']} scenarios, "
+        f"{summary['failures']} failures, recall "
+        f"{summary['proved']}/{summary['planted']}, "
+        f"{summary['seconds']:.1f}s graded work"
+    )
+    if args.report:
+        print(f"# report written to {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def cmd_serve(args) -> int:
@@ -434,7 +611,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine-backed sweeps: parallel, cached, with telemetry",
     )
     p.add_argument(
-        "--suite", choices=["table1", "scaling", "random"],
+        "--suite",
+        choices=["table1", "scaling", "random", "fuzz_smoke",
+                 "fuzz_nightly"],
         default="table1",
     )
     p.add_argument(
@@ -515,6 +694,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["blif", "verilog"], default="blif"
     )
     p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="adversarial fuzzing: planted redundancies, differential "
+             "grading, failure minimization, seeded campaigns",
+    )
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    def _fuzz_scenario_args(fp) -> None:
+        fp.add_argument("--seed", type=int, default=0)
+        fp.add_argument(
+            "--plants", type=int, default=3,
+            help="planted redundancies per scenario",
+        )
+        fp.add_argument(
+            "--variant", choices=["neutral", "degrading"],
+            default="neutral",
+        )
+        fp.add_argument("--num-inputs", type=int, default=5)
+        fp.add_argument("--num-gates", type=int, default=18)
+        fp.add_argument("--num-outputs", type=int, default=2)
+
+    fp = fuzz_sub.add_parser(
+        "gen",
+        help="emit one planted scenario as BLIF (ground truth on stderr)",
+    )
+    _fuzz_scenario_args(fp)
+    fp.add_argument("-o", "--output")
+    fp.add_argument(
+        "--format", choices=["blif", "verilog"], default="blif"
+    )
+    fp.set_defaults(func=cmd_fuzz_gen)
+
+    fp = fuzz_sub.add_parser(
+        "grade",
+        help="grade one scenario differentially; JSON payload on stdout",
+    )
+    _fuzz_scenario_args(fp)
+    fp.add_argument("--mode", choices=["static", "viability"],
+                    default="static")
+    fp.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip the from-scratch oracle differential",
+    )
+    fp.add_argument(
+        "--no-incremental", action="store_true",
+        help="grade with the from-scratch engines throughout",
+    )
+    fp.set_defaults(func=cmd_fuzz_grade)
+
+    fp = fuzz_sub.add_parser(
+        "minimize",
+        help="shrink a campaign report's failures into pytest reproducers",
+    )
+    fp.add_argument("report", help="campaign report JSON")
+    fp.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory for generated test_fuzz_repro_*.py files",
+    )
+    fp.add_argument("--max-checks", type=int, default=4000)
+    fp.set_defaults(func=cmd_fuzz_minimize)
+
+    fp = fuzz_sub.add_parser(
+        "campaign",
+        help="run a seeded corpus through the engine pool",
+    )
+    fp.add_argument("--count", type=int, default=100)
+    fp.add_argument("--seed", type=int, default=0)
+    fp.add_argument(
+        "--variant", choices=["neutral", "degrading", "mix"],
+        default="mix",
+    )
+    fp.add_argument("--plants", type=int, default=None)
+    fp.add_argument("--num-inputs", type=int, default=5)
+    fp.add_argument("--num-gates", type=int, default=18)
+    fp.add_argument("--num-outputs", type=int, default=2)
+    fp.add_argument("--jobs", type=int, default=1)
+    fp.add_argument("--cache", metavar="DIR")
+    fp.add_argument("--timeout", type=float, default=None,
+                    help="per-stage timeout in seconds")
+    fp.add_argument("--mode", choices=["static", "viability"],
+                    default="static")
+    fp.add_argument("--no-oracle", action="store_true")
+    fp.add_argument("--no-incremental", action="store_true")
+    fp.add_argument("--report", metavar="PATH",
+                    help="write the JSON campaign report here")
+    fp.add_argument(
+        "--minimize-dir", metavar="DIR",
+        help="shrink failures into pytest reproducers in DIR",
+    )
+    fp.set_defaults(func=cmd_fuzz_campaign)
 
     p = sub.add_parser(
         "serve",

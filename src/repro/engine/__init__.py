@@ -34,7 +34,12 @@ from .stages import (
 )
 from .sweep import (
     CSA_MODEL,
+    FUZZ_SMOKE_COUNT,
+    FUZZ_SMOKE_SEED,
     MCNC_MODEL,
+    fuzz_jobs,
+    fuzz_nightly_jobs,
+    fuzz_smoke_jobs,
     random_jobs,
     rows_from_report,
     run_table1,
@@ -65,7 +70,12 @@ __all__ = [
     "circuit_fingerprint",
     "circuit_from_dict",
     "circuit_to_dict",
+    "FUZZ_SMOKE_COUNT",
+    "FUZZ_SMOKE_SEED",
     "execute_job",
+    "fuzz_jobs",
+    "fuzz_nightly_jobs",
+    "fuzz_smoke_jobs",
     "gate_fingerprints",
     "get_stage",
     "model_from_params",

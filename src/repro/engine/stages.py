@@ -125,6 +125,16 @@ def _factory_mcnc(params: Dict[str, Any]) -> Circuit:
     return circuit
 
 
+def _factory_fuzz_planted(params: Dict[str, Any]) -> Circuit:
+    """Planted-redundancy scenario circuit (params = ScenarioSpec dict).
+
+    Lazy import: repro.fuzz imports this module for its base-circuit
+    factories."""
+    from ..fuzz.grade import ScenarioSpec, build_scenario
+
+    return build_scenario(ScenarioSpec.from_dict(params)).circuit
+
+
 FACTORIES: Dict[str, Callable[[Dict[str, Any]], Circuit]] = {
     "carry_skip_adder": lambda p: carry_skip_adder(
         p["nbits"], p["block"], p.get("cin_arrival", 0.0)
@@ -144,6 +154,7 @@ FACTORIES: Dict[str, Callable[[Dict[str, Any]], Circuit]] = {
         num_gates=p.get("num_gates", 15),
         seed=p["seed"],
     ),
+    "fuzz_planted": _factory_fuzz_planted,
 }
 
 
@@ -315,6 +326,68 @@ def _stage_verify(
     )
 
 
+def _stage_fuzz_plant(
+    circuit: Circuit, params: Dict[str, Any], ctx: Dict[str, Any]
+) -> StageOutcome:
+    """Insert planted redundancies into the flowing circuit.
+
+    Unlike the ``fuzz_planted`` factory (which builds a whole scenario
+    from a spec), this stage plants into *whatever circuit the pipeline
+    carries* -- named benches, adders, post-speed_up netlists."""
+    from ..fuzz.plant import plant_redundancies
+
+    result = plant_redundancies(
+        circuit,
+        plants=int(params.get("plants", 3)),
+        seed=int(params.get("seed", 0)),
+        variant=params.get("variant", "neutral"),
+        recipes=params.get("recipes"),
+    )
+    return StageOutcome(
+        result.circuit,
+        {
+            "planted": result.planted_payload(),
+            "plants": [p.to_dict() for p in result.plants],
+            "gates_in": circuit.num_gates(),
+            "gates_out": result.circuit.num_gates(),
+        },
+        counters={"planted": len(result.plants),
+                  "gates_in": circuit.num_gates(),
+                  "gates_out": result.circuit.num_gates()},
+        changed=True,
+    )
+
+
+def _stage_fuzz_grade(
+    circuit: Circuit, params: Dict[str, Any], ctx: Dict[str, Any]
+) -> StageOutcome:
+    """Differential grading of a planted scenario (see repro.fuzz.grade).
+
+    The scenario is rebuilt from ``params["spec"]``; the flowing circuit
+    (built by the ``fuzz_planted`` factory from the same spec) pins the
+    expected fingerprint, so cross-process generator nondeterminism
+    surfaces as a graded mismatch instead of silently skewing recall."""
+    from ..fuzz.grade import ScenarioSpec, grade_scenario
+    from .hashing import circuit_fingerprint
+
+    payload = grade_scenario(
+        ScenarioSpec.from_dict(params["spec"]),
+        oracle=bool(params.get("oracle", True)),
+        check_irredundant=bool(params.get("check_irredundant", True)),
+        mode=params.get("mode", "static"),
+        incremental=bool(params.get("incremental", True)),
+        expect=circuit_fingerprint(circuit),
+    )
+    counters = {
+        "planted": len(payload["planted"]),
+        "proved": payload["proved"],
+        "mismatches": len(payload["mismatches"]),
+        "gates_final": payload["gates_final"],
+        **payload["counters"],
+    }
+    return StageOutcome(circuit, payload, counters=counters)
+
+
 STAGES: Dict[str, StageDef] = {
     "generate": StageDef("generate", _stage_generate, cacheable=False),
     "speed_up": StageDef("speed_up", _stage_speed_up),
@@ -323,6 +396,8 @@ STAGES: Dict[str, StageDef] = {
     "kms": StageDef("kms", _stage_kms),
     "fraig": StageDef("fraig", _stage_fraig),
     "verify": StageDef("verify", _stage_verify, cacheable=False),
+    "fuzz_plant": StageDef("fuzz_plant", _stage_fuzz_plant),
+    "fuzz_grade": StageDef("fuzz_grade", _stage_fuzz_grade),
 }
 
 

@@ -166,6 +166,50 @@ def random_jobs(
     return jobs
 
 
+#: fuzz_smoke is the CI-gated deterministic corpus: fixed seed, fixed
+#: size, ~30 scenarios so the blocking gate stays fast.
+FUZZ_SMOKE_SEED = 9000
+FUZZ_SMOKE_COUNT = 30
+
+#: fuzz_nightly default breadth (the nightly CI job passes fresh seeds).
+FUZZ_NIGHTLY_COUNT = 1000
+
+
+def fuzz_jobs(
+    count: int,
+    seed: int = 0,
+    variant: str = "mix",
+    num_inputs: int = 5,
+    num_gates: int = 18,
+    num_outputs: int = 2,
+    plants: Optional[int] = None,
+    oracle: bool = True,
+    mode: str = "static",
+) -> List[Job]:
+    """Planted-redundancy grading sweep (see :mod:`repro.fuzz`): job *i*
+    plants with seed ``seed + i`` and grades KMS/ProofEngine against the
+    planted ground truth."""
+    from ..fuzz.campaign import campaign_specs, job_for_spec
+
+    specs = campaign_specs(
+        count, seed=seed, variant=variant, num_inputs=num_inputs,
+        num_gates=num_gates, num_outputs=num_outputs, plants=plants,
+    )
+    return [job_for_spec(spec, oracle=oracle, mode=mode) for spec in specs]
+
+
+def fuzz_smoke_jobs() -> List[Job]:
+    """The deterministic CI smoke corpus (fixed seed, ~30 scenarios)."""
+    return fuzz_jobs(FUZZ_SMOKE_COUNT, seed=FUZZ_SMOKE_SEED)
+
+
+def fuzz_nightly_jobs(
+    seed: int, count: int = FUZZ_NIGHTLY_COUNT
+) -> List[Job]:
+    """The seed-parameterized nightly corpus (thousands of scenarios)."""
+    return fuzz_jobs(count, seed=seed)
+
+
 def rows_from_report(report: RunReport) -> List["Table1Row"]:
     """Fold ok jobs of a Table-I-shaped run into bench rows.
 

@@ -1,0 +1,64 @@
+"""Adversarial fuzzing layer: planted-redundancy generation, differential
+grading, failure minimization, and seeded campaign driving.
+
+The correctness tooling the rest of the codebase is graded by: every
+planted redundancy carries its ground-truth untestable fault, so
+ProofEngine/KMS recall, false-removal rate, and delay preservation are
+exact scores rather than spot checks.
+"""
+
+from .campaign import (
+    CampaignReport,
+    campaign_specs,
+    job_for_spec,
+    run_campaign,
+    summarize,
+)
+from .grade import (
+    MISMATCH_KINDS,
+    ScenarioSpec,
+    build_scenario,
+    grade_scenario,
+)
+from .minimize import (
+    SHRINKABLE_KINDS,
+    minimize_failure,
+    predicate_for,
+    reproducer_source,
+    shrink,
+    write_reproducer,
+)
+from .plant import (
+    DEGRADING,
+    NEUTRAL,
+    RECIPES,
+    VARIANTS,
+    Plant,
+    PlantResult,
+    plant_redundancies,
+)
+
+__all__ = [
+    "CampaignReport",
+    "DEGRADING",
+    "MISMATCH_KINDS",
+    "NEUTRAL",
+    "Plant",
+    "PlantResult",
+    "RECIPES",
+    "SHRINKABLE_KINDS",
+    "ScenarioSpec",
+    "VARIANTS",
+    "build_scenario",
+    "campaign_specs",
+    "grade_scenario",
+    "job_for_spec",
+    "minimize_failure",
+    "plant_redundancies",
+    "predicate_for",
+    "reproducer_source",
+    "run_campaign",
+    "shrink",
+    "summarize",
+    "write_reproducer",
+]

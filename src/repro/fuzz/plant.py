@@ -1,0 +1,327 @@
+"""Seeded adversarial circuit generator with planted redundancies.
+
+Balasubramanian-style redundant-logic *insertion* (PAPERS.md, arxiv
+1707.06909), inverted into a grading tool: instead of asking "does KMS
+find the redundancies a synthesis flow left behind?" we *plant*
+redundancies whose untestability is guaranteed by construction and keep
+the ground-truth fault list, so recall is a measurable 0..1 number
+instead of "some redundancy exists" (the Teslenko--Dubrova recall
+framing, arxiv 1503.06632).
+
+Every plant wraps a signal with a functionally-equivalent but redundant
+replacement (or duplicates a literal in place) and records the one
+stuck-at fault that is untestable by construction:
+
+========================  =======================================  ==============
+recipe                    insertion (f = wrapped signal)           planted fault
+========================  =======================================  ==============
+``blocked_and``           ``f -> f OR (x AND NOT x AND g)``        dead-AND branch s-a-0
+``blocked_or``            ``f -> f AND (x OR NOT x OR g)``         live-OR branch s-a-1
+``absorb_and``            ``f -> f OR (f AND g)``                  inner-AND branch s-a-0
+``absorb_or``             ``f -> f AND (f OR g)``                  inner-OR branch s-a-1
+``dup_literal``           duplicate one fanin of an AND/OR gate    duplicate pin s-a-(noncontrolling)
+========================  =======================================  ==============
+
+Each identity holds for *whatever functions* the tapped signals compute,
+so plants compose: a later plant may wrap an earlier plant's planted
+connection (the connection's carried function is preserved by every
+recipe) and the recorded faults stay untestable.  Taps are drawn only
+from outside the transitive fanout of the insertion point, so the
+network stays acyclic.
+
+Two delay variants:
+
+* ``"neutral"`` -- inserted gates get delay 0 and taps are restricted to
+  signals whose STA arrival time does not exceed the wrapped signal's
+  (falling back to tapping ``f`` itself), so the arrival time of every
+  pre-existing gate is *identical* after planting: redundancy with
+  provably zero delay cost, the regime where any post-KMS slowdown is a
+  real bug.
+* ``"degrading"`` -- inserted gates get random delays 1..3 and
+  unconstrained taps, manufacturing new (false) long paths through the
+  redundant logic: the adversarial regime where KMS must remove the
+  plants without ending slower than the circuit it was given.
+
+Determinism: all draws come from one ``random.Random(seed)`` stream over
+sorted id lists, so a (circuit, seed, plants, variant, recipes) tuple
+reproduces the planted circuit and fault list byte-identically across
+runs and across worker processes -- the fuzz engine stages cross-check
+this with circuit fingerprints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..network import Circuit, GateType
+from ..timing import AsBuiltDelayModel, analyze
+
+#: Delay variants.
+NEUTRAL = "neutral"
+DEGRADING = "degrading"
+VARIANTS = (NEUTRAL, DEGRADING)
+
+#: All insertion recipes, in the order the seed stream draws from.
+RECIPES = (
+    "blocked_and",
+    "blocked_or",
+    "absorb_and",
+    "absorb_or",
+    "dup_literal",
+)
+
+#: Gate types eligible for in-place literal duplication.
+_DUP_TYPES = (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR)
+
+
+@dataclass(frozen=True)
+class Plant:
+    """One planted redundancy and its ground truth."""
+
+    recipe: str
+    #: the planted untestable fault as a (kind, site, value) triple --
+    #: kept primitive so plants serialize into engine payloads directly;
+    #: :meth:`fault` rebuilds the :class:`repro.atpg.faults.Fault`.
+    fault_kind: str
+    fault_site: int
+    fault_value: int
+    #: gids added by this plant (empty for ``dup_literal``).
+    new_gates: Tuple[int, ...]
+    description: str
+
+    def fault(self):
+        from ..atpg.faults import Fault
+
+        return Fault(self.fault_kind, self.fault_site, self.fault_value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "recipe": self.recipe,
+            "fault": [self.fault_kind, self.fault_site, self.fault_value],
+            "new_gates": list(self.new_gates),
+            "description": self.description,
+        }
+
+
+@dataclass
+class PlantResult:
+    """A planted circuit plus everything needed to grade against it."""
+
+    circuit: Circuit
+    base: Circuit
+    plants: List[Plant]
+    seed: int
+    variant: str
+
+    @property
+    def faults(self) -> List["Fault"]:  # noqa: F821 - doc type
+        return [p.fault() for p in self.plants]
+
+    def planted_payload(self) -> List[List[Any]]:
+        """The ground-truth fault list as JSON-able triples."""
+        return [[p.fault_kind, p.fault_site, p.fault_value]
+                for p in self.plants]
+
+
+def _observable_gids(circuit: Circuit) -> set:
+    """Gates whose value can reach a primary output.
+
+    Plants are restricted to this cone so the planted fault is
+    untestable because of *redundancy*, not because the base circuit
+    happened to leave the site unobservable (random bases carry dead
+    logic a plain sweep would erase along with the planted ground
+    truth)."""
+    outs = circuit.outputs
+    return circuit.transitive_fanin(outs) | set(outs)
+
+
+def _eligible_taps(
+    circuit: Circuit,
+    dst: int,
+    f: int,
+    variant: str,
+    arrival: Optional[Dict[int, float]],
+) -> List[int]:
+    """Signals a wrap recipe may tap without creating a cycle (and, for
+    the neutral variant, without raising the wrapped signal's arrival)."""
+    forbidden = circuit.transitive_fanout([dst])
+    taps = [
+        gid
+        for gid, gate in circuit.gates.items()
+        if gid not in forbidden and gate.gtype is not GateType.OUTPUT
+    ]
+    if variant == NEUTRAL:
+        limit = arrival[f]
+        taps = [gid for gid in taps if arrival[gid] <= limit]
+    taps.sort()
+    return taps or [f]
+
+
+def _branch_conn(circuit: Circuit, root: int, src: int) -> int:
+    """cid of the fanin connection of ``root`` driven by ``src`` that was
+    appended last (the plant's freshly created branch)."""
+    for cid in reversed(circuit.gates[root].fanin):
+        if circuit.conns[cid].src == src:
+            return cid
+    raise AssertionError("plant branch connection not found")
+
+
+def plant_redundancies(
+    circuit: Circuit,
+    plants: int = 3,
+    seed: int = 0,
+    variant: str = NEUTRAL,
+    recipes: Optional[Sequence[str]] = None,
+) -> PlantResult:
+    """Insert ``plants`` redundancies into a copy of ``circuit``.
+
+    Returns the planted circuit, an untouched copy of the base, and the
+    ground-truth list of planted untestable fault sites.  The input
+    circuit is not modified; base gids/cids are preserved in the planted
+    copy (plants only add gates and re-source existing connections), so
+    arrival times and fault sites compare directly against the base.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(
+            f"unknown variant {variant!r}; choose from {VARIANTS}"
+        )
+    menu = tuple(recipes) if recipes else RECIPES
+    for name in menu:
+        if name not in RECIPES:
+            raise ValueError(
+                f"unknown recipe {name!r}; choose from {RECIPES}"
+            )
+    rng = random.Random(seed)
+    base = circuit.copy()
+    work = circuit.copy(f"{circuit.name}#planted")
+    model = AsBuiltDelayModel()
+    result: List[Plant] = []
+    for _ in range(max(0, plants)):
+        recipe = rng.choice(menu)
+        if recipe == "dup_literal":
+            plant = _plant_dup_literal(work, rng, variant)
+            if plant is None:  # no AND/OR-family gate to duplicate into
+                recipe = "blocked_and"
+        if recipe != "dup_literal":
+            plant = _plant_wrap(work, rng, variant, recipe, model)
+        result.append(plant)
+    return PlantResult(
+        circuit=work, base=base, plants=result, seed=seed, variant=variant
+    )
+
+
+def _delay(rng: random.Random, variant: str) -> float:
+    return 0.0 if variant == NEUTRAL else float(rng.randint(1, 3))
+
+
+def _plant_dup_literal(
+    circuit: Circuit, rng: random.Random, variant: str
+) -> Optional[Plant]:
+    """Duplicate one fanin connection of an AND/OR-family gate in place.
+
+    The duplicate pin stuck at the gate's *non-controlling* value leaves
+    the function unchanged (``AND(a, a, b) == AND(a, 1, b)``), so that
+    fault is untestable by construction.  Arrival-neutral in the neutral
+    variant because the duplicate connection carries delay 0 alongside
+    an existing connection from the same source.
+    """
+    observable = _observable_gids(circuit)
+    targets = sorted(
+        gid
+        for gid, gate in circuit.gates.items()
+        if gate.gtype in _DUP_TYPES and gate.fanin and gid in observable
+    )
+    if not targets:
+        return None
+    gid = rng.choice(targets)
+    gate = circuit.gates[gid]
+    template = rng.choice(list(gate.fanin))
+    src = circuit.conns[template].src
+    cid = circuit.connect(src, gid, delay=_delay(rng, variant))
+    value = 1 if gate.gtype in (GateType.AND, GateType.NAND) else 0
+    return Plant(
+        recipe="dup_literal",
+        fault_kind="conn",
+        fault_site=cid,
+        fault_value=value,
+        new_gates=(),
+        description=(
+            f"duplicate fanin {src} of gate {gid} "
+            f"({gate.gtype.value}); pin s-a-{value} untestable"
+        ),
+    )
+
+
+def _plant_wrap(
+    circuit: Circuit,
+    rng: random.Random,
+    variant: str,
+    recipe: str,
+    model: AsBuiltDelayModel,
+) -> Plant:
+    """Wrap a random connection's source with a redundant replacement."""
+    arrival = (
+        analyze(circuit, model).arrival if variant == NEUTRAL else None
+    )
+    observable = _observable_gids(circuit)
+    live = sorted(
+        cid for cid, conn in circuit.conns.items()
+        if conn.dst in observable
+    )
+    cid = rng.choice(live or sorted(circuit.conns))
+    conn = circuit.conns[cid]
+    f, dst = conn.src, conn.dst
+    taps = _eligible_taps(circuit, dst, f, variant, arrival)
+    x = rng.choice(taps)
+    g = rng.choice(taps)
+    if recipe == "blocked_and":
+        nx = circuit.add_simple(GateType.NOT, [x], _delay(rng, variant))
+        aux = circuit.add_simple(
+            GateType.AND, [x, nx, g], _delay(rng, variant)
+        )
+        root = circuit.add_simple(
+            GateType.OR, [f, aux], _delay(rng, variant)
+        )
+        value, new = 0, (nx, aux, root)
+    elif recipe == "blocked_or":
+        nx = circuit.add_simple(GateType.NOT, [x], _delay(rng, variant))
+        aux = circuit.add_simple(
+            GateType.OR, [x, nx, g], _delay(rng, variant)
+        )
+        root = circuit.add_simple(
+            GateType.AND, [f, aux], _delay(rng, variant)
+        )
+        value, new = 1, (nx, aux, root)
+    elif recipe == "absorb_and":
+        aux = circuit.add_simple(
+            GateType.AND, [f, g], _delay(rng, variant)
+        )
+        root = circuit.add_simple(
+            GateType.OR, [f, aux], _delay(rng, variant)
+        )
+        value, new = 0, (aux, root)
+    elif recipe == "absorb_or":
+        aux = circuit.add_simple(
+            GateType.OR, [f, g], _delay(rng, variant)
+        )
+        root = circuit.add_simple(
+            GateType.AND, [f, aux], _delay(rng, variant)
+        )
+        value, new = 1, (aux, root)
+    else:  # pragma: no cover - guarded by plant_redundancies
+        raise AssertionError(f"unhandled recipe {recipe!r}")
+    branch = _branch_conn(circuit, root, aux)
+    circuit.move_connection_source(cid, root)
+    return Plant(
+        recipe=recipe,
+        fault_kind="conn",
+        fault_site=branch,
+        fault_value=value,
+        new_gates=new,
+        description=(
+            f"wrap conn {cid} (gate {f} -> gate {dst}) with {recipe}; "
+            f"branch {branch} s-a-{value} untestable"
+        ),
+    )

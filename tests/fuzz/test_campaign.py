@@ -1,0 +1,109 @@
+"""The seeded campaign driver over the engine runner."""
+
+import json
+
+from repro.fuzz import (
+    ScenarioSpec,
+    campaign_specs,
+    job_for_spec,
+    run_campaign,
+    summarize,
+)
+
+
+def _strip(payload):
+    """Campaign payload minus wall-clock (the only nondeterministic key)."""
+    slim = {k: v for k, v in payload.items() if k not in ("seconds",)}
+    slim["counters"] = {
+        k: v for k, v in payload.get("counters", {}).items()
+    }
+    return slim
+
+
+def test_campaign_specs_deterministic_and_mixed():
+    a = campaign_specs(6, seed=100)
+    b = campaign_specs(6, seed=100)
+    assert a == b
+    assert [s.variant for s in a] == [
+        "neutral", "degrading", "neutral", "degrading", "neutral",
+        "degrading",
+    ]
+    assert [s.seed for s in a] == list(range(100, 106))
+    assert all(s.plants == 3 for s in a)  # round(18 * 0.15)
+    assert a[0].base["params"]["seed"] == 100 ^ 0x5EED
+
+
+def test_job_for_spec_shape():
+    spec = campaign_specs(1, seed=7)[0]
+    job = job_for_spec(spec)
+    assert job.factory == "fuzz_planted"
+    assert job.params == spec.to_dict()
+    assert [c.key for c in job.pipeline] == ["fuzz"]
+    assert job.pipeline[0].params["spec"] == spec.to_dict()
+
+
+def test_small_campaign_all_pass(tmp_path):
+    report_path = tmp_path / "campaign.json"
+    report = run_campaign(
+        campaign_specs(4, seed=200), report_path=str(report_path)
+    )
+    assert report.ok
+    assert report.summary["scenarios"] == 4
+    assert report.summary["failures"] == 0
+    assert report.summary["recall"] == 1.0
+    assert report.summary["planted"] == report.summary["proved"] == 12
+    assert report.minimized == []
+    on_disk = json.loads(report_path.read_text())
+    assert on_disk["ok"] is True
+    assert len(on_disk["scenarios"]) == 4
+
+
+def test_parallel_campaign_matches_serial():
+    specs = campaign_specs(4, seed=300)
+    serial = run_campaign(specs, jobs=1)
+    parallel = run_campaign(specs, jobs=2)
+    assert [_strip(p) for p in serial.scenarios] == [
+        _strip(p) for p in parallel.scenarios
+    ]
+
+
+def test_campaign_cache_warm_rerun(tmp_path):
+    specs = campaign_specs(3, seed=400)
+    cache = str(tmp_path / "cache")
+    cold = run_campaign(specs, cache_dir=cache)
+    warm = run_campaign(specs, cache_dir=cache)
+    assert cold.ok and warm.ok
+    assert [_strip(p) for p in cold.scenarios] == [
+        _strip(p) for p in warm.scenarios
+    ]
+
+
+def test_campaign_surfaces_job_errors():
+    bad = ScenarioSpec(
+        name="broken",
+        base={"factory": "no_such_factory", "params": {}},
+        seed=0,
+    )
+    report = run_campaign([bad])
+    assert not report.ok
+    assert report.summary["failures"] == 1
+    assert "error" in report.scenarios[0]
+    assert report.summary["mismatches"]["job_error"] == 1
+
+
+def test_summarize_mixed_payloads():
+    payloads = [
+        {"ok": True, "planted": [[1], [2]], "proved": 2, "recall": 1.0,
+         "mismatches": [], "seconds": 0.5, "counters": {"sat_calls": 3}},
+        {"ok": False, "planted": [[1]], "proved": 0, "recall": 0.0,
+         "mismatches": [{"kind": "recall_miss", "detail": "d"}],
+         "seconds": 0.5, "counters": {"sat_calls": 2}},
+        {"ok": False, "error": "boom", "mismatches": []},
+    ]
+    summary = summarize(payloads)
+    assert summary["scenarios"] == 3
+    assert summary["failures"] == 2
+    assert summary["planted"] == 3 and summary["proved"] == 2
+    assert summary["recall_min"] == 0.0
+    assert summary["mismatches"] == {"recall_miss": 1, "job_error": 1}
+    assert summary["counters"]["sat_calls"] == 5

@@ -1,0 +1,135 @@
+"""Failure minimization: ddmin shrinking and pytest reproducer emission.
+
+The acceptance bar (ISSUE 7): an injected divergence shrinks to a
+reproducer of <= 20 gates, and the generated test asserts the CORRECT
+behavior -- so it passes under the real (correct) engines here, and
+would fail on the broken engine it documents.
+"""
+
+import pytest
+
+from repro.atpg import Fault
+from repro.fuzz import (
+    ScenarioSpec,
+    build_scenario,
+    grade_scenario,
+    minimize_failure,
+    predicate_for,
+    reproducer_source,
+    shrink,
+    write_reproducer,
+)
+
+#: an engine under test that refuses to prove anything redundant --
+#: the injected defect every test here shrinks
+REFUSER = lambda circuit, faults: []  # noqa: E731 - test double
+
+
+def _spec():
+    return ScenarioSpec(
+        name="inj",
+        base={
+            "factory": "random",
+            "params": {"num_inputs": 5, "num_gates": 18,
+                       "num_outputs": 2, "seed": 42},
+        },
+        seed=5,
+        plants=3,
+        variant="neutral",
+    )
+
+
+def _injected_failure():
+    payload = grade_scenario(_spec(), classifier=REFUSER)
+    assert not payload["ok"]
+    item = next(
+        m for m in payload["mismatches"] if m["kind"] == "recall_miss"
+    )
+    fkind, site, value = item["fault"]
+    return item, Fault(fkind, site, value)
+
+
+def test_injected_divergence_shrinks_to_20_gates_or_fewer():
+    _, fault = _injected_failure()
+    predicate = predicate_for(
+        "recall_miss", fault=fault, classifier=REFUSER
+    )
+    circuit = build_scenario(_spec()).circuit
+    assert predicate(circuit)
+    small = shrink(circuit, predicate)
+    assert small.num_gates() <= 20
+    assert predicate(small)
+
+
+def test_shrink_requires_reproducing_input():
+    circuit = build_scenario(_spec()).circuit
+    with pytest.raises(ValueError):
+        shrink(circuit, lambda c: False)
+
+
+def test_reproducer_passes_under_real_engine(tmp_path):
+    item, fault = _injected_failure()
+    predicate = predicate_for(
+        "recall_miss", fault=fault, classifier=REFUSER
+    )
+    circuit = build_scenario(_spec()).circuit
+    small = shrink(circuit, predicate)
+    path = write_reproducer(
+        str(tmp_path / "test_repro.py"), small, "recall_miss",
+        fault=fault, note="injected refuser",
+    )
+    # execute the generated module and run its test function directly:
+    # it asserts the correct verdict, so the real ProofEngine passes it
+    namespace = {}
+    with open(path) as handle:
+        exec(compile(handle.read(), path, "exec"), namespace)
+    namespace["test_fuzz_reproducer_recall_miss"]()
+
+
+def test_reproducer_source_embeds_fault_and_circuit():
+    _, fault = _injected_failure()
+    circuit = build_scenario(_spec()).circuit
+    source = reproducer_source(circuit, "divergence", fault=fault)
+    assert "circuit_from_dict" in source
+    assert f"{fault.site!r}" in source
+    with pytest.raises(ValueError):
+        reproducer_source(circuit, "divergence")  # fault required
+    with pytest.raises(ValueError):
+        reproducer_source(circuit, "plant_not_neutral")  # no template
+
+
+def test_kms_shaped_predicates_hold_nowhere_on_clean_scenarios():
+    circuit = build_scenario(_spec()).circuit
+    for kind in ("false_removal", "delay_regression",
+                 "residual_redundancy"):
+        assert not predicate_for(kind)(circuit)
+
+
+def test_minimize_failure_end_to_end(tmp_path):
+    item, _ = _injected_failure()
+    summary = minimize_failure(
+        _spec().to_dict(), item, out_dir=str(tmp_path),
+        classifier=REFUSER,
+    )
+    assert summary is not None
+    assert summary["gates_after"] <= 20
+    assert summary["gates_after"] <= summary["gates_before"]
+    path = summary["path"]
+    assert path.endswith("test_fuzz_repro_inj_recall_miss.py")
+    namespace = {}
+    with open(path) as handle:
+        exec(compile(handle.read(), path, "exec"), namespace)
+    namespace["test_fuzz_reproducer_recall_miss"]()
+
+
+def test_minimize_failure_skips_unshrinkable_kinds():
+    assert minimize_failure(
+        _spec(), {"kind": "plant_not_neutral", "detail": "x"}
+    ) is None
+
+
+def test_minimize_failure_skips_unreproducible_failures():
+    # the mismatch claims a recall miss, but the real engine proves the
+    # fault fine -- nothing reproduces, nothing to shrink
+    item, _ = _injected_failure()
+    assert minimize_failure(_spec(), item) is None
