@@ -1,33 +1,32 @@
 """Shared CI perf-gate engine: compare a fresh BENCH_*.json against a
 committed baseline and fail on work-counter regressions.
 
-All perf gates (``compare_kms_baseline.py``, ``compare_sim_baseline.py``
-and the atpg gate, which uses this module directly) share the same
-mechanics:
+Every row of the matrix-driven ``perf-gate`` job in
+``.github/workflows/ci.yml`` (manifest: ``benchmarks/gates.json``) runs
+this one script; the per-gate differences live in the *baseline
+payload*, not here:
 
-* every bench row names a workload and carries, under ``result_key``, a
-  ``counters`` dict of *deterministic* work counters plus informational
-  ``seconds``;
-* each gated counter may grow by at most ``tolerance`` (relative) plus
-  an absolute slack of 2 for near-zero counts;
+* every bench row names a workload and carries, under the payload's
+  ``result_key``, a ``counters`` dict of *deterministic* work counters
+  plus informational ``seconds``;
+* each gated counter (payload ``gated_counters``) may grow by at most
+  ``tolerance`` (relative) plus an absolute slack of 2 for near-zero
+  counts;
 * a baseline row missing from the fresh results fails the gate; new
   rows are reported but pass (extending a suite should not require a
   simultaneous baseline bump to land);
 * a row whose ``identical`` flag went false fails the gate -- the
-  incremental engine must keep matching its from-scratch oracle;
+  optimized engine must keep matching its from-scratch oracle;
 * wall-clock seconds are printed for context but never gate (they ride
-  along as a CI artifact instead).
+  along as a CI artifact instead);
+* a markdown counter-vs-baseline table is appended to
+  ``$GITHUB_STEP_SUMMARY`` when set (CI), else echoed to stderr
+  (local runs).
 
-The gated counter list is read from the baseline payload's
-``gated_counters`` key, so tightening or extending a gate is a baseline
-edit, not a script edit; a per-gate default covers old baselines.  The
-result key is likewise read from ``result_key`` (payload) with a
-per-gate default.
+Usage::
 
-Usage (the atpg gate calls this file directly)::
-
-    python benchmarks/compare_baseline.py BENCH_atpg.json \
-        benchmarks/baselines/BENCH_atpg_baseline.json [--tolerance 0.10]
+    python benchmarks/compare_baseline.py BENCH_kms.json \
+        benchmarks/baselines/BENCH_kms_baseline.json [--tolerance 0.10]
 
 Exit status: 0 = within tolerance, 1 = regression or malformed input.
 """
@@ -36,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -43,7 +43,9 @@ from typing import List, Optional
 #: regression"; real regressions move the big counters by far more.
 ABSOLUTE_SLACK = 2
 
-#: Defaults for direct invocation (the atpg proof-engine gate).
+#: Fallbacks for baselines predating the self-describing payload format
+#: (every committed baseline now carries ``result_key`` and
+#: ``gated_counters``, so these only matter for stale local files).
 DEFAULT_RESULT_KEY = "incremental"
 DEFAULT_GATED = [
     "faults_requalified",
@@ -54,7 +56,7 @@ DEFAULT_GATED = [
     "podem_calls",
 ]
 DEFAULT_IDENTICAL_MESSAGE = (
-    "incremental result no longer matches the from-scratch oracle"
+    "result no longer matches its from-scratch oracle"
 )
 
 
@@ -64,6 +66,18 @@ def load_rows(path):
     if "rows" not in data:
         raise ValueError(f"{path}: not a bench-rows json payload")
     return data, {row["name"]: row for row in data["rows"]}
+
+
+def write_summary(lines: List[str]) -> None:
+    """Append markdown to the GitHub Actions job summary, or echo it to
+    stderr when running outside CI."""
+    text = "\n".join(lines) + "\n"
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if path:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text, file=sys.stderr)
 
 
 def compare(
@@ -83,14 +97,26 @@ def compare(
         default_gated if default_gated is not None else DEFAULT_GATED,
     )
 
+    suite = baseline_data.get("suite", os.path.basename(current_path))
+    table = [
+        f"### perf gate: {suite} "
+        f"({tolerance:.0%} tolerance on `{result_key}` counters)",
+        "",
+        "| row | counter | baseline | current | status |",
+        "| --- | --- | ---: | ---: | --- |",
+    ]
     failures = []
     for name, base_row in sorted(baseline.items()):
         cur_row = current.get(name)
         if cur_row is None:
             failures.append(f"{name}: row missing from current results")
+            table.append(f"| {name} | — | — | — | missing ❌ |")
             continue
         if not cur_row.get("identical", False):
             failures.append(f"{name}: {identical_message}")
+            table.append(
+                f"| {name} | identical | true | false | diverged ❌ |"
+            )
         base_counters = base_row[result_key]["counters"]
         cur_counters = cur_row[result_key]["counters"]
         for counter in gated:
@@ -98,6 +124,7 @@ def compare(
             cur_value = cur_counters.get(counter, 0)
             limit = base_value * (1.0 + tolerance) + ABSOLUTE_SLACK
             marker = ""
+            status = "changed"
             if cur_value > limit:
                 failures.append(
                     f"{name}: {counter} regressed "
@@ -105,12 +132,18 @@ def compare(
                     f"(limit {limit:.1f} at {tolerance:.0%} tolerance)"
                 )
                 marker = "  <-- REGRESSION"
+                status = "regressed ❌"
             if cur_value != base_value:
                 print(f"{name}: {counter} {base_value} -> {cur_value}"
                       f"{marker}")
+                table.append(
+                    f"| {name} | {counter} | {base_value} | {cur_value} "
+                    f"| {status} |"
+                )
 
     for name in sorted(set(current) - set(baseline)):
         print(f"{name}: new row (no baseline; passes)")
+        table.append(f"| {name} | — | — | — | new row (passes) |")
 
     base_secs = sum(r[result_key]["seconds"] for r in baseline.values())
     cur_secs = sum(
@@ -119,6 +152,20 @@ def compare(
     )
     print(f"wall clock (informational, not gated): "
           f"baseline {base_secs:.1f}s, current {cur_secs:.1f}s")
+
+    if len(table) == 4:
+        table.append("| — | *all gated counters* | — | — | unchanged ✅ |")
+    table += [
+        "",
+        f"Wall clock (informational, never gates): baseline "
+        f"{base_secs:.1f}s, current {cur_secs:.1f}s.",
+        "",
+        (f"**FAIL**: {len(failures)} regression(s)." if failures
+         else f"**OK**: {len(baseline)} baseline rows within "
+              f"{tolerance:.0%} counter tolerance."),
+        "",
+    ]
+    write_summary(table)
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)

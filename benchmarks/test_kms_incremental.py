@@ -10,9 +10,10 @@ dirty-cone engine, :mod:`repro.timing.incremental`) and
 * **work reduction** -- over the scaling suite the full recompute does
   at least 5x more ``arrival_relaxations`` than the dirty-cone engine;
 * the deterministic work counters and (non-gating) wall times land in
-  ``BENCH_kms.json``, which the ``kms-perf-gate`` CI job compares
-  against ``benchmarks/baselines/BENCH_kms_baseline.json`` via
-  ``benchmarks/compare_kms_baseline.py``.
+  ``BENCH_kms.json``, which the ``kms`` row of the matrix-driven
+  ``perf-gate`` CI job compares against
+  ``benchmarks/baselines/BENCH_kms_baseline.json`` via
+  ``benchmarks/compare_baseline.py``.
 """
 
 import json
@@ -120,6 +121,7 @@ def test_zz_emit_bench_json_and_speedup_claim():
         }
     payload = {
         "suite": "kms-incremental",
+        "result_key": "incremental",
         "gated_counters": list(GATED_COUNTERS),
         "rows": _ROWS,
         "totals": totals,

@@ -14,9 +14,10 @@ full-resimulation oracle.  The claims under test:
   fault resimulates every non-PI gate once per pattern block, a number
   the bit-identical drop progression lets us replay exactly);
 * the deterministic work counters and (non-gating) wall times land in
-  ``BENCH_sim.json``, which the ``sim-perf-gate`` CI job compares
-  against ``benchmarks/baselines/BENCH_sim_baseline.json`` via
-  ``benchmarks/compare_sim_baseline.py``.
+  ``BENCH_sim.json``, which the ``sim`` row of the matrix-driven
+  ``perf-gate`` CI job compares against
+  ``benchmarks/baselines/BENCH_sim_baseline.json`` via
+  ``benchmarks/compare_baseline.py``.
 """
 
 import json
@@ -179,6 +180,7 @@ def test_zz_emit_bench_json_and_speedup_claim():
         }
     payload = {
         "suite": "sim-kernel",
+        "result_key": "kernel",
         "gated_counters": list(GATED_COUNTERS),
         "rows": _ROWS,
         "totals": totals,

@@ -49,7 +49,7 @@ simulation can only ever reclassify testable faults and the
 PODEM/SAT verdict classes are invariant on untouched regions.  The
 deterministic work counters -- exact functions of circuit + seed -- are
 exported through :class:`repro.core.kms.KmsResult`, engine telemetry,
-and the CLI, and gate the ``atpg-perf-gate`` CI job.
+and the CLI, and gate the ``atpg`` row of the ``perf-gate`` CI job.
 """
 
 from __future__ import annotations

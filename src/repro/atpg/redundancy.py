@@ -21,7 +21,7 @@ Two drivers implement the loop:
 * ``incremental=False``: the from-scratch funnel below, kept verbatim
   as the A/B oracle.  Both take bit-identical decisions; the property
   suite (``tests/atpg/test_proofengine_property.py``) and the
-  ``atpg-perf-gate`` CI benchmark enforce it.
+  ``atpg`` perf-gate CI row enforce it.
 """
 
 from __future__ import annotations
@@ -181,6 +181,13 @@ def remove_redundancies(
     classifications (serial otherwise).
     """
     work = circuit.copy(f"{circuit.name}#irr")
+    # Removal mutates `work` heavily (one remove + kernel refresh +
+    # proof-region invalidation per redundancy); the arena keeps the
+    # flat simulation/fingerprint/cone state fresh in place across all
+    # of it.  REPRO_NET_LEGACY=1 keeps the object-graph path verbatim.
+    from ..net import attach_arena, net_enabled
+
+    arena = attach_arena(work) if net_enabled() else None
     steps: List[RemovalStep] = []
     counters: Dict[str, int] = {}
     engine = None
@@ -235,7 +242,14 @@ def remove_redundancies(
         )
     else:
         raise RuntimeError("redundancy removal did not converge")
-    return RemovalResult(circuit=work, steps=steps, counters=dict(counters))
+    out = dict(counters)
+    if arena is not None:
+        for name, value in arena.counters.items():
+            out[name] = out.get(name, 0) + value
+        out["arena_full_builds"] = (
+            out.get("arena_full_builds", 0) + arena.full_builds
+        )
+    return RemovalResult(circuit=work, steps=steps, counters=dict(out))
 
 
 def is_irredundant(circuit: Circuit, incremental: bool = True) -> bool:

@@ -152,7 +152,7 @@ def optimized_mcnc(
     model = model if model is not None else UnitDelayModel()
     circuit = mcnc_circuit(name)
     if late_arrival and circuit.inputs:
-        circuit.input_arrival[circuit.inputs[0]] = late_arrival
+        circuit.set_input_arrival(circuit.inputs[0], late_arrival)
     fast, _stats = speed_up(circuit, model)
     return fast
 

@@ -163,6 +163,14 @@ def kms(
     model = model if model is not None else AsBuiltDelayModel()
     work = circuit.copy(f"{circuit.name}#kms")
     from ..atpg.proofengine import PROOF_COUNTERS
+    from ..net import ARENA_COUNTERS, attach_arena, net_enabled
+
+    # The working copy is where all the mutation happens; attach the
+    # struct-of-arrays arena so every transform maintains the flat
+    # representation (simulation schedule, fingerprints, cones) in
+    # place.  REPRO_NET_LEGACY=1 skips the attach and the whole run
+    # falls back to the object-graph path -- the A/B oracle.
+    arena = attach_arena(work) if net_enabled() else None
 
     result = KmsResult(circuit=work)
     counters = result.counters
@@ -174,7 +182,7 @@ def kms(
         "viability_checks_prefiltered",
         "cube_cache_hits",
         "paths_capped",
-    ) + PROOF_COUNTERS:
+    ) + PROOF_COUNTERS + ARENA_COUNTERS:
         counters[name] = 0
 
     baseline_delay = None
@@ -239,6 +247,12 @@ def kms(
     cleanup = remove_redundancies(work, incremental=incremental)
     for name, value in cleanup.counters.items():
         counters[name] = counters.get(name, 0) + value
+    if arena is not None:
+        for name, value in arena.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        counters["arena_full_builds"] = (
+            counters.get("arena_full_builds", 0) + arena.full_builds
+        )
     result.circuit = cleanup.circuit
     result.circuit.name = f"{circuit.name}#kms"
     result.cleanup_steps = cleanup.removed

@@ -121,7 +121,7 @@ def _factory_mcnc(params: Dict[str, Any]) -> Circuit:
     circuit = mcnc_circuit(params["name"])
     late = params.get("late_arrival", 0.0)
     if late and circuit.inputs:
-        circuit.input_arrival[circuit.inputs[0]] = late
+        circuit.set_input_arrival(circuit.inputs[0], late)
     return circuit
 
 

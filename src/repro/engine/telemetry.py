@@ -43,7 +43,7 @@ packed-simulation witness, or fingerprint-keyed cube cache), and
 ``paths_capped`` (iterations whose path enumeration hit
 ``max_longest_paths``).  These are exact functions of circuit + seed --
 no wall-clock jitter -- which is what lets CI gate on them
-(``benchmarks/compare_kms_baseline.py``).
+(``benchmarks/compare_baseline.py``, ``kms`` perf-gate row).
 
 Stages that simulate through the compiled kernel
 (:mod:`repro.sim.kernel` -- fault grading in ``atpg``, the witness
@@ -55,7 +55,8 @@ simulation), ``gate_evals_faulty`` (gate evaluations in event-driven
 faulty cones), ``cone_cutoffs`` (cone frontier nodes whose good/faulty
 difference word went to zero), and ``faults_dropped`` (faults removed
 from an active list after detection).  Equally deterministic, equally
-gateable (``benchmarks/compare_sim_baseline.py``); cache hits replay
+gateable (``benchmarks/compare_baseline.py``, ``sim`` perf-gate
+row); cache hits replay
 none of them.
 
 ``atpg`` stage records -- and ``kms`` records, via the cleanup phase --

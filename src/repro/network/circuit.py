@@ -107,6 +107,10 @@ class Circuit:
         #: kernel in :mod:`repro.sim.kernel`) can detect staleness with
         #: one integer compare instead of hashing the network.
         self._version = 0
+        #: attached :class:`repro.net.arena.NetArena` mirroring this
+        #: circuit as struct-of-arrays, or None.  Every mutation
+        #: primitive notifies it so the flat arrays stay fresh in place.
+        self._arena = None
 
     # ------------------------------------------------------------------ #
     # construction primitives
@@ -128,12 +132,14 @@ class Circuit:
         elif gtype is GateType.OUTPUT:
             self._outputs.append(gid)
         self._dirty()
+        if self._arena is not None:
+            self._arena.on_add_gate(gid, gtype, delay)
         return gid
 
     def add_input(self, name: str, arrival: float = 0.0) -> int:
         """Add a primary input with the given arrival time."""
         gid = self.add_gate(GateType.INPUT, 0.0, name)
-        self.input_arrival[gid] = arrival
+        self.set_input_arrival(gid, arrival)
         return gid
 
     def add_output(self, name: str, src: int, delay: float = 0.0) -> int:
@@ -155,6 +161,8 @@ class Circuit:
         self.gates[src].fanout.append(cid)
         dgate.fanin.append(cid)
         self._dirty()
+        if self._arena is not None:
+            self._arena.on_connect(cid, src, dst, delay)
         return cid
 
     def add_simple(
@@ -180,6 +188,8 @@ class Circuit:
         self.gates[conn.src].fanout.remove(cid)
         self.gates[conn.dst].fanin.remove(cid)
         self._dirty()
+        if self._arena is not None:
+            self._arena.on_remove_connection(cid)
 
     def remove_gate(self, gid: int) -> None:
         """Remove a gate and every connection touching it."""
@@ -194,15 +204,52 @@ class Circuit:
         if gid in self._outputs:
             self._outputs.remove(gid)
         self._dirty()
+        if self._arena is not None:
+            self._arena.on_remove_gate(gid)
 
     def move_connection_source(self, cid: int, new_src: int) -> None:
         """Re-source a connection (used for duplication rewiring and for
         the Fig. 2 style rewiring of an input)."""
         conn = self.conns[cid]
-        self.gates[conn.src].fanout.remove(cid)
+        old_src = conn.src
+        self.gates[old_src].fanout.remove(cid)
         conn.src = new_src
         self.gates[new_src].fanout.append(cid)
         self._dirty()
+        if self._arena is not None:
+            self._arena.on_move_source(cid, old_src, new_src)
+
+    # ------------------------------------------------------------------ #
+    # attribute setters
+    # ------------------------------------------------------------------ #
+    # These mirror plain attribute writes (``gate.gtype = ...``) exactly:
+    # they do NOT bump :attr:`version` (attribute edits never did, and the
+    # proof engine's epoch solver keys on version), but they do notify an
+    # attached arena so the flat arrays never go stale.
+
+    def set_gate_type(self, gid: int, gtype: GateType) -> None:
+        """Retype a gate in place (constant-propagation degenerations)."""
+        self.gates[gid].gtype = gtype
+        if self._arena is not None:
+            self._arena.on_set_gate_type(gid, gtype)
+
+    def set_gate_delay(self, gid: int, delay: float) -> None:
+        """Set a gate's delay ``d(g)`` in place."""
+        self.gates[gid].delay = delay
+        if self._arena is not None:
+            self._arena.on_set_gate_delay(gid, delay)
+
+    def set_connection_delay(self, cid: int, delay: float) -> None:
+        """Set a connection's delay ``d(c)`` in place."""
+        self.conns[cid].delay = delay
+        if self._arena is not None:
+            self._arena.on_set_conn_delay(cid, delay)
+
+    def set_input_arrival(self, gid: int, arrival: float) -> None:
+        """Set a primary input's arrival time."""
+        self.input_arrival[gid] = arrival
+        if self._arena is not None:
+            self._arena.on_set_arrival(gid, arrival)
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -311,6 +358,8 @@ class Circuit:
 
     def transitive_fanin(self, gids: Iterable[int]) -> set:
         """Set of gids in the transitive fanin of ``gids`` (inclusive)."""
+        if self._arena is not None:
+            return self._arena.transitive_fanin(gids)
         seen = set()
         stack = list(gids)
         while stack:
@@ -323,6 +372,8 @@ class Circuit:
 
     def transitive_fanout(self, gids: Iterable[int]) -> set:
         """Set of gids in the transitive fanout of ``gids`` (inclusive)."""
+        if self._arena is not None:
+            return self._arena.transitive_fanout(gids)
         seen = set()
         stack = list(gids)
         while stack:

@@ -153,10 +153,11 @@ def propagate_constants(
                     touched.add(circuit.conns[cid].src)
                     circuit.remove_connection(cid)
                 if flips:
-                    gate.gtype = (
+                    circuit.set_gate_type(
+                        gid,
                         GateType.XNOR
                         if gtype is GateType.XOR
-                        else GateType.XOR
+                        else GateType.XOR,
                     )
             gate = circuit.gates[gid]
             if not gate.fanin:
@@ -175,10 +176,12 @@ def propagate_constants(
                 GateType.BUF,
                 GateType.NOT,
             ):
-                gate.gtype = degenerate_single_input_type(gate.gtype)
+                circuit.set_gate_type(
+                    gid, degenerate_single_input_type(gate.gtype)
+                )
                 if zero_degenerate_delay:
-                    gate.delay = 0.0
-                    circuit.conns[gate.fanin[0]].delay = 0.0
+                    circuit.set_gate_delay(gid, 0.0)
+                    circuit.set_connection_delay(gate.fanin[0], 0.0)
     _, swept = sweep(circuit)
     touched |= swept
     touched = {g for g in touched if g in circuit.gates}
@@ -228,7 +231,9 @@ def sweep(
             touched.add(in_conn.src)
             for out_cid in list(gate.fanout):
                 out_conn = circuit.conns[out_cid]
-                out_conn.delay += in_conn.delay + gate.delay
+                circuit.set_connection_delay(
+                    out_cid, out_conn.delay + in_conn.delay + gate.delay
+                )
                 touched.add(out_conn.dst)
                 circuit.move_connection_source(out_cid, in_conn.src)
             circuit.remove_gate(gid)
@@ -311,8 +316,9 @@ def decompose_complex_gates(circuit: Circuit) -> int:
         rewritten += 1
         srcs = [circuit.conns[c].src for c in gate.fanin]
         if len(srcs) == 1:
-            gate.gtype = (
-                GateType.BUF if gate.gtype is GateType.XOR else GateType.NOT
+            circuit.set_gate_type(
+                gid,
+                GateType.BUF if gate.gtype is GateType.XOR else GateType.NOT,
             )
             continue
         invert = gate.gtype is GateType.XNOR

@@ -72,6 +72,7 @@ WORK_COUNTERS = (
     "gate_evals_faulty",
     "cone_cutoffs",
     "faults_dropped",
+    "compile_rebuilds",
 )
 
 _ALL_ONES = 0xFFFF_FFFF_FFFF_FFFF
@@ -175,6 +176,7 @@ class _SimWork:
         self.gate_evals_faulty = 0
         self.cone_cutoffs = 0
         self.faults_dropped = 0
+        self.compile_rebuilds = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in WORK_COUNTERS}
@@ -251,6 +253,8 @@ class CompiledCircuit:
     def _compile(self) -> None:
         circuit = self.circuit
         self.version = circuit.version
+        self.work.compile_rebuilds += 1
+        _GLOBAL_WORK.compile_rebuilds += 1
         order = circuit.topological_order()
         self.order: List[int] = order
         pos = {gid: i for i, gid in enumerate(order)}
@@ -616,16 +620,436 @@ class CompiledCircuit:
         )
 
 
-def get_compiled(circuit: Circuit) -> CompiledCircuit:
+# ---------------------------------------------------------------------- #
+# the zero-copy arena view
+# ---------------------------------------------------------------------- #
+
+class ArenaCompiledCircuit:
+    """Zero-copy simulation view of a :class:`repro.net.arena.NetArena`.
+
+    Duck-type compatible with :class:`CompiledCircuit` for every
+    consumer (fault simulation, diagnosis, compaction, the timing
+    prefilter), but there is no compiled artifact to rebuild: *positions
+    are arena slots*.  Opcodes, fanin connections, and the maintained
+    topological order are read live from the arena's parallel arrays at
+    evaluation time, so circuit mutations never invalidate this view --
+    the arena's hooks already updated the arrays in place.
+
+    ``refresh``/staleness points where the legacy kernel would have
+    recompiled its schedule from the object graph instead bump the
+    arena's ``compile_rebuilds_avoided`` counter (tracked against
+    :attr:`Circuit.version`, exactly the legacy staleness condition, so
+    the avoided count is comparable to the legacy run's
+    ``compile_rebuilds``).
+
+    Bit-identity with the legacy kernel: values are keyed by gid and
+    per-gate, and both views evaluate every gate after all its fanins
+    (any valid topological order), so every returned word, every
+    detecting mask, and every work counter except the rebuilds pair is
+    identical.
+    """
+
+    def __init__(self, circuit: Circuit, arena) -> None:
+        self.circuit = circuit
+        self.arena = arena
+        self.work = _SimWork()
+        #: object-graph version at last staleness check -- the legacy
+        #: kernel's recompile trigger, reused for avoided accounting.
+        self.version = circuit.version
+
+    # ------------------------- staleness protocol ---------------------- #
+
+    @property
+    def stale(self) -> bool:
+        """A live view is never stale (the hooks keep it fresh)."""
+        return False
+
+    def _note_avoided(self) -> None:
+        self.arena.counters["compile_rebuilds_avoided"] += 1
+        self.version = self.circuit.version
+
+    def _ensure_fresh(self) -> None:
+        if self.version != self.circuit.version:
+            self._note_avoided()
+
+    def refresh(self, touched: Optional[Iterable[int]] = None) -> bool:
+        """Touched-gate-set invalidation contract: where the legacy
+        kernel recompiles, the live view only records the rebuild it
+        did not need.  Returns True when a rebuild was avoided."""
+        if self.version != self.circuit.version or (
+            touched is not None and any(True for _ in touched)
+        ):
+            self._note_avoided()
+            return True
+        return False
+
+    # ----------------------------- queries ---------------------------- #
+
+    @property
+    def pos(self) -> Dict[int, int]:
+        """gid -> position; a position is the arena slot (live map)."""
+        return self.arena.slot_of
+
+    @property
+    def order(self) -> List[int]:
+        """position -> gid, ``-1`` at dead slots (live array)."""
+        return self.arena.gid_of
+
+    def num_eval_gates(self) -> int:
+        """Gates one full-circuit evaluation costs (non-PI gates)."""
+        return self.arena.n_eval_gates
+
+    def counters(self) -> Dict[str, int]:
+        """This view's deterministic work-counter snapshot."""
+        return self.work.as_dict()
+
+    def words_from_values(self, values: Mapping[int, int]) -> List[int]:
+        """Slot-positional word list from a gid-keyed value map."""
+        arena = self.arena
+        words = [0] * len(arena.alive)
+        for slot in arena.live_slots():
+            words[slot] = values[arena.gid_of[slot]]
+        return words
+
+    # --------------------------- good evaluation ----------------------- #
+
+    def evaluate(
+        self,
+        packed_inputs: Mapping[int, int],
+        width: int,
+        overrides: Optional[Mapping[int, int]] = None,
+        backend: Optional[str] = None,
+    ) -> Dict[int, int]:
+        """Drop-in, bit-identical replacement for ``simulate_packed``."""
+        words = self.evaluate_words(packed_inputs, width, overrides, backend)
+        arena = self.arena
+        return {
+            arena.gid_of[slot]: words[slot] for slot in arena.live_slots()
+        }
+
+    def evaluate_words(
+        self,
+        packed_inputs: Mapping[int, int],
+        width: int,
+        overrides: Optional[Mapping[int, int]] = None,
+        backend: Optional[str] = None,
+    ) -> List[int]:
+        """Like :meth:`evaluate` but positional (index = arena slot)."""
+        self._ensure_fresh()
+        mask = (1 << width) - 1
+        over: Dict[int, int] = {}
+        if overrides:
+            slot_of = self.arena.slot_of
+            over = {slot_of[g]: v & mask for g, v in overrides.items()}
+        which = resolve_backend(backend, width)
+        if which == "numpy":
+            values, evals = self._evaluate_numpy(
+                packed_inputs, width, mask, over
+            )
+        else:
+            values, evals = self._evaluate_python(packed_inputs, mask, over)
+        self.work.gate_evals_good += evals
+        _GLOBAL_WORK.gate_evals_good += evals
+        return values
+
+    def _evaluate_python(
+        self,
+        packed_inputs: Mapping[int, int],
+        mask: int,
+        over: Dict[int, int],
+    ) -> Tuple[List[int], int]:
+        arena = self.arena
+        evalop = arena.evalop
+        fanin = arena.fanin
+        csrc = arena.csrc
+        gid_of = arena.gid_of
+        values = [0] * len(arena.alive)
+        evals = 0
+        for slot in arena.sched_order:
+            if slot == -1:
+                continue
+            if slot in over:
+                values[slot] = over[slot]
+                continue
+            op = evalop[slot]
+            if op == _OP_INPUT:
+                values[slot] = packed_inputs.get(gid_of[slot], 0) & mask
+                continue
+            evals += 1
+            srcs = [csrc[c] for c in fanin[slot]]
+            if op == _OP_AND or op == _OP_NAND:
+                acc = mask
+                for s in srcs:
+                    acc &= values[s]
+                values[slot] = acc if op == _OP_AND else ~acc & mask
+            elif op == _OP_OR or op == _OP_NOR:
+                acc = 0
+                for s in srcs:
+                    acc |= values[s]
+                values[slot] = acc if op == _OP_OR else ~acc & mask
+            elif op == _OP_BUF:
+                values[slot] = values[srcs[0]]
+            elif op == _OP_NOT:
+                values[slot] = ~values[srcs[0]] & mask
+            elif op == _OP_XOR or op == _OP_XNOR:
+                acc = 0
+                for s in srcs:
+                    acc ^= values[s]
+                values[slot] = acc if op == _OP_XOR else ~acc & mask
+            elif op == _OP_CONST0:
+                values[slot] = 0
+            else:  # _OP_CONST1
+                values[slot] = mask
+        return values, evals
+
+    def _evaluate_numpy(
+        self,
+        packed_inputs: Mapping[int, int],
+        width: int,
+        mask: int,
+        over: Dict[int, int],
+    ) -> Tuple[List[int], int]:
+        np = _np
+        nwords = (width + 63) // 64
+        lane_mask = np.full(nwords, _ALL_ONES, dtype=np.uint64)
+        rem = width % 64
+        if rem:
+            lane_mask[-1] = np.uint64((1 << rem) - 1)
+
+        def to_lanes(value: int):
+            return np.frombuffer(
+                (value & mask).to_bytes(nwords * 8, "little"), dtype="<u8"
+            ).astype(np.uint64, copy=True)
+
+        arena = self.arena
+        evalop = arena.evalop
+        fanin = arena.fanin
+        csrc = arena.csrc
+        gid_of = arena.gid_of
+        n = len(arena.alive)
+        values = np.zeros((n, nwords), dtype=np.uint64)
+        evals = 0
+        for slot in arena.sched_order:
+            if slot == -1:
+                continue
+            if slot in over:
+                values[slot] = to_lanes(over[slot])
+                continue
+            op = evalop[slot]
+            if op == _OP_INPUT:
+                values[slot] = to_lanes(packed_inputs.get(gid_of[slot], 0))
+                continue
+            evals += 1
+            srcs = [csrc[c] for c in fanin[slot]]
+            if op == _OP_AND or op == _OP_NAND:
+                acc = lane_mask.copy()
+                for s in srcs:
+                    acc &= values[s]
+                values[slot] = acc if op == _OP_AND else ~acc & lane_mask
+            elif op == _OP_OR or op == _OP_NOR:
+                acc = np.zeros(nwords, dtype=np.uint64)
+                for s in srcs:
+                    acc |= values[s]
+                values[slot] = acc if op == _OP_OR else ~acc & lane_mask
+            elif op == _OP_BUF:
+                values[slot] = values[srcs[0]]
+            elif op == _OP_NOT:
+                values[slot] = ~values[srcs[0]] & lane_mask
+            elif op == _OP_XOR or op == _OP_XNOR:
+                acc = np.zeros(nwords, dtype=np.uint64)
+                for s in srcs:
+                    acc ^= values[s]
+                values[slot] = acc if op == _OP_XOR else ~acc & lane_mask
+            elif op == _OP_CONST0:
+                pass  # already zeros
+            else:  # _OP_CONST1
+                values[slot] = lane_mask
+        lanes = values.astype("<u8", copy=False).tobytes()
+        row = nwords * 8
+        out = [
+            int.from_bytes(lanes[i * row:(i + 1) * row], "little")
+            for i in range(n)
+        ]
+        return out, evals
+
+    def _eval_one(self, slot: int, ins: Sequence[int], mask: int) -> int:
+        """Evaluate one gate over explicit fanin words (fault path)."""
+        op = self.arena.evalop[slot]
+        if op == _OP_AND or op == _OP_NAND:
+            acc = mask
+            for v in ins:
+                acc &= v
+            return acc if op == _OP_AND else ~acc & mask
+        if op == _OP_OR or op == _OP_NOR:
+            acc = 0
+            for v in ins:
+                acc |= v
+            return acc if op == _OP_OR else ~acc & mask
+        if op == _OP_BUF:
+            return ins[0]
+        if op == _OP_NOT:
+            return ~ins[0] & mask
+        if op == _OP_XOR or op == _OP_XNOR:
+            acc = 0
+            for v in ins:
+                acc ^= v
+            return acc if op == _OP_XOR else ~acc & mask
+        if op == _OP_CONST0:
+            return 0
+        if op == _OP_CONST1:
+            return mask
+        raise ValueError("cannot evaluate a primary input")
+
+    # ------------------------ event-driven faults ---------------------- #
+
+    def fault_diffs(
+        self, fault, good_words: Sequence[int], width: int
+    ) -> Dict[int, int]:
+        """Event-driven faulty simulation: sparse slot -> faulty word.
+
+        Same algorithm as :meth:`CompiledCircuit.fault_diffs`, but the
+        propagation frontier is ordered by the arena's maintained
+        ``rank`` (slots are not themselves topological)."""
+        self._ensure_fresh()
+        arena = self.arena
+        mask = (1 << width) - 1
+        stuck = mask if fault.value else 0
+        work = self.work
+        if fault.kind == "conn":
+            c = arena.cslot_of[fault.site]
+            seed = arena.cdst[c]
+            pin = arena.cpin[c]
+            ins = [good_words[arena.csrc[cc]] for cc in arena.fanin[seed]]
+            ins[pin] = stuck
+            word = self._eval_one(seed, ins, mask)
+            work.gate_evals_faulty += 1
+            _GLOBAL_WORK.gate_evals_faulty += 1
+        else:
+            seed = arena.slot_of[fault.site]
+            word = stuck
+        if word == good_words[seed]:
+            work.cone_cutoffs += 1
+            _GLOBAL_WORK.cone_cutoffs += 1
+            return {}
+        diffs: Dict[int, int] = {seed: word}
+        rank = arena.rank
+        cdst = arena.cdst
+        fanin = arena.fanin
+        fanout = arena.fanout
+        csrc = arena.csrc
+        heap: List[Tuple[int, int]] = []
+        queued = set()
+        for c in fanout[seed]:
+            dst = cdst[c]
+            if dst not in queued:
+                queued.add(dst)
+                heapq.heappush(heap, (rank[dst], dst))
+        evals = 0
+        cutoffs = 0
+        while heap:
+            _, p = heapq.heappop(heap)
+            queued.discard(p)
+            ins = [
+                diffs.get(s, good_words[s])
+                for s in (csrc[c] for c in fanin[p])
+            ]
+            word = self._eval_one(p, ins, mask)
+            evals += 1
+            if word == good_words[p]:
+                cutoffs += 1
+                continue
+            diffs[p] = word
+            for c in fanout[p]:
+                q = cdst[c]
+                if q not in queued:
+                    queued.add(q)
+                    heapq.heappush(heap, (rank[q], q))
+        work.gate_evals_faulty += evals
+        work.cone_cutoffs += cutoffs
+        _GLOBAL_WORK.gate_evals_faulty += evals
+        _GLOBAL_WORK.cone_cutoffs += cutoffs
+        return diffs
+
+    def detecting_word(
+        self, fault, good_words: Sequence[int], width: int
+    ) -> int:
+        """Bitmask of patterns under which ``fault`` is visible at any
+        primary output (bit i = pattern i)."""
+        diffs = self.fault_diffs(fault, good_words, width)
+        if not diffs:
+            return 0
+        word = 0
+        for p in set(self.arena.po_slots).intersection(diffs):
+            word |= diffs[p] ^ good_words[p]
+        return word
+
+    def simulate_fault(
+        self,
+        fault,
+        packed_inputs: Mapping[int, int],
+        width: int,
+        good_words: Optional[Sequence[int]] = None,
+        backend: Optional[str] = None,
+    ) -> Dict[int, int]:
+        """Full faulty-value map keyed by gid, bit-identical to
+        ``simulate_fault_packed``."""
+        if good_words is None:
+            good_words = self.evaluate_words(
+                packed_inputs, width, backend=backend
+            )
+        diffs = self.fault_diffs(fault, good_words, width)
+        arena = self.arena
+        return {
+            arena.gid_of[slot]: diffs.get(slot, good_words[slot])
+            for slot in arena.live_slots()
+        }
+
+    def note_dropped(self, count: int) -> None:
+        """Record faults dropped from an active list after detection."""
+        if count > 0:
+            self.work.faults_dropped += count
+            _GLOBAL_WORK.faults_dropped += count
+
+    def __repr__(self) -> str:
+        return (
+            f"<ArenaCompiledCircuit {self.circuit.name!r}: "
+            f"{len(self.arena.alive)} slots "
+            f"({self.arena.n_live_gates} live), arena-backed>"
+        )
+
+
+def get_compiled(circuit: Circuit):
     """The circuit's cached compiled kernel, recompiled when stale.
 
     The kernel is attached to the circuit object itself (copies start
     clean; ``Circuit.copy`` does not carry it over), so every consumer
     of the same mutating circuit shares one schedule and one counter
     block.
+
+    A circuit with an attached :class:`repro.net.arena.NetArena` gets
+    the zero-copy :class:`ArenaCompiledCircuit` view instead of a
+    rebuilt schedule (detach the arena -- or never attach one, e.g.
+    under ``REPRO_NET_LEGACY=1`` -- and this falls back to the legacy
+    :class:`CompiledCircuit` path verbatim).
     """
     kern = getattr(circuit, "_compiled_kernel", None)
-    if kern is None or kern.circuit is not circuit:
+    arena = getattr(circuit, "_arena", None)
+    if arena is not None:
+        if (
+            isinstance(kern, ArenaCompiledCircuit)
+            and kern.circuit is circuit
+            and kern.arena is arena
+        ):
+            kern._ensure_fresh()
+        else:
+            kern = ArenaCompiledCircuit(circuit, arena)
+            circuit._compiled_kernel = kern
+        return kern
+    if (
+        kern is None
+        or kern.circuit is not circuit
+        or isinstance(kern, ArenaCompiledCircuit)
+    ):
         kern = CompiledCircuit(circuit)
         circuit._compiled_kernel = kern
     elif kern.stale:

@@ -120,7 +120,13 @@ class IncrementalTiming:
         self.mode = mode
         self.seed = seed
         self.sta = IncrementalSTA(circuit, self.model)
-        self.fingerprints = gate_fingerprints(circuit)
+        #: with an attached arena the fingerprint cache lives in the
+        #: arena (hook-driven dirty tracking, same digests); otherwise
+        #: this context maintains its own gid-keyed dict.
+        self._arena = getattr(circuit, "_arena", None)
+        self._fps: Optional[Dict[int, str]] = (
+            None if self._arena is not None else gate_fingerprints(circuit)
+        )
         #: cache key -> (verdict, cube by PI position or None)
         self.cube_cache: Dict[tuple, Optional[Dict[int, int]]] = {}
         self.viability_checks_exact = 0
@@ -130,6 +136,15 @@ class IncrementalTiming:
         self._sim: Optional[Dict[int, int]] = None
         self._oracle: Optional[_ExactOracle] = None
         self._annotation: Optional[TimingAnnotation] = None
+
+    @property
+    def fingerprints(self) -> Dict[int, str]:
+        """Current gid-keyed content fingerprints (arena-maintained when
+        the circuit carries one, else this context's own cache)."""
+        if self._arena is not None:
+            return self._arena.gate_fps()
+        assert self._fps is not None
+        return self._fps
 
     # ------------------------------------------------------------------ #
     # per-iteration lifecycle
@@ -264,7 +279,13 @@ class IncrementalTiming:
     def _update_fingerprints(self, touched) -> None:
         """Re-hash the transitive fanout of touched gates, early-cutoff
         on unchanged digests (a gate's fingerprint covers exactly its
-        fanin cone, so nothing upstream can have moved)."""
+        fanin cone, so nothing upstream can have moved).
+
+        With an attached arena this is a no-op: the mutation hooks
+        already recorded the dirty gids, and :meth:`fingerprints`
+        re-hashes the dirty cone lazily inside the arena."""
+        if self._arena is not None:
+            return
         import heapq
 
         from ..engine.hashing import gate_fingerprint
