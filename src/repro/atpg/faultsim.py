@@ -13,9 +13,19 @@ from __future__ import annotations
 import logging
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..network import Circuit, GateType
+from ..sim.batch import BatchKernel, batch_enabled
 from ..sim.kernel import CompiledCircuit, get_compiled, kernel_enabled
 from ..sim.parallel import eval_gate_bits, pack_vectors, simulate_packed
 from .faults import CONN, Fault
@@ -153,10 +163,77 @@ def validate_vectors(
     return partial
 
 
+class PackedCorpus:
+    """A test-vector corpus packed once per block for reuse.
+
+    Campaign loops grade many fault lists against one corpus;
+    :func:`fault_coverage` used to re-run :func:`validate_vectors` and
+    :func:`pack_vectors` on every call.  Packing depends only on the
+    circuit's PI gid set, so it is hoisted here: build once per
+    (circuit, corpus) pair and pass the corpus wherever a vector
+    sequence is accepted.  A corpus whose PI set no longer matches the
+    circuit (or that is handed to a different circuit) transparently
+    falls back to re-packing its raw vectors -- never a wrong answer,
+    only a lost reuse.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        vectors: Sequence[Mapping[int, int]],
+        block: int = 64,
+    ) -> None:
+        self.circuit = circuit
+        self.vectors: List[Mapping[int, int]] = list(vectors)
+        self.block = block
+        self._pi_key = tuple(circuit.inputs)
+        self.partial = validate_vectors(circuit, self.vectors)
+        #: per-block ``(packed map, width)`` pairs, ready to simulate
+        self.blocks: List[Tuple[Dict[int, int], int]] = [
+            pack_vectors(circuit, self.vectors[s : s + block])
+            for s in range(0, len(self.vectors), block)
+        ]
+
+    def fresh_for(self, circuit: Circuit, block: int) -> bool:
+        """Is the hoisted packing directly reusable for this grading
+        call?  True when the circuit and blocking match and the PI gid
+        set has not changed since packing."""
+        return (
+            circuit is self.circuit
+            and block == self.block
+            and tuple(circuit.inputs) == self._pi_key
+        )
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+
+#: ``vectors`` convention for the grading entry points: a raw vector
+#: sequence (packed per call, the historical behaviour) or a
+#: :class:`PackedCorpus` (packed once, reused across calls).
+VectorsArg = Union[Sequence[Mapping[int, int]], PackedCorpus]
+
+
+def _iter_packed_blocks(
+    circuit: Circuit, vectors: VectorsArg, block: int
+) -> Iterator[Tuple[Dict[int, int], int]]:
+    """Per-block ``(packed, width)`` pairs, reusing a fresh
+    :class:`PackedCorpus` and lazily packing everything else (lazy so
+    fault dropping can still exit before packing later blocks)."""
+    if isinstance(vectors, PackedCorpus):
+        if vectors.fresh_for(circuit, block):
+            yield from vectors.blocks
+            return
+        vectors = vectors.vectors
+    validate_vectors(circuit, vectors)
+    for start in range(0, len(vectors), block):
+        yield pack_vectors(circuit, vectors[start : start + block])
+
+
 def fault_coverage(
     circuit: Circuit,
     faults: Sequence[Fault],
-    vectors: Sequence[Mapping[int, int]],
+    vectors: VectorsArg,
     block: int = 64,
     compiled: CompiledArg = None,
 ) -> CoverageReport:
@@ -167,13 +244,12 @@ def fault_coverage(
     still-undetected fault is graded against it, and detected faults
     leave the active list.  ``compiled`` follows the shared convention;
     on the kernel path each fault costs only its fanout cone.
+    ``vectors`` may be a :class:`PackedCorpus` to reuse hoisted packing
+    across many calls.
     """
-    validate_vectors(circuit, vectors)
     kern = _resolve_compiled(circuit, compiled)
     remaining = list(faults)
-    for start in range(0, len(vectors), block):
-        chunk = vectors[start : start + block]
-        packed, width = pack_vectors(circuit, chunk)
+    for packed, width in _iter_packed_blocks(circuit, vectors, block):
         still = []
         if kern is not None:
             good_words = kern.evaluate_words(packed, width)
@@ -196,6 +272,66 @@ def fault_coverage(
         detected=len(faults) - len(remaining),
         undetected_faults=remaining,
     )
+
+
+def batch_fault_coverage(
+    items: Sequence[Tuple[Circuit, Sequence[Fault], VectorsArg]],
+    block: int = 64,
+) -> List[CoverageReport]:
+    """Grade many (circuit, faults, vectors) triples at once.
+
+    The good-circuit simulations of every still-active member are fused
+    into one :class:`repro.sim.batch.BatchKernel` dispatch per pattern
+    block; fault grading stays event-driven per member against the
+    batched good words.  Bit-identical to calling
+    :func:`fault_coverage` per triple -- and literally that loop when
+    batching is disabled (``REPRO_SIM_BATCH=0``) or the legacy
+    interpreted path is forced (``REPRO_SIM_LEGACY``), preserving the
+    A/B oracle.
+    """
+    if not items:
+        return []
+    if len(items) == 1 or not batch_enabled() or not kernel_enabled():
+        return [
+            fault_coverage(c, f, v, block=block) for c, f, v in items
+        ]
+    blocks = [
+        list(_iter_packed_blocks(c, v, block)) for c, _f, v in items
+    ]
+    totals = [list(f) for _c, f, _v in items]
+    remaining = [list(f) for f in totals]
+    kerns = [get_compiled(c) for c, _f, _v in items]
+    r = 0
+    while True:
+        active = [
+            k
+            for k in range(len(items))
+            if remaining[k] and r < len(blocks[k])
+        ]
+        if not active:
+            break
+        bk = BatchKernel([items[k][0] for k in active])
+        packed = [blocks[k][r][0] for k in active]
+        widths = [blocks[k][r][1] for k in active]
+        words = bk.evaluate_words(packed, widths)
+        for j, k in enumerate(active):
+            kern = kerns[k]
+            still = [
+                f
+                for f in remaining[k]
+                if not kern.detecting_word(f, words[j], widths[j])
+            ]
+            kern.note_dropped(len(remaining[k]) - len(still))
+            remaining[k] = still
+        r += 1
+    return [
+        CoverageReport(
+            total_faults=len(totals[k]),
+            detected=len(totals[k]) - len(remaining[k]),
+            undetected_faults=remaining[k],
+        )
+        for k in range(len(items))
+    ]
 
 
 def complete_vector(

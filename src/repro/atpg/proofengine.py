@@ -60,7 +60,12 @@ from ..network import Circuit
 from ..sat import CircuitEncoder, Solver
 from ..sim.kernel import refresh_compiled
 from .faults import CONN, Fault, anchor_gate, collapsed_faults
-from .faultsim import complete_vector, fault_coverage, random_vectors
+from .faultsim import (
+    PackedCorpus,
+    complete_vector,
+    fault_coverage,
+    random_vectors,
+)
 from .podem import Podem, Status
 
 #: Verdict classes.  ``HARD`` means PODEM aborted and SAT has not been
@@ -136,6 +141,11 @@ class ProofEngine:
         seed: seed for the initial random vectors (the oracle's ``7``).
         jobs: when > 1, :meth:`redundant_faults` shards hard-fault SAT
             proofs across that many worker processes.
+        prefilter: optional precomputed first-epoch grading (a
+            :class:`repro.engine.batchsim.BatchPrefilter`, duck-typed to
+            its ``lookup``).  Consulted before the per-circuit
+            simulation prefilter; any mismatch falls back to grading
+            normally, so verdicts are bit-identical with or without it.
     """
 
     def __init__(
@@ -145,6 +155,7 @@ class ProofEngine:
         patterns: int = 64,
         seed: int = 7,
         jobs: Optional[int] = None,
+        prefilter=None,
     ) -> None:
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
@@ -152,6 +163,10 @@ class ProofEngine:
         self.counters: Dict[str, int] = {name: 0 for name in PROOF_COUNTERS}
         self._verdicts: Dict[Fault, str] = {}
         self._vectors = random_vectors(circuit, patterns, seed)
+        self._prefilter = prefilter
+        # hoisted packing of the vector pool, rebuilt when the pool
+        # grows or the circuit's PI set changes (see PackedCorpus)
+        self._corpus: Optional[PackedCorpus] = None
         # epoch solver state (rebuilt when the circuit version moves)
         self._solver: Optional[Solver] = None
         self._good_var: Dict[int, int] = {}
@@ -213,13 +228,40 @@ class ProofEngine:
         self.counters["verdicts_carried"] += len(universe) - len(pending)
         self.counters["faults_requalified"] += len(pending)
         if pending and self._vectors:
-            report = fault_coverage(self.circuit, pending, self._vectors)
-            undetected = set(report.undetected_faults)
-            for f in pending:
-                if f not in undetected:
-                    self._verdicts[f] = TESTABLE
+            detected: Optional[List[Fault]] = None
+            if self._prefilter is not None:
+                # sweep-level precomputed grading; exact-match guarded,
+                # so a hit is bit-identical to the fault_coverage below.
+                # One shot: only the pristine first-epoch circuit can
+                # match, so later epochs skip the fingerprint probe.
+                detected = self._prefilter.lookup(
+                    self.circuit, self._vectors, pending
+                )
+                self._prefilter = None
+            if detected is None:
+                report = fault_coverage(
+                    self.circuit, pending, self._vector_corpus()
+                )
+                undetected = set(report.undetected_faults)
+                detected = [f for f in pending if f not in undetected]
+            for f in detected:
+                self._verdicts[f] = TESTABLE
         podem = Podem(self.circuit, backtrack_limit=self.backtrack_limit)
         return universe, podem
+
+    def _vector_corpus(self) -> PackedCorpus:
+        """The vector pool packed once and reused across epochs --
+        rebuilt only when a witness extended the pool or the circuit's
+        PI gid set changed since packing."""
+        corpus = self._corpus
+        if (
+            corpus is None
+            or len(corpus) != len(self._vectors)
+            or not corpus.fresh_for(self.circuit, corpus.block)
+        ):
+            corpus = PackedCorpus(self.circuit, self._vectors)
+            self._corpus = corpus
+        return corpus
 
     def _qualify_podem(
         self, podem: Podem, fault: Fault, universe: Sequence[Fault]

@@ -217,6 +217,7 @@ def cmd_bench(args) -> int:
         jobs=args.jobs,
         cache_dir=args.cache,
         stage_timeout=args.timeout,
+        batch_sim=False if args.no_batch_sim else None,
     )
     verify = None if args.verify == "none" else args.verify
     if args.suite == "table1":
@@ -647,6 +648,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verify", choices=["none", "fraig", "cnf"], default="none",
         help="append an equivalence check per job (table1 suite only)",
+    )
+    p.add_argument(
+        "--no-batch-sim", action="store_true",
+        help=(
+            "disable the cross-circuit batched-simulation pre-pass "
+            "(the REPRO_SIM_BATCH=0 A/B oracle path)"
+        ),
     )
     p.set_defaults(func=cmd_bench)
 

@@ -1,0 +1,251 @@
+"""Cross-circuit batched simulation for engine sweeps.
+
+Every sweep job that classifies faults (the ``atpg``, ``kms``, and
+``fuzz_grade`` stages) opens its :class:`repro.atpg.ProofEngine` the
+same way: roll ``random_vectors(patterns=64, seed=7)``, grade the fault
+universe against them, and mark the detected faults testable before any
+PODEM/SAT work.  Executed job-by-job that first-epoch prefilter is one
+per-circuit simulation per job -- exactly the per-circuit python
+dispatch the batch kernel exists to remove.
+
+:class:`BatchPrefilter` hoists it: before the runner executes a sweep's
+jobs, one pre-pass rebuilds every job's circuit from its (deterministic)
+factory spec, collects every fault universe, and grades *all of them in
+one* :func:`repro.atpg.faultsim.batch_fault_coverage` call -- the
+good-circuit simulations of the whole sweep fused into one ragged numpy
+dispatch per (level, opcode) group.  The precomputed detected-sets are
+injected into each job's stages through the pipeline ``ctx``, and
+:meth:`ProofEngine._prepare_epoch` consults them instead of re-running
+the identical ``fault_coverage``.
+
+Bit-identity is structural, not assumed: a lookup only answers when the
+stage's circuit fingerprint, PI gid tuple, and vector pool match the
+precomputed entry exactly and the queried faults are a subset of the
+graded universe (per-fault detection is independent, so subsets are
+exact).  Anything else -- a mutated circuit, a witness-extended vector
+pool, an unknown fault -- is a miss, and the engine falls back to the
+ordinary ``fault_coverage`` path verbatim.  ``REPRO_SIM_BATCH=0`` (or
+``EngineConfig.batch_sim=False``) disables the pre-pass entirely, which
+is the A/B oracle for the whole mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..atpg.faults import Fault, collapsed_faults
+from ..atpg.faultsim import batch_fault_coverage, random_vectors
+from ..network import Circuit
+from .hashing import circuit_fingerprint
+
+#: Stages whose bodies open a ProofEngine and benefit from the pre-pass.
+PREFILTER_STAGES = ("atpg", "kms", "fuzz_grade")
+
+#: ProofEngine's seeded-pool defaults (the oracle's 64 patterns, seed 7);
+#: lookups verify the actual vectors, so these only shape the pre-pass.
+PREFILTER_PATTERNS = 64
+PREFILTER_SEED = 7
+
+
+class _Entry:
+    """One precomputed first-epoch grading, keyed by fingerprint."""
+
+    __slots__ = ("pi_key", "vectors", "universe", "detected")
+
+    def __init__(
+        self,
+        pi_key: Tuple[int, ...],
+        vectors: List[Dict[int, int]],
+        universe: Set[Fault],
+        detected: Set[Fault],
+    ) -> None:
+        self.pi_key = pi_key
+        self.vectors = vectors
+        self.universe = universe
+        self.detected = detected
+
+
+class BatchPrefilter:
+    """Precomputed random-vector fault prefilters for a set of circuits.
+
+    Build with :meth:`build` (or :func:`prefilter_from_jobs`), hand to
+    :class:`repro.atpg.ProofEngine` via its ``prefilter`` argument (the
+    runner does this through the pipeline ``ctx``), and every engine
+    whose first epoch matches a precomputed entry skips its per-circuit
+    ``fault_coverage`` call.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, _Entry] = {}
+        self.counters: Dict[str, int] = {
+            "prefilter_entries": 0,
+            "prefilter_faults_graded": 0,
+            "prefilter_hits": 0,
+            "prefilter_misses": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @classmethod
+    def build(
+        cls,
+        items: Sequence[Tuple[Circuit, Optional[Sequence[Fault]]]],
+        patterns: int = PREFILTER_PATTERNS,
+        seed: int = PREFILTER_SEED,
+    ) -> "BatchPrefilter":
+        """Grade every (circuit, extra faults) item in one batched call.
+
+        Each item's universe is its collapsed fault list plus any
+        ``extra`` faults (fuzz scenarios classify their planted list
+        directly, which collapsing may not cover).  Duplicate
+        fingerprints share one entry -- graded once, looked up by every
+        job that builds the same circuit.
+        """
+        self = cls()
+        keyed: List[Tuple[str, Circuit, List[Fault]]] = []
+        for circuit, extra in items:
+            fp = circuit_fingerprint(circuit)
+            if fp in self._entries or any(k == fp for k, _c, _u in keyed):
+                continue
+            universe = collapsed_faults(circuit)
+            if extra:
+                known = set(universe)
+                universe.extend(f for f in extra if f not in known)
+            keyed.append((fp, circuit, universe))
+        vector_lists = [
+            random_vectors(circuit, patterns, seed)
+            for _fp, circuit, _u in keyed
+        ]
+        reports = batch_fault_coverage(
+            [
+                (circuit, universe, vectors)
+                for (_fp, circuit, universe), vectors in zip(
+                    keyed, vector_lists
+                )
+            ]
+        )
+        for (fp, circuit, universe), vectors, report in zip(
+            keyed, vector_lists, reports
+        ):
+            undetected = set(report.undetected_faults)
+            self._entries[fp] = _Entry(
+                pi_key=tuple(circuit.inputs),
+                vectors=vectors,
+                universe=set(universe),
+                detected={f for f in universe if f not in undetected},
+            )
+            self.counters["prefilter_faults_graded"] += len(universe)
+        self.counters["prefilter_entries"] = len(self._entries)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Primitives-only snapshot, the pool-worker convention
+        (``Job``/``EngineConfig`` round-trip the same way).  Workers
+        rebuild with :meth:`from_dict` so serial and pool sweeps make
+        the identical lookups -- the runner's parallel == serial
+        bit-identity covers result-payload work counters, and those
+        shift with whether a lookup happened."""
+        return {
+            "entries": [
+                {
+                    "fingerprint": fp,
+                    "pi_key": list(entry.pi_key),
+                    "vectors": [dict(v) for v in entry.vectors],
+                    "universe": [
+                        [f.kind, f.site, f.value] for f in entry.universe
+                    ],
+                    "detected": [
+                        [f.kind, f.site, f.value] for f in entry.detected
+                    ],
+                }
+                for fp, entry in self._entries.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchPrefilter":
+        self = cls()
+        for entry in data["entries"]:
+            self._entries[entry["fingerprint"]] = _Entry(
+                pi_key=tuple(entry["pi_key"]),
+                vectors=[dict(v) for v in entry["vectors"]],
+                universe={
+                    Fault(k, s, v) for k, s, v in entry["universe"]
+                },
+                detected={
+                    Fault(k, s, v) for k, s, v in entry["detected"]
+                },
+            )
+        self.counters["prefilter_entries"] = len(self._entries)
+        return self
+
+    def lookup(
+        self,
+        circuit: Circuit,
+        vectors: Sequence[Mapping[int, int]],
+        pending: Sequence[Fault],
+    ) -> Optional[List[Fault]]:
+        """The detected subset of ``pending``, or ``None`` on any
+        mismatch (the caller then grades normally).
+
+        Exact-match guards, all required: the circuit fingerprint has an
+        entry, the PI gid tuple is unchanged (fingerprints ignore gid
+        numbering; vectors do not), the vector pool equals the
+        precomputed one (a witness-extended pool must be re-graded), and
+        every pending fault was in the graded universe.
+        """
+        entry = self._entries.get(circuit_fingerprint(circuit))
+        if (
+            entry is None
+            or entry.pi_key != tuple(circuit.inputs)
+            or len(vectors) != len(entry.vectors)
+            or list(vectors) != entry.vectors
+            or any(f not in entry.universe for f in pending)
+        ):
+            self.counters["prefilter_misses"] += 1
+            return None
+        self.counters["prefilter_hits"] += 1
+        return [f for f in pending if f in entry.detected]
+
+
+def prefilter_items(
+    jobs: Sequence[Any],
+) -> List[Tuple[Circuit, Optional[List[Fault]]]]:
+    """The (circuit, extra-faults) pairs a job list contributes to the
+    pre-pass.
+
+    Rebuilds each relevant job's circuit from its factory spec (cheap
+    and deterministic -- the same spec the ``generate`` stage replays).
+    Jobs whose pipelines contain none of :data:`PREFILTER_STAGES`
+    contribute nothing.  Exposed separately from
+    :func:`prefilter_from_jobs` so the batch benchmark can grade the
+    identical items per-circuit as its A/B oracle.
+    """
+    from .stages import build_circuit
+
+    items: List[Tuple[Circuit, Optional[List[Fault]]]] = []
+    for job in jobs:
+        if not any(
+            call.stage in PREFILTER_STAGES for call in job.pipeline
+        ):
+            continue
+        if job.factory == "fuzz_planted":
+            # scenario factories carry planted ground truth the grading
+            # stage classifies directly; fold it into the universe
+            from ..fuzz.grade import ScenarioSpec, build_scenario
+
+            planted = build_scenario(ScenarioSpec.from_dict(job.params))
+            items.append((planted.circuit, list(planted.faults)))
+        else:
+            items.append((build_circuit(job.factory, job.params), None))
+    return items
+
+
+def prefilter_from_jobs(jobs: Sequence[Any]) -> Optional[BatchPrefilter]:
+    """Build the sweep-level prefilter for a list of runner ``Job``\\ s;
+    ``None`` when no job qualifies."""
+    items = prefilter_items(jobs)
+    if not items:
+        return None
+    return BatchPrefilter.build(items)

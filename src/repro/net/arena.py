@@ -78,6 +78,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..network.circuit import Circuit, CircuitError
 from ..network.gates import GateType
+from ..sim.opcodes import OPCODE
 
 try:  # optional [perf] extra; the pure-Python backend is always there
     import numpy as _np
@@ -103,34 +104,10 @@ GT_CODE: Dict[GateType, int] = {gt: i for i, gt in enumerate(GT_LIST)}
 #: ``GateType.value`` strings by code, for digest seeds.
 GT_VALUE: List[str] = [gt.value for gt in GT_LIST]
 
-#: Simulation opcodes -- value-identical to ``repro.sim.kernel._OP_*``
-#: (OUTPUT markers evaluate as BUF there; asserted by the test suite).
-OP_INPUT = 0
-OP_CONST0 = 1
-OP_CONST1 = 2
-OP_BUF = 3
-OP_NOT = 4
-OP_AND = 5
-OP_NAND = 6
-OP_OR = 7
-OP_NOR = 8
-OP_XOR = 9
-OP_XNOR = 10
-
-SIM_OPCODE: Dict[GateType, int] = {
-    GateType.INPUT: OP_INPUT,
-    GateType.CONST0: OP_CONST0,
-    GateType.CONST1: OP_CONST1,
-    GateType.BUF: OP_BUF,
-    GateType.OUTPUT: OP_BUF,
-    GateType.NOT: OP_NOT,
-    GateType.AND: OP_AND,
-    GateType.NAND: OP_NAND,
-    GateType.OR: OP_OR,
-    GateType.NOR: OP_NOR,
-    GateType.XOR: OP_XOR,
-    GateType.XNOR: OP_XNOR,
-}
+#: Simulation opcodes -- the shared table of :mod:`repro.sim.opcodes`
+#: (OUTPUT markers evaluate as BUF; one table, so the arena's ``evalop``
+#: array can never drift from what the kernels execute).
+SIM_OPCODE: Dict[GateType, int] = OPCODE
 
 #: Compaction policy: collect when dead slots exceed half the arena and
 #: the absolute floor (no point compacting toy arenas).

@@ -1,0 +1,390 @@
+"""Batched multi-circuit packed simulation.
+
+PR 3-8 made each circuit's simulation fast in isolation: a compiled
+levelized schedule, uint64 numpy lanes, event-driven fault cones, and a
+struct-of-arrays arena so the schedule never rebuilds.  What was still
+per-circuit is the *python dispatch*: every engine job of a sweep and
+every scenario of a fuzz campaign walks its own schedule one gate at a
+time, even though the circuits share opcode semantics and the work per
+gate is one bitwise op.
+
+:class:`BatchKernel` removes that axis.  It concatenates many compiled
+views (:class:`~repro.sim.kernel.CompiledCircuit` or
+:class:`~repro.sim.kernel.ArenaCompiledCircuit`, freely mixed) into one
+ragged CSR super-graph over a single global value array and evaluates
+*all* member circuits with one vectorized numpy dispatch per
+``(level, opcode)`` group:
+
+* Rows 0 and 1 of the global value array are padding sentinels (all
+  zeros / all ones).  Ragged fanin rows inside a group are padded to the
+  group's max arity with the reduction identity
+  (:data:`~repro.sim.opcodes.PAD_IDENTITY_ONES` decides which), so one
+  ``np.bitwise_*.reduce`` handles every arity at once.
+* Members of different pattern widths batch together: bitwise ops are
+  independent per bit lane, so evaluating at the batch max width with
+  zero-padded inputs and masking each member's words at extraction is
+  bit-identical to simulating each member alone at its own width.
+* Negated opcodes (NAND/NOR/XNOR/NOT) dispatch as their base reduction
+  (:data:`~repro.sim.opcodes.NEGATED`) followed by one vectorized
+  complement.
+
+A pure-python bigint fallback walks the identical group plan (one
+:func:`~repro.sim.opcodes.eval_op_word` per gate), selected by the
+existing ``REPRO_SIM_BACKEND`` switch -- with one deliberate divergence
+from the per-circuit ``auto`` rule: batching amortizes numpy's per-op
+overhead across *rows*, not lanes, so ``auto`` picks numpy whenever it
+is importable regardless of width.
+
+Work is tracked in plan-derived deterministic counters
+(``batch_dispatches``, ``circuits_per_dispatch``, ``gate_evals_batched``,
+``python_loop_iters_saved``) -- exact functions of the batch plan, the
+same on both backends, flowing through
+:class:`~repro.sim.kernel.SimWorkTracker` like every other sim counter.
+The per-circuit kernels stay untouched as the A/B oracle: consumers gate
+on :func:`batch_enabled` (``REPRO_SIM_BATCH=0`` forces the per-circuit
+path) and the property suite asserts bit-identity between the two.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..network import Circuit
+from .kernel import (
+    _ALL_ONES,
+    _GLOBAL_WORK,
+    _SimWork,
+    BACKEND_ENV,
+    get_compiled,
+    resolve_backend,
+)
+from .opcodes import (
+    NEGATED,
+    OP_AND,
+    OP_CONST0,
+    OP_CONST1,
+    OP_INPUT,
+    OP_OR,
+    OP_XOR,
+    PAD_IDENTITY_ONES,
+    eval_op_word,
+)
+
+try:  # optional [perf] extra; the pure-python backend is always there
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    _np = None
+
+#: Environment variable disabling batched dispatch (the A/B oracle
+#: switch): ``REPRO_SIM_BATCH=0`` makes every consumer fall back to
+#: per-circuit kernel calls, bit-identically.
+BATCH_ENV = "REPRO_SIM_BATCH"
+
+
+def batch_enabled() -> bool:
+    """Should consumers batch compatible simulations across circuits?
+
+    True unless ``REPRO_SIM_BATCH`` is set to ``0`` -- the env-level A/B
+    switch mirroring ``REPRO_SIM_LEGACY`` / ``REPRO_NET_LEGACY``.
+    """
+    return os.environ.get(BATCH_ENV, "") != "0"
+
+
+def _resolve_batch_backend(requested: Optional[str]) -> str:
+    """Backend choice for one batched dispatch.
+
+    Explicit requests (argument or ``REPRO_SIM_BACKEND``) behave exactly
+    like :func:`repro.sim.kernel.resolve_backend`; ``auto`` prefers
+    numpy whenever importable because the batch amortizes per-op
+    overhead across rows, not pattern lanes.
+    """
+    choice = requested or os.environ.get(BACKEND_ENV, "auto") or "auto"
+    if choice == "auto":
+        return "numpy" if _np is not None else "python"
+    return resolve_backend(choice)
+
+
+def _member_schedule(kern) -> Tuple[int, List[Tuple[int, int, Tuple[int, ...], int, int]]]:
+    """Lower one compiled view to ``(n_rows, rows)``.
+
+    ``rows`` lists ``(position, opcode, fanin positions, level, gid)``
+    in a valid evaluation order.  For the legacy kernel positions are
+    topo ranks and the level array is precomputed; for the arena view
+    positions are slots and levels are derived here by one walk of the
+    maintained schedule (fanins always precede their gate in it).
+    """
+    arena = getattr(kern, "arena", None)
+    if arena is None:
+        ops = kern.ops
+        fanin = kern.fanin_pos
+        level = kern.level
+        order = kern.order
+        return len(ops), [
+            (i, ops[i], fanin[i], level[i], order[i])
+            for i in range(len(ops))
+        ]
+    n = len(arena.alive)
+    evalop = arena.evalop
+    fanin = arena.fanin
+    csrc = arena.csrc
+    gid_of = arena.gid_of
+    level = [0] * n
+    rows: List[Tuple[int, int, Tuple[int, ...], int, int]] = []
+    for slot in arena.sched_order:
+        if slot == -1:
+            continue
+        srcs = tuple(csrc[c] for c in fanin[slot])
+        lvl = 1 + max((level[s] for s in srcs), default=-1)
+        level[slot] = lvl
+        rows.append((slot, evalop[slot], srcs, lvl, gid_of[slot]))
+    return n, rows
+
+
+class BatchKernel:
+    """Many compiled circuits fused into one ragged dispatch plan.
+
+    Construction compiles (or reuses) each member's kernel view and
+    builds the global plan: per-member row offsets into one value
+    array, input/const row lists, and ``(level, opcode)`` groups of
+    ``(dst row, padded src rows)``.  The plan rebuilds automatically
+    when any member circuit has mutated since (one integer compare per
+    member per call, the same staleness contract as the per-circuit
+    kernel).
+
+    :meth:`evaluate_words` is the batched equivalent of calling every
+    member's ``evaluate_words`` in a loop -- same positional word lists
+    per member, bit-identical on both backends -- in one dispatch per
+    group instead of one python loop iteration per gate.
+    """
+
+    def __init__(self, circuits: Sequence[Circuit]) -> None:
+        self.circuits: List[Circuit] = list(circuits)
+        self.work = _SimWork()
+        self._build()
+
+    # ------------------------------ plan ------------------------------ #
+
+    def _build(self) -> None:
+        kernels = [get_compiled(c) for c in self.circuits]
+        self.kernels = kernels
+        self._versions = [c.version for c in self.circuits]
+        bases: List[int] = []
+        member_rows: List[int] = []
+        #: (global row, member index, gid) for every primary input
+        input_rows: List[Tuple[int, int, int]] = []
+        #: (global row, opcode) for every constant gate
+        const_rows: List[Tuple[int, int]] = []
+        grouped: Dict[Tuple[int, int], List[Tuple[int, Tuple[int, ...]]]] = {}
+        n_eval = 0
+        total = 2  # rows 0 / 1 are the zeros / all-ones padding sentinels
+        for k, kern in enumerate(kernels):
+            kern._ensure_fresh()
+            n, rows = _member_schedule(kern)
+            bases.append(total)
+            member_rows.append(n)
+            base = total
+            for pos, op, srcs, lvl, gid in rows:
+                g = base + pos
+                if op == OP_INPUT:
+                    input_rows.append((g, k, gid))
+                    continue
+                n_eval += 1
+                if op == OP_CONST0 or op == OP_CONST1:
+                    const_rows.append((g, op))
+                    continue
+                grouped.setdefault((lvl, op), []).append(
+                    (g, tuple(base + s for s in srcs))
+                )
+            total += n
+        self.bases = bases
+        self.member_rows = member_rows
+        self.total_rows = total
+        self.input_rows = input_rows
+        self.const_rows = const_rows
+        #: dispatch plan: (level, opcode, [(dst row, src rows)...]),
+        #: level-ascending so every fanin row is written before read
+        self.groups: List[Tuple[int, int, List[Tuple[int, Tuple[int, ...]]]]]
+        self.groups = [
+            (lvl, op, rows) for (lvl, op), rows in sorted(grouped.items())
+        ]
+        #: rows one full batched evaluation charges (what the members'
+        #: per-circuit ``gate_evals_good`` would have summed to)
+        self.n_eval_rows = n_eval
+        self.n_groups = len(self.groups)
+        self._np_plan = None
+
+    def _ensure_fresh(self) -> None:
+        if any(
+            c.version != v for c, v in zip(self.circuits, self._versions)
+        ):
+            self._build()
+
+    def _np_groups(self):
+        """The group plan lowered to numpy index arrays (cached)."""
+        if self._np_plan is None:
+            np = _np
+            plan = []
+            for _lvl, op, rows in self.groups:
+                arity = max((len(s) for _, s in rows), default=0) or 1
+                pad = 1 if op in PAD_IDENTITY_ONES else 0
+                src = np.full((len(rows), arity), pad, dtype=np.intp)
+                dst = np.empty(len(rows), dtype=np.intp)
+                for i, (d, srcs) in enumerate(rows):
+                    dst[i] = d
+                    if srcs:
+                        src[i, : len(srcs)] = srcs
+                plan.append((op, dst, src))
+            self._np_plan = plan
+        return self._np_plan
+
+    # ---------------------------- evaluation --------------------------- #
+
+    def evaluate_words(
+        self,
+        packed_inputs: Sequence[Mapping[int, int]],
+        widths: Sequence[int],
+        backend: Optional[str] = None,
+    ) -> List[List[int]]:
+        """Batched, bit-identical equivalent of per-member
+        ``evaluate_words`` calls.
+
+        ``packed_inputs[k]`` maps member ``k``'s PI gids to packed
+        words, ``widths[k]`` its pattern count.  Returns one positional
+        word list per member (index = topo rank / arena slot), each
+        masked to its member's own width.
+        """
+        if len(packed_inputs) != len(self.circuits) or len(widths) != len(
+            self.circuits
+        ):
+            raise ValueError(
+                "batch evaluate needs one packed-input map and one width "
+                "per member circuit"
+            )
+        if not self.circuits:
+            return []
+        self._ensure_fresh()
+        width = max(widths)
+        if width <= 0:
+            # zero-width mask annihilates every word on both backends
+            self._charge()
+            return [[0] * n for n in self.member_rows]
+        which = _resolve_batch_backend(backend)
+        if which == "numpy":
+            values = self._dispatch_numpy(packed_inputs, width)
+        else:
+            values = self._dispatch_python(packed_inputs, width)
+        self._charge()
+        out: List[List[int]] = []
+        for k, base in enumerate(self.bases):
+            mask = (1 << widths[k]) - 1
+            out.append(
+                [values[base + i] & mask for i in range(self.member_rows[k])]
+            )
+        return out
+
+    def evaluate(
+        self,
+        packed_inputs: Sequence[Mapping[int, int]],
+        widths: Sequence[int],
+        backend: Optional[str] = None,
+    ) -> List[Dict[int, int]]:
+        """Like :meth:`evaluate_words` but gid-keyed per member (the
+        shape ``simulate_packed`` returns)."""
+        words = self.evaluate_words(packed_inputs, widths, backend)
+        out: List[Dict[int, int]] = []
+        for k, kern in enumerate(self.kernels):
+            member = words[k]
+            out.append(
+                {
+                    gid: member[i]
+                    for i, gid in enumerate(kern.order)
+                    if gid != -1
+                }
+            )
+        return out
+
+    # ----------------------------- backends ---------------------------- #
+
+    def _dispatch_python(
+        self, packed_inputs: Sequence[Mapping[int, int]], width: int
+    ) -> List[int]:
+        mask = (1 << width) - 1
+        values = [0] * self.total_rows
+        values[1] = mask
+        for g, k, gid in self.input_rows:
+            values[g] = packed_inputs[k].get(gid, 0) & mask
+        for g, op in self.const_rows:
+            values[g] = mask if op == OP_CONST1 else 0
+        for _lvl, op, rows in self.groups:
+            for dst, srcs in rows:
+                values[dst] = eval_op_word(
+                    op, [values[s] for s in srcs], mask
+                )
+        return values
+
+    def _dispatch_numpy(
+        self, packed_inputs: Sequence[Mapping[int, int]], width: int
+    ) -> List[int]:
+        np = _np
+        nwords = (width + 63) // 64
+        mask = (1 << width) - 1
+        lane_mask = np.full(nwords, _ALL_ONES, dtype=np.uint64)
+        rem = width % 64
+        if rem:
+            lane_mask[-1] = np.uint64((1 << rem) - 1)
+        row_bytes = nwords * 8
+        values = np.zeros((self.total_rows, nwords), dtype=np.uint64)
+        values[1] = lane_mask
+        for g, k, gid in self.input_rows:
+            v = packed_inputs[k].get(gid, 0) & mask
+            values[g] = np.frombuffer(
+                v.to_bytes(row_bytes, "little"), dtype="<u8"
+            )
+        for g, op in self.const_rows:
+            if op == OP_CONST1:
+                values[g] = lane_mask
+        for op, dst, src in self._np_groups():
+            base = NEGATED.get(op, op)
+            gathered = values[src]  # (rows, arity, nwords)
+            if base == OP_AND:
+                acc = np.bitwise_and.reduce(gathered, axis=1)
+            elif base == OP_OR:
+                acc = np.bitwise_or.reduce(gathered, axis=1)
+            elif base == OP_XOR:
+                acc = np.bitwise_xor.reduce(gathered, axis=1)
+            else:  # OP_BUF base: NOT and BUF are the single first column
+                acc = gathered[:, 0, :]
+            if op in NEGATED:
+                acc = ~acc & lane_mask
+            values[dst] = acc
+        lanes = values.astype("<u8", copy=False).tobytes()
+        return [
+            int.from_bytes(lanes[i * row_bytes: (i + 1) * row_bytes], "little")
+            for i in range(self.total_rows)
+        ]
+
+    # ----------------------------- counters ---------------------------- #
+
+    def _charge(self) -> None:
+        """Plan-derived work accounting for one batched dispatch --
+        identical on both backends by construction."""
+        saved = max(0, self.n_eval_rows - self.n_groups)
+        for w in (self.work, _GLOBAL_WORK):
+            w.batch_dispatches += 1
+            w.circuits_per_dispatch += len(self.circuits)
+            w.gate_evals_batched += self.n_eval_rows
+            w.python_loop_iters_saved += saved
+
+    def counters(self) -> Dict[str, int]:
+        """This batch kernel's deterministic work-counter snapshot."""
+        return self.work.as_dict()
+
+    def __len__(self) -> int:
+        return len(self.circuits)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchKernel {len(self.circuits)} circuits, "
+            f"{self.total_rows} rows, {self.n_groups} groups>"
+        )

@@ -50,7 +50,22 @@ import heapq
 import os
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..network import Circuit, GateType
+from ..network import Circuit
+from .opcodes import (
+    OP_AND,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_INPUT,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    OPCODE,
+    eval_op_word,
+)
 
 try:  # optional [perf] extra; the pure-Python backend is always there
     import numpy as _np
@@ -66,45 +81,40 @@ LEGACY_ENV = "REPRO_SIM_LEGACY"
 #: amortize numpy's per-op overhead across many uint64 lanes.
 AUTO_NUMPY_MIN_WIDTH = 65
 
-#: The kernel's deterministic work counters, in canonical order.
+#: The kernel's deterministic work counters, in canonical order.  The
+#: ``batch_*`` / ``*_batched`` / ``*_saved`` entries are bumped only by
+#: :class:`repro.sim.batch.BatchKernel` (the multi-circuit kernel) and
+#: stay zero on purely per-circuit runs.
 WORK_COUNTERS = (
     "gate_evals_good",
     "gate_evals_faulty",
     "cone_cutoffs",
     "faults_dropped",
     "compile_rebuilds",
+    "batch_dispatches",
+    "circuits_per_dispatch",
+    "gate_evals_batched",
+    "python_loop_iters_saved",
 )
 
 _ALL_ONES = 0xFFFF_FFFF_FFFF_FFFF
 
-# integer opcodes; OUTPUT markers evaluate as BUF, exactly as
-# sim.parallel.eval_gate_bits treats them
-_OP_INPUT = 0
-_OP_CONST0 = 1
-_OP_CONST1 = 2
-_OP_BUF = 3
-_OP_NOT = 4
-_OP_AND = 5
-_OP_NAND = 6
-_OP_OR = 7
-_OP_NOR = 8
-_OP_XOR = 9
-_OP_XNOR = 10
+# the shared opcode table (see repro.sim.opcodes); the leading
+# underscore names predate the shared module and are kept for the
+# consumers/tests that import them from here
+_OP_INPUT = OP_INPUT
+_OP_CONST0 = OP_CONST0
+_OP_CONST1 = OP_CONST1
+_OP_BUF = OP_BUF
+_OP_NOT = OP_NOT
+_OP_AND = OP_AND
+_OP_NAND = OP_NAND
+_OP_OR = OP_OR
+_OP_NOR = OP_NOR
+_OP_XOR = OP_XOR
+_OP_XNOR = OP_XNOR
 
-_OPCODE = {
-    GateType.INPUT: _OP_INPUT,
-    GateType.CONST0: _OP_CONST0,
-    GateType.CONST1: _OP_CONST1,
-    GateType.BUF: _OP_BUF,
-    GateType.OUTPUT: _OP_BUF,
-    GateType.NOT: _OP_NOT,
-    GateType.AND: _OP_AND,
-    GateType.NAND: _OP_NAND,
-    GateType.OR: _OP_OR,
-    GateType.NOR: _OP_NOR,
-    GateType.XOR: _OP_XOR,
-    GateType.XNOR: _OP_XNOR,
-}
+_OPCODE = OPCODE
 
 
 # ---------------------------------------------------------------------- #
@@ -172,11 +182,8 @@ class _SimWork:
     __slots__ = WORK_COUNTERS
 
     def __init__(self) -> None:
-        self.gate_evals_good = 0
-        self.gate_evals_faulty = 0
-        self.cone_cutoffs = 0
-        self.faults_dropped = 0
-        self.compile_rebuilds = 0
+        for name in WORK_COUNTERS:
+            setattr(self, name, 0)
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in WORK_COUNTERS}
@@ -481,32 +488,9 @@ class CompiledCircuit:
         return out, evals
 
     def _eval_one(self, idx: int, ins: Sequence[int], mask: int) -> int:
-        """Evaluate one gate over explicit fanin words (fault path)."""
-        op = self.ops[idx]
-        if op == _OP_AND or op == _OP_NAND:
-            acc = mask
-            for v in ins:
-                acc &= v
-            return acc if op == _OP_AND else ~acc & mask
-        if op == _OP_OR or op == _OP_NOR:
-            acc = 0
-            for v in ins:
-                acc |= v
-            return acc if op == _OP_OR else ~acc & mask
-        if op == _OP_BUF:
-            return ins[0]
-        if op == _OP_NOT:
-            return ~ins[0] & mask
-        if op == _OP_XOR or op == _OP_XNOR:
-            acc = 0
-            for v in ins:
-                acc ^= v
-            return acc if op == _OP_XOR else ~acc & mask
-        if op == _OP_CONST0:
-            return 0
-        if op == _OP_CONST1:
-            return mask
-        raise ValueError("cannot evaluate a primary input")
+        """Evaluate one gate over explicit fanin words (fault path) --
+        straight through the shared opcode table."""
+        return eval_op_word(self.ops[idx], ins, mask)
 
     # ------------------------ event-driven faults ---------------------- #
 
@@ -873,32 +857,9 @@ class ArenaCompiledCircuit:
         return out, evals
 
     def _eval_one(self, slot: int, ins: Sequence[int], mask: int) -> int:
-        """Evaluate one gate over explicit fanin words (fault path)."""
-        op = self.arena.evalop[slot]
-        if op == _OP_AND or op == _OP_NAND:
-            acc = mask
-            for v in ins:
-                acc &= v
-            return acc if op == _OP_AND else ~acc & mask
-        if op == _OP_OR or op == _OP_NOR:
-            acc = 0
-            for v in ins:
-                acc |= v
-            return acc if op == _OP_OR else ~acc & mask
-        if op == _OP_BUF:
-            return ins[0]
-        if op == _OP_NOT:
-            return ~ins[0] & mask
-        if op == _OP_XOR or op == _OP_XNOR:
-            acc = 0
-            for v in ins:
-                acc ^= v
-            return acc if op == _OP_XOR else ~acc & mask
-        if op == _OP_CONST0:
-            return 0
-        if op == _OP_CONST1:
-            return mask
-        raise ValueError("cannot evaluate a primary input")
+        """Evaluate one gate over explicit fanin words (fault path) --
+        straight through the shared opcode table."""
+        return eval_op_word(self.arena.evalop[slot], ins, mask)
 
     # ------------------------ event-driven faults ---------------------- #
 

@@ -13,49 +13,20 @@ import random
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..network import Circuit, GateType
+from .opcodes import OP_INPUT, OPCODE, eval_op_word
 
 
 def eval_gate_bits(gtype: GateType, inputs: Sequence[int], mask: int) -> int:
-    """Evaluate one gate over a packed word of patterns."""
-    if gtype is GateType.CONST0:
-        return 0
-    if gtype is GateType.CONST1:
-        return mask
-    if gtype in (GateType.BUF, GateType.OUTPUT):
-        return inputs[0]
-    if gtype is GateType.NOT:
-        return ~inputs[0] & mask
-    if gtype is GateType.AND:
-        acc = mask
-        for v in inputs:
-            acc &= v
-        return acc
-    if gtype is GateType.NAND:
-        acc = mask
-        for v in inputs:
-            acc &= v
-        return ~acc & mask
-    if gtype is GateType.OR:
-        acc = 0
-        for v in inputs:
-            acc |= v
-        return acc
-    if gtype is GateType.NOR:
-        acc = 0
-        for v in inputs:
-            acc |= v
-        return ~acc & mask
-    if gtype is GateType.XOR:
-        acc = 0
-        for v in inputs:
-            acc ^= v
-        return acc
-    if gtype is GateType.XNOR:
-        acc = 0
-        for v in inputs:
-            acc ^= v
-        return ~acc & mask
-    raise ValueError(f"cannot evaluate {gtype}")
+    """Evaluate one gate over a packed word of patterns.
+
+    Delegates to the shared opcode table (:mod:`repro.sim.opcodes`) so
+    the interpreted oracle, the compiled kernel, and the batch kernel
+    all evaluate through the same truth tables.
+    """
+    op = OPCODE.get(gtype)
+    if op is None or op == OP_INPUT:
+        raise ValueError(f"cannot evaluate {gtype}")
+    return eval_op_word(op, inputs, mask)
 
 
 def simulate_packed(

@@ -1,0 +1,228 @@
+"""The cross-circuit batch-sim pre-pass: bit-identity and guards.
+
+Three layers, bottom-up:
+
+* ``batch_fault_coverage`` == per-item ``fault_coverage`` (including
+  the ``REPRO_SIM_BATCH=0`` literal-fallback path) and ``PackedCorpus``
+  reuse == raw-vector packing;
+* ``BatchPrefilter.lookup`` answers exactly what ``fault_coverage``
+  would (hits) and refuses anything it did not precompute (misses);
+* ``run_jobs`` with ``batch_sim`` on/off produces identical result
+  fingerprints, and the pre-pass leaves a telemetry record whose
+  hit counter is live.
+"""
+
+from repro.atpg import (
+    PackedCorpus,
+    batch_fault_coverage,
+    collapsed_faults,
+    fault_coverage,
+)
+from repro.atpg.faultsim import random_vectors
+from repro.circuits import carry_skip_adder, random_circuit
+from repro.engine import (
+    BatchPrefilter,
+    EngineConfig,
+    Job,
+    StageCall,
+    prefilter_from_jobs,
+    run_jobs,
+)
+from repro.engine.sweep import CSA_MODEL
+from repro.sim.kernel import kernel_enabled
+
+
+def _items(seeds, patterns=64):
+    items = []
+    for seed in seeds:
+        c = random_circuit(
+            num_inputs=4, num_gates=14, num_outputs=2, seed=seed
+        )
+        items.append(
+            (c, collapsed_faults(c), random_vectors(c, patterns, seed))
+        )
+    return items
+
+
+def _essence(report):
+    return report.total_faults, report.detected, report.undetected_faults
+
+
+def test_batch_fault_coverage_matches_per_item():
+    items = _items(range(6))
+    batched = batch_fault_coverage(items)
+    for (circuit, faults, vectors), got in zip(items, batched):
+        want = fault_coverage(circuit, faults, vectors)
+        assert _essence(got) == _essence(want)
+
+
+def test_batch_fault_coverage_disabled_is_the_plain_loop(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_BATCH", "0")
+    items = _items(range(3))
+    batched = batch_fault_coverage(items)
+    for (circuit, faults, vectors), got in zip(items, batched):
+        want = fault_coverage(circuit, faults, vectors)
+        assert _essence(got) == _essence(want)
+
+
+def test_batch_fault_coverage_single_and_empty():
+    assert batch_fault_coverage([]) == []
+    items = _items([9])
+    (got,) = batch_fault_coverage(items)
+    want = fault_coverage(*items[0])
+    assert _essence(got) == _essence(want)
+
+
+def test_packed_corpus_reuse_matches_raw_vectors():
+    circuit = carry_skip_adder(nbits=2, block_size=2)
+    faults = collapsed_faults(circuit)
+    vectors = random_vectors(circuit, 100, 3)
+    corpus = PackedCorpus(circuit, vectors)
+    assert corpus.fresh_for(circuit, corpus.block)
+    want = fault_coverage(circuit, faults, vectors)
+    got = fault_coverage(circuit, faults, corpus)
+    assert _essence(got) == _essence(want)
+    # a corpus for another circuit is stale and falls back to its raw
+    # vectors rather than answering with the wrong packing
+    other = carry_skip_adder(nbits=2, block_size=2)
+    assert not corpus.fresh_for(other, corpus.block)
+
+
+def test_prefilter_hit_is_exact_and_misses_are_safe():
+    circuits = [
+        random_circuit(num_inputs=4, num_gates=12, num_outputs=2, seed=s)
+        for s in (31, 32)
+    ]
+    pre = BatchPrefilter.build([(c, None) for c in circuits])
+    assert len(pre) == 2
+    for c in circuits:
+        faults = collapsed_faults(c)
+        vectors = random_vectors(c, 64, 7)
+        detected = pre.lookup(c, vectors, faults)
+        assert detected is not None
+        report = fault_coverage(c, faults, vectors)
+        undet = set(report.undetected_faults)
+        assert detected == [f for f in faults if f not in undet]
+        # subsets are exact: per-fault detection is independent
+        subset = faults[::2]
+        assert pre.lookup(c, vectors, subset) == [
+            f for f in subset if f not in undet
+        ]
+
+    c = circuits[0]
+    faults = collapsed_faults(c)
+    # different vector pool -> miss
+    assert pre.lookup(c, random_vectors(c, 64, 8), faults) is None
+    assert pre.lookup(c, random_vectors(c, 63, 7), faults) is None
+    # unknown circuit -> miss
+    stranger = random_circuit(num_inputs=4, num_gates=12, seed=999)
+    assert (
+        pre.lookup(stranger, random_vectors(stranger, 64, 7),
+                   collapsed_faults(stranger))
+        is None
+    )
+    assert pre.counters["prefilter_hits"] == 4
+    assert pre.counters["prefilter_misses"] == 3
+
+
+def test_prefilter_covers_planted_faults():
+    from repro.fuzz import ScenarioSpec, build_scenario
+
+    spec = ScenarioSpec(
+        name="plant s1",
+        base={"factory": "random_redundant",
+              "params": {"seed": 1, "num_inputs": 4, "num_gates": 10}},
+        seed=1,
+        plants=2,
+    )
+    planted = build_scenario(spec)
+    job = Job(
+        name=spec.name,
+        factory="fuzz_planted",
+        params=spec.to_dict(),
+        pipeline=[StageCall("fuzz_grade", {"oracle": False})],
+    )
+    pre = prefilter_from_jobs([job, job])
+    assert pre is not None
+    vectors = random_vectors(planted.circuit, 64, 7)
+    # the planted (uncollapsed) ground-truth faults must be in the
+    # graded universe, or grade_scenario's direct classification misses
+    assert (
+        pre.lookup(planted.circuit, vectors, planted.faults) is not None
+    )
+
+
+def test_prefilter_skips_sweeps_without_classifying_stages():
+    job = Job(
+        name="delay only",
+        factory="carry_skip_adder",
+        params={"nbits": 2, "block": 2},
+        pipeline=[StageCall("sense_delay", {})],
+    )
+    assert prefilter_from_jobs([job, job]) is None
+
+
+SMOKE_JOBS = [
+    Job(
+        name="csa 2.2",
+        factory="carry_skip_adder",
+        params={"nbits": 2, "block": 2},
+        pipeline=[
+            StageCall("atpg", {}),
+            StageCall("kms", {"model": CSA_MODEL, "mode": "static"}),
+        ],
+    ),
+    Job(
+        name="rand s3",
+        factory="random_redundant",
+        params={"seed": 3, "num_inputs": 4, "num_gates": 8},
+        pipeline=[
+            StageCall("atpg", {}),
+            StageCall("kms", {"model": {"kind": "as_built"},
+                              "mode": "static"}),
+            StageCall("verify", {}),
+        ],
+    ),
+]
+
+
+def test_run_jobs_batch_sim_ab_identity():
+    on = run_jobs(SMOKE_JOBS, EngineConfig(jobs=1, batch_sim=True))
+    off = run_jobs(SMOKE_JOBS, EngineConfig(jobs=1, batch_sim=False))
+    assert on.ok and off.ok
+    assert [(r.name, r.ok, r.fingerprint) for r in on.results] == [
+        (r.name, r.ok, r.fingerprint) for r in off.results
+    ]
+
+    pre = [r for r in on.telemetry.records if r.stage == "batch_prefilter"]
+    assert len(pre) == 1
+    counters = pre[0].to_dict()["counters"]
+    assert counters["prefilter_entries"] == len(SMOKE_JOBS)
+    if kernel_enabled():
+        # under REPRO_SIM_LEGACY the pre-pass still precomputes, but
+        # through the per-item interpreted loop -- no batched dispatch
+        assert counters["batch_dispatches"] >= 1
+    assert counters["prefilter_hits"] > 0
+
+    assert not any(
+        r.stage == "batch_prefilter" for r in off.telemetry.records
+    )
+
+
+def test_run_jobs_env_switch_disables_prepass(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_BATCH", "0")
+    report = run_jobs(SMOKE_JOBS, EngineConfig(jobs=1))
+    assert report.ok
+    assert not any(
+        r.stage == "batch_prefilter" for r in report.telemetry.records
+    )
+
+
+def test_single_job_has_no_prepass():
+    report = run_jobs(
+        SMOKE_JOBS[:1], EngineConfig(jobs=1, batch_sim=True)
+    )
+    assert report.ok
+    assert not any(
+        r.stage == "batch_prefilter" for r in report.telemetry.records
+    )

@@ -1,0 +1,209 @@
+"""Property suite: the batch kernel is bit-identical to per-circuit
+simulation.
+
+The acceptance bar from the batch-sim issue: ~200 random circuits
+swept through batch sizes {1, 2, 7, 64} x widths {1, 64, 65, 200} x
+both backends, asserting ``BatchKernel.evaluate_words`` equals each
+member's own ``CompiledCircuit.evaluate_words`` (the kernel the PR-4
+property suite already pins to the interpreted oracle), plus directed
+tests for empty/singleton batches and mixed arena/legacy members.
+
+Plain parametrization over (batch size, backend), consuming one shared
+circuit pool in consecutive chunks: every circuit in the pool is
+evaluated under every batch size on every backend, and the per-member
+width is drawn per chunk so mixed-width batches (the masking edge case)
+appear throughout.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import random_circuit
+from repro.net import attach_arena
+from repro.sim import BatchKernel, batch_enabled
+from repro.sim.batch import BATCH_ENV
+from repro.sim.kernel import get_compiled, numpy_available
+
+#: the issue's width cases: single pattern, one full word, word
+#: boundary + 1, and a multi-word non-multiple of 64
+WIDTHS = [1, 64, 65, 200]
+
+BATCH_SIZES = [1, 2, 7, 64]
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+N_CIRCUITS = 200
+
+_POOL = None
+
+
+def _pool():
+    """200 deterministic random circuits, every third one arena-backed
+    so each multi-member batch mixes arena and legacy kernels."""
+    global _POOL
+    if _POOL is None:
+        circuits = []
+        for seed in range(N_CIRCUITS):
+            rng = random.Random(seed * 6151 + 5)
+            c = random_circuit(
+                num_inputs=rng.randint(3, 6),
+                num_gates=rng.randint(6, 16),
+                num_outputs=rng.randint(1, 3),
+                seed=seed,
+            )
+            if seed % 3 == 0:
+                attach_arena(c)
+            circuits.append(c)
+        _POOL = circuits
+    return _POOL
+
+
+def _member_inputs(circuit, width, rng):
+    return {g: rng.getrandbits(width) for g in circuit.inputs}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_matches_per_circuit(batch_size, backend):
+    pool = _pool()
+    rng = random.Random(batch_size * 31 + 7)
+    for start in range(0, len(pool), batch_size):
+        circuits = pool[start : start + batch_size]
+        widths = [WIDTHS[rng.randrange(len(WIDTHS))] for _ in circuits]
+        packed = [
+            _member_inputs(c, w, rng) for c, w in zip(circuits, widths)
+        ]
+        bk = BatchKernel(circuits)
+        got = bk.evaluate_words(packed, widths, backend=backend)
+        for k, circuit in enumerate(circuits):
+            kern = get_compiled(circuit)
+            want = kern.evaluate_words(
+                packed[k], widths[k], backend="python"
+            )
+            assert got[k] == want, (
+                f"batch={batch_size} member={k} width={widths[k]} "
+                f"backend={backend} pool[{start + k}]"
+            )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_gid_keyed_evaluate_matches(backend):
+    pool = _pool()[:8]
+    rng = random.Random(99)
+    widths = [WIDTHS[i % len(WIDTHS)] for i in range(len(pool))]
+    packed = [_member_inputs(c, w, rng) for c, w in zip(pool, widths)]
+    bk = BatchKernel(pool)
+    got = bk.evaluate(packed, widths, backend=backend)
+    for k, circuit in enumerate(pool):
+        kern = get_compiled(circuit)
+        want = kern.evaluate(packed[k], widths[k], backend="python")
+        assert got[k] == want
+
+
+def test_empty_batch():
+    bk = BatchKernel([])
+    assert len(bk) == 0
+    assert bk.evaluate_words([], []) == []
+    assert bk.evaluate([], []) == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_singleton_batch(backend):
+    circuit = _pool()[1]
+    rng = random.Random(4)
+    packed = _member_inputs(circuit, 65, rng)
+    bk = BatchKernel([circuit])
+    want = get_compiled(circuit).evaluate_words(
+        packed, 65, backend="python"
+    )
+    assert bk.evaluate_words([packed], [65], backend=backend) == [want]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mixed_arena_and_legacy_members(backend):
+    rng = random.Random(17)
+    circuits = []
+    for seed in (301, 302, 303, 304):
+        c = random_circuit(
+            num_inputs=4, num_gates=12, num_outputs=2, seed=seed
+        )
+        if seed % 2:
+            attach_arena(c)
+        circuits.append(c)
+    arena_backed = [c for c in circuits if getattr(c, "_arena", None)]
+    assert arena_backed and len(arena_backed) < len(circuits)
+    widths = [1, 200, 64, 65]
+    packed = [
+        _member_inputs(c, w, rng) for c, w in zip(circuits, widths)
+    ]
+    bk = BatchKernel(circuits)
+    got = bk.evaluate_words(packed, widths, backend=backend)
+    for k, circuit in enumerate(circuits):
+        want = get_compiled(circuit).evaluate_words(
+            packed[k], widths[k], backend="python"
+        )
+        assert got[k] == want
+
+
+def test_member_mutation_triggers_rebuild():
+    """Mutating any member between evaluates recompiles the plan, same
+    as the per-circuit kernel's version check."""
+    from repro.network import GateType
+
+    rng = random.Random(23)
+    circuits = [
+        random_circuit(num_inputs=4, num_gates=10, seed=s)
+        for s in (401, 402)
+    ]
+    bk = BatchKernel(circuits)
+    widths = [64, 64]
+    packed = [_member_inputs(c, 64, rng) for c in circuits]
+    bk.evaluate_words(packed, widths)
+
+    victim = circuits[1]
+    g = victim.add_gate(GateType.NOT, 0.0)
+    victim.connect(victim.outputs[0], g)
+    packed = [_member_inputs(c, 64, rng) for c in circuits]
+    got = bk.evaluate_words(packed, widths)
+    for k, circuit in enumerate(circuits):
+        want = get_compiled(circuit).evaluate_words(
+            packed[k], 64, backend="python"
+        )
+        assert got[k] == want
+
+
+def test_counters_charged_identically_on_both_backends():
+    rng = random.Random(5)
+    circuits = _pool()[10:14]
+    widths = [64] * len(circuits)
+    packed = [_member_inputs(c, 64, rng) for c in circuits]
+
+    charged = []
+    for backend in BACKENDS:
+        bk = BatchKernel(circuits)
+        bk.evaluate_words(packed, widths, backend=backend)
+        charged.append(bk.counters())
+    assert all(c == charged[0] for c in charged)
+    first = charged[0]
+    assert first["batch_dispatches"] == 1
+    assert first["circuits_per_dispatch"] == len(circuits)
+    assert first["gate_evals_batched"] > 0
+    assert first["python_loop_iters_saved"] >= 0
+
+
+def test_zero_width_batch():
+    circuits = _pool()[:2]
+    bk = BatchKernel(circuits)
+    got = bk.evaluate_words([{}, {}], [0, 0])
+    assert all(all(w == 0 for w in member) for member in got)
+    assert bk.counters()["batch_dispatches"] == 1
+
+
+def test_batch_enabled_env_switch(monkeypatch):
+    monkeypatch.delenv(BATCH_ENV, raising=False)
+    assert batch_enabled()
+    monkeypatch.setenv(BATCH_ENV, "0")
+    assert not batch_enabled()
+    monkeypatch.setenv(BATCH_ENV, "1")
+    assert batch_enabled()
