@@ -33,6 +33,56 @@ def test_kms_scaling(benchmark, nbits, block):
     assert result.circuit.num_gates() > 0
 
 
+@pytest.mark.parametrize("nbits,block", [(1024, 4)])
+def test_sta_scaling_xlarge(benchmark, nbits, block):
+    """The ~100x tier (roughly 13k gates vs the 114-gate csa 8.x rows).
+
+    Full KMS is PODEM-cleanup-bound out here, so this tier exercises
+    what the hierarchical engine actually changes: analysis build plus
+    a KMS-shaped mutation replay (constant-setting + dirty refresh).
+    Only the hierarchical path runs it -- flat build rides along once
+    for the agreement check and the ratio printout, but the flat
+    mutation replay would dominate the perf-gate budget for no claim.
+    """
+    from repro.network.transform import set_connection_constant
+    from repro.timing import HierSTA, IncrementalSTA, hier_enabled
+
+    if not hier_enabled():
+        pytest.skip("hierarchical timing disabled (REPRO_TIMING_HIER=0)")
+    circuit = carry_skip_adder(nbits, block)
+    flat = IncrementalSTA(circuit, MODEL)
+
+    def run():
+        work = circuit.copy()
+        sta = HierSTA(work, MODEL)
+        # KMS-shaped replay: tie a skip-AND input to constant 0 per
+        # sampled block (the Fig. 3 move that makes csa ripple again)
+        for gid in list(work.gates)[:: max(1, len(work.gates) // 8)]:
+            gate = work.gates.get(gid)
+            if gate is None or not gate.fanin or gate.gtype.name != "AND":
+                continue
+            _, touched = set_connection_constant(work, gate.fanin[0], 0)
+            sta.refresh(touched)
+        return sta
+
+    sta = once(benchmark, run)
+    assert sta.delay > 0.0
+    hier_build = HierSTA(circuit, MODEL)
+    assert hier_build.delay == flat.delay
+    assert hier_build.num_longest_paths() == flat.num_longest_paths()
+    relax = hier_build.arrival_relaxations + hier_build.dist_relaxations
+    flat_relax = flat.arrival_relaxations + flat.dist_relaxations
+    assert flat_relax >= 5 * relax
+    print()
+    print(
+        f"csa {nbits}.{block}: {circuit.num_gates()} gates, "
+        f"{len(hier_build.partitions)} partitions, "
+        f"{hier_build.models_extracted} models extracted, "
+        f"build relaxations {flat_relax} -> {relax} "
+        f"({flat_relax / max(1, relax):.1f}x)"
+    )
+
+
 @pytest.mark.parametrize("nbits,block", [(4, 2), (8, 2)])
 def test_atpg_scaling(benchmark, nbits, block):
     """Redundancy identification cost (the paper's 'slow ATPG' concern

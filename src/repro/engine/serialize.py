@@ -39,6 +39,13 @@ def circuit_to_dict(circuit: Circuit) -> Dict[str, Any]:
         "inputs": list(circuit.inputs),
         "outputs": list(circuit.outputs),
         "arrival": sorted(circuit.input_arrival.items()),
+        # optional key (absent when empty) so pre-existing cached
+        # payloads parse unchanged -- no schema bump needed
+        **(
+            {"hints": [list(h) for h in circuit.partition_hints]}
+            if circuit.partition_hints
+            else {}
+        ),
     }
 
 
@@ -58,4 +65,5 @@ def circuit_from_dict(data: Dict[str, Any]) -> Circuit:
     circuit._inputs = list(data["inputs"])
     circuit._outputs = list(data["outputs"])
     circuit.input_arrival = {gid: t for gid, t in data["arrival"]}
+    circuit.partition_hints = [list(h) for h in data.get("hints", [])]
     return circuit

@@ -1,0 +1,1186 @@
+"""Hierarchical timing: interface-model extraction over partitions.
+
+Implements Li et al.'s static timing model extraction ("Static Timing
+Model Extraction for Combinational Circuits", arXiv 1705.02610) on top
+of the repo's incremental STA: a :class:`Circuit` is carved into
+partitions (user-hinted block boundaries, e.g. the carry-skip adder's
+ripple blocks, or derived single-output cones), each partition is
+collapsed into a :class:`TimingModel` -- pin-to-pin max-delay arcs plus
+the internal critical-path witnesses needed to re-expand a path on
+demand -- and :class:`HierSTA` then runs
+:class:`~repro.timing.sta.IncrementalSTA`-compatible analysis over the
+partition graph.
+
+Three properties make the hierarchy free of approximation here:
+
+* **Exactness.**  Every delay quantity in this repo is an integer-valued
+  float (unit/paper delays, ``randint`` fuzz delays), so regrouping a
+  path sum at a partition boundary is exact and the hierarchical
+  arrival/dist/path-count values are bit-identical to the flat engine's.
+  The property suite (``tests/timing/test_hier_property.py``) asserts
+  ``==`` on every float.  (With genuinely fractional delays the
+  decomposition would still be a correct longest-path algorithm, but
+  bit-identity with the flat grouping is only guaranteed for sums that
+  are exact in binary floating point -- integers being the common case.)
+* **Model sharing.**  A partition's model is keyed by a *local* content
+  fingerprint -- gate types, model-evaluated gate/edge delays, internal
+  wiring, and the pin interface, with crossing edges anonymized to pin
+  slots -- so every repeated block (all ``n/b`` blocks of ``csa n.b``,
+  every slice of a ripple-carry adder) shares one extracted model, and a
+  :class:`ModelStore` backed by the engine's
+  :class:`~repro.engine.cache.ResultCache` makes warm sweeps hit disk.
+* **Laziness.**  Only boundary values are maintained eagerly: arrival
+  times at *out pins* (members with external fanout) and
+  ``dist``/``npaths`` at *entry members* (members with external fanin).
+  Those are exactly the values any top-level relaxation can read, so the
+  flat relaxation helpers work unchanged outside partitions.  Interior
+  values materialize on demand (annotation access), per partition, via
+  cheap arc arithmetic -- counted as ``arcs_evaluated`` and
+  ``flat_relaxations_avoided`` instead of relaxations.
+
+Partitions need not be convex: a pin-to-gate arc is finite only when an
+internal path exists, so re-entrant external routes simply show up as
+additional pins.  KMS mutations mark partitions dirty through the PR-3
+touched-gate sets (dirty partition -> re-fingerprint -> model-store
+lookup -> re-extract only on miss); a partition KMS keeps mutating is
+lazily flattened back into top-level gates after ``flatten_after``
+touches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..network import Circuit, GateType
+from ..network.gates import is_simple
+
+#: Gates whose forward value is pinned (INPUT arrival is a circuit
+#: property, constants never transition): computing them is an
+#: assignment, not a relaxation over fanin edges, so HierSTA does not
+#: charge ``arrival_relaxations`` for them.  Symmetrically for OUTPUT
+#: markers backward (``dist = 0`` by definition).
+_PINNED_FWD = (GateType.INPUT, GateType.CONST0, GateType.CONST1)
+from .models import AsBuiltDelayModel, DelayModel, NEVER
+from .sta import TimingAnnotation, _gate_arrival, _gate_dist
+
+#: Version tag hashed into every model fingerprint and stored with every
+#: cached payload; bump it whenever the extraction math changes.
+MODEL_SCHEME = "repro.timing.hier.model/1"
+
+#: ResultCache stage name for persisted models.
+MODEL_STAGE = "timing_hier_model"
+
+#: Environment switch: any value but "0" (or unset) enables the
+#: hierarchical engine wherever callers pass ``hier=None``.
+HIER_ENV = "REPRO_TIMING_HIER"
+
+#: Counters the hierarchical engine charges through kms/telemetry.
+HIER_COUNTERS = (
+    "models_extracted",
+    "model_cache_hits",
+    "partitions_dirty",
+    "arcs_evaluated",
+    "flat_relaxations_avoided",
+    "model_relaxations",
+)
+
+
+def hier_enabled() -> bool:
+    """Is the hierarchical engine the default?  (``REPRO_TIMING_HIER=0``
+    forces the verbatim flat path -- the A/B oracle.)"""
+    return os.environ.get(HIER_ENV, "1") != "0"
+
+
+# ---------------------------------------------------------------------- #
+# partitioner
+# ---------------------------------------------------------------------- #
+
+
+def partition_circuit(
+    circuit: Circuit,
+    hints: Optional[Sequence[Sequence[int]]] = None,
+    min_gates: int = 3,
+) -> List[List[int]]:
+    """Carve the circuit into partitions (disjoint gid groups).
+
+    ``hints`` (default: the circuit's own :attr:`Circuit.partition_hints`,
+    e.g. the carry-skip generator's per-block gid ranges) wins when
+    present; otherwise single-output cones are derived by chasing
+    single-fanout edges.  Either way the result contains only existing
+    simple logic gates, groups are disjoint, and groups smaller than
+    ``min_gates`` are dropped (their gates stay top-level).
+    """
+    if hints is None:
+        hints = getattr(circuit, "partition_hints", None)
+    if hints:
+        return _validated_groups(circuit, hints, min_gates)
+    return _single_output_cones(circuit, min_gates)
+
+
+def _validated_groups(
+    circuit: Circuit, groups: Sequence[Sequence[int]], min_gates: int
+) -> List[List[int]]:
+    seen: Set[int] = set()
+    result: List[List[int]] = []
+    for group in groups:
+        members = []
+        for gid in group:
+            gate = circuit.gates.get(gid)
+            if gate is None or not is_simple(gate.gtype) or gid in seen:
+                continue
+            seen.add(gid)
+            members.append(gid)
+        if len(members) >= min_gates:
+            result.append(sorted(members))
+    return result
+
+
+def _single_output_cones(
+    circuit: Circuit, min_gates: int
+) -> List[List[int]]:
+    """Default partitioner: maximal single-output regions.
+
+    Walking reverse-topologically, a simple gate whose sole fanout edge
+    feeds an already-rooted simple gate joins that gate's cone; everything
+    else roots its own.  Linear, deterministic, and convex by
+    construction (though :class:`HierSTA` does not require convexity).
+    """
+    root: Dict[int, int] = {}
+    for gid in reversed(circuit.topological_order()):
+        gate = circuit.gates[gid]
+        if not is_simple(gate.gtype):
+            continue
+        if len(gate.fanout) == 1:
+            dst = circuit.conns[gate.fanout[0]].dst
+            if dst in root:
+                root[gid] = root[dst]
+                continue
+        root[gid] = gid
+    cones: Dict[int, List[int]] = {}
+    for gid, r in root.items():
+        cones.setdefault(r, []).append(gid)
+    return [
+        sorted(members)
+        for _r, members in sorted(cones.items())
+        if len(members) >= min_gates
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# the extracted model
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class TimingModel:
+    """Pin-to-pin timing of one partition fingerprint.
+
+    Local gate indices are positions in the partition's sorted-gid member
+    list; pins are crossing *input* connections in canonical order (scan
+    members in local order, fanin pins in pin order); ``out_locals`` are
+    the local indices of members with external fanout, ascending.
+
+    * ``fwd[p][i]`` -- longest path entering at pin ``p`` (starting with
+      the crossing edge's delay) through local gate ``i``'s output, or
+      :data:`NEVER` when ``i`` is unreachable from ``p``.
+    * ``bwd[i][q]`` -- longest internal path from gate ``i``'s output to
+      out pin ``q``'s output (``0.0`` on the diagonal).
+    * ``bwd_npaths[i][q]`` -- number of internal paths achieving it.
+    * ``witnesses[(p, q)]`` -- the arc's critical path as
+      ``(local_gate, fanin_pin_slot)`` steps, first step on the crossing
+      edge, for on-demand re-expansion (:func:`expand_witness`).
+
+    All sums are grouped exactly as the flat engine groups them
+    (``(conn + gate) + suffix`` backward, left-associated forward), so
+    applying a model reproduces the flat floats bit-for-bit on
+    integer-valued delays.
+    """
+
+    num_gates: int
+    num_pins: int
+    out_locals: List[int]
+    fwd: List[List[float]]
+    bwd: List[List[float]]
+    bwd_npaths: List[List[int]]
+    witnesses: Dict[Tuple[int, int], List[Tuple[int, int]]] = field(
+        default_factory=dict
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able encoding (NEVER = -inf survives python's json)."""
+        return {
+            "scheme": MODEL_SCHEME,
+            "num_gates": self.num_gates,
+            "num_pins": self.num_pins,
+            "out_locals": list(self.out_locals),
+            "fwd": [list(row) for row in self.fwd],
+            "bwd": [list(row) for row in self.bwd],
+            "bwd_npaths": [list(row) for row in self.bwd_npaths],
+            "witnesses": [
+                [p, q, [list(step) for step in steps]]
+                for (p, q), steps in sorted(self.witnesses.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TimingModel":
+        if data.get("scheme") != MODEL_SCHEME:
+            raise ValueError(
+                f"not a serialized timing model: {data.get('scheme')!r}"
+            )
+        return cls(
+            num_gates=int(data["num_gates"]),
+            num_pins=int(data["num_pins"]),
+            out_locals=[int(q) for q in data["out_locals"]],
+            fwd=[[float(v) for v in row] for row in data["fwd"]],
+            bwd=[[float(v) for v in row] for row in data["bwd"]],
+            bwd_npaths=[
+                [int(v) for v in row] for row in data["bwd_npaths"]
+            ],
+            witnesses={
+                (int(p), int(q)): [
+                    (int(i), int(slot)) for i, slot in steps
+                ]
+                for p, q, steps in data["witnesses"]
+            },
+        )
+
+
+def _encode_partition(
+    circuit: Circuit,
+    model: DelayModel,
+    gates: Sequence[int],
+    local: Dict[int, int],
+) -> Tuple[tuple, List[int], List[int]]:
+    """Canonical local encoding of a partition instance.
+
+    Returns ``(key, pins, out_gids)`` where ``key`` is hashable and
+    identical for timing-identical blocks (crossing edges appear as pin
+    slots, never as external gids), ``pins`` lists the crossing input
+    connection cids in canonical order, and ``out_gids`` the members with
+    at least one external fanout edge, ascending.
+    """
+    pins: List[int] = []
+    enc_gates = []
+    for gid in gates:
+        gate = circuit.gates[gid]
+        pin_enc = []
+        for cid in gate.fanin:
+            conn = circuit.conns[cid]
+            d = model.conn_delay(circuit, cid)
+            if conn.src in local:
+                pin_enc.append(("g", local[conn.src], d))
+            else:
+                pin_enc.append(("x", len(pins), d))
+                pins.append(cid)
+        enc_gates.append(
+            (
+                gate.gtype.value,
+                model.gate_delay(circuit, gid),
+                tuple(pin_enc),
+            )
+        )
+    out_gids = [
+        gid
+        for gid in gates
+        if any(
+            circuit.conns[cid].dst not in local
+            for cid in circuit.gates[gid].fanout
+        )
+    ]
+    key = (
+        MODEL_SCHEME,
+        tuple(enc_gates),
+        tuple(local[g] for g in out_gids),
+    )
+    return key, pins, out_gids
+
+
+def _fingerprint(key: tuple) -> str:
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+def extract_model(key: tuple) -> TimingModel:
+    """Extract the timing model from a canonical partition encoding.
+
+    Pure function of the encoding: fingerprint-equal instances get
+    byte-identical models regardless of which instance triggered the
+    extraction (the cache-hit-equals-cold-extraction property).
+    """
+    _scheme, enc_gates, out_locals = key
+    n = len(enc_gates)
+    num_pins = sum(
+        1 for _t, _d, pin_enc in enc_gates for e in pin_enc if e[0] == "x"
+    )
+    gdelay = [d for _t, d, _p in enc_gates]
+
+    # internal adjacency + local topological order (Kahn, smallest-index
+    # first: deterministic, derived from the encoding alone)
+    fan_out: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    for i, (_t, _d, pin_enc) in enumerate(enc_gates):
+        for e in pin_enc:
+            if e[0] == "g":
+                fan_out[e[1]].append((i, e[2]))
+                indeg[i] += 1
+    heap = [i for i in range(n) if indeg[i] == 0]
+    heapq.heapify(heap)
+    order: List[int] = []
+    while heap:
+        i = heapq.heappop(heap)
+        order.append(i)
+        for j, _d in fan_out[i]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                heapq.heappush(heap, j)
+
+    # forward arcs: longest path from each pin, left-associated exactly
+    # like the flat per-gate relaxation accumulates it
+    fwd = [[NEVER] * n for _ in range(num_pins)]
+    for p in range(num_pins):
+        row = fwd[p]
+        for i in order:
+            _t, _d, pin_enc = enc_gates[i]
+            best = NEVER
+            for e in pin_enc:
+                if e[0] == "x":
+                    if e[1] != p:
+                        continue
+                    t = e[2]
+                else:
+                    up = row[e[1]]
+                    if up == NEVER:
+                        continue
+                    t = up + e[2]
+                if t > best:
+                    best = t
+            if best != NEVER:
+                row[i] = best + gdelay[i]
+
+    # backward arcs + path counts: (conn + gate) + suffix grouping,
+    # matching _gate_dist exactly
+    bwd = [[NEVER] * len(out_locals) for _ in range(n)]
+    bwd_npaths = [[0] * len(out_locals) for _ in range(n)]
+    for qi, q in enumerate(out_locals):
+        w = [NEVER] * n
+        c = [0] * n
+        w[q] = 0.0
+        c[q] = 1
+        for i in reversed(order):
+            if i == q:
+                continue
+            best = NEVER
+            count = 0
+            for j, d in fan_out[i]:
+                down = w[j]
+                if down == NEVER:
+                    continue
+                t = (d + gdelay[j]) + down
+                if t > best:
+                    best = t
+                    count = c[j]
+                elif t == best:
+                    count += c[j]
+            w[i] = best
+            c[i] = count if best != NEVER else 0
+        for i in range(n):
+            bwd[i][qi] = w[i]
+            bwd_npaths[i][qi] = c[i]
+
+    witnesses: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for p in range(num_pins):
+        for qi, q in enumerate(out_locals):
+            if fwd[p][q] == NEVER:
+                continue
+            witnesses[(p, qi)] = _backtrack_witness(
+                enc_gates, fwd[p], p, q
+            )
+    return TimingModel(
+        num_gates=n,
+        num_pins=num_pins,
+        out_locals=list(out_locals),
+        fwd=fwd,
+        bwd=bwd,
+        bwd_npaths=bwd_npaths,
+        witnesses=witnesses,
+    )
+
+
+def _backtrack_witness(
+    enc_gates, row: List[float], p: int, q: int
+) -> List[Tuple[int, int]]:
+    """One critical ``(gate, fanin_slot)`` chain achieving ``row[q]``,
+    walked back from the out pin to the entering crossing edge (first
+    achieving fanin wins -- deterministic)."""
+    steps: List[Tuple[int, int]] = []
+    i = q
+    while True:
+        _t, _d, pin_enc = enc_gates[i]
+        best = NEVER
+        cands: List[Tuple[int, Optional[int], float]] = []
+        for slot, e in enumerate(pin_enc):
+            if e[0] == "x":
+                if e[1] != p:
+                    continue
+                t = e[2]
+                cands.append((slot, None, t))
+            else:
+                if row[e[1]] == NEVER:
+                    continue
+                t = row[e[1]] + e[2]
+                cands.append((slot, e[1], t))
+            if t > best:
+                best = t
+        for slot, src, t in cands:
+            if t == best:
+                steps.append((i, slot))
+                if src is None:
+                    steps.reverse()
+                    return steps
+                i = src
+                break
+        else:  # pragma: no cover - unreachable on a finite row
+            raise AssertionError("witness backtrack lost the path")
+
+
+def expand_witness(
+    circuit: Circuit, instance: "PartitionInstance", pin: int, out_index: int
+) -> List[int]:
+    """Re-expand a pin-to-out-pin arc into the instance's connection ids
+    (first cid is the crossing edge itself).  The repo's delay-sum
+    invariant: those conn delays plus the traversed gate delays equal
+    ``model.fwd[pin][out_local]`` exactly."""
+    steps = instance.model.witnesses[(pin, out_index)]
+    return [
+        circuit.gates[instance.gates[i]].fanin[slot] for i, slot in steps
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# model store (memory + ResultCache-backed disk)
+# ---------------------------------------------------------------------- #
+
+
+class ModelStore:
+    """Content-addressed store of extracted models.
+
+    In-memory dict keyed by partition fingerprint, optionally backed by
+    the engine's :class:`~repro.engine.cache.ResultCache` (stage
+    ``timing_hier_model``) so warm sweeps re-load models from disk
+    instead of re-extracting.
+    """
+
+    def __init__(self, cache: Optional[Any] = None) -> None:
+        self._mem: Dict[str, TimingModel] = {}
+        self.cache = cache
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def get(self, fingerprint: str) -> Optional[TimingModel]:
+        model = self._mem.get(fingerprint)
+        if model is not None:
+            return model
+        if self.cache is not None:
+            data = self.cache.get(
+                fingerprint, MODEL_STAGE, {"scheme": MODEL_SCHEME}
+            )
+            if data is not None:
+                try:
+                    model = TimingModel.from_dict(data)
+                except (KeyError, TypeError, ValueError):
+                    return None
+                self._mem[fingerprint] = model
+                self.disk_hits += 1
+                return model
+        return None
+
+    def put(self, fingerprint: str, model: TimingModel) -> None:
+        self._mem[fingerprint] = model
+        if self.cache is not None:
+            self.cache.put(
+                fingerprint,
+                MODEL_STAGE,
+                {"scheme": MODEL_SCHEME},
+                model.to_dict(),
+            )
+
+
+#: Process-wide disk cache backing newly created stores (set by the
+#: engine runner / pool workers via :func:`configure_model_store`).
+_shared_cache: Optional[Any] = None
+
+
+def default_model_store() -> ModelStore:
+    """A fresh store backed by the configured disk cache.
+
+    Deliberately *not* a shared in-memory singleton: each analysis run
+    starts with empty memory so its ``models_extracted`` /
+    ``model_cache_hits`` counters are a pure function of the analyzed
+    circuit -- identical whether jobs run serially, in a pool worker, or
+    standalone (the campaign driver asserts exactly that).  Cross-run
+    sharing happens through the disk cache instead."""
+    return ModelStore(cache=_shared_cache)
+
+
+def configure_model_store(cache: Optional[Any]) -> None:
+    """Set the ResultCache behind every store :func:`default_model_store`
+    hands out from now on (the engine runner calls this so warm sweeps
+    re-load extracted models from disk)."""
+    global _shared_cache
+    _shared_cache = cache
+
+
+# ---------------------------------------------------------------------- #
+# partition instances
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class PartitionInstance:
+    """One placed partition: members + pin wiring + shared model."""
+
+    pid: int
+    gates: List[int]  # sorted gids = canonical local order
+    local: Dict[int, int]
+    pins: List[int]  # crossing input cids, canonical order
+    pin_index: Dict[int, int]
+    out_gids: List[int]
+    out_index: Dict[int, int]
+    out_set: Set[int]
+    entry_gids: List[int]  # members with external fanin, sorted
+    entry_set: Set[int]
+    fingerprint: str
+    model: TimingModel
+    from_cache: bool
+
+
+class HierSTA:
+    """Partition-graph incremental STA, drop-in for
+    :class:`~repro.timing.sta.IncrementalSTA`.
+
+    Maintains the same ``arrival`` / ``dist_to_po`` / ``npaths_to_po`` /
+    ``delay`` state and the same ``refresh(touched)`` protocol, but only
+    top-level gates are relaxed; partition members are served by their
+    extracted models.  Boundary members (out pins forward, entry members
+    backward) are kept eagerly consistent -- they are everything a
+    top-level relaxation can read -- while interiors materialize lazily
+    when an annotation actually reads them.
+
+    Counter semantics (all deterministic):
+
+    * ``arrival_relaxations`` / ``dist_relaxations`` -- flat per-gate
+      relaxations of *top-level* gates only, same unit as
+      :class:`IncrementalSTA` (the flat-vs-hier ratio is the win the CI
+      gate locks).  Pinned values are not charged: an INPUT/CONST
+      arrival and an OUTPUT marker's ``dist = 0`` are assignments, not
+      relaxations over edges (the flat engine charges them anyway --
+      honestly, since it really does run its relaxation helper there);
+    * ``arcs_evaluated`` -- pin/out-arc arithmetic terms;
+    * ``flat_relaxations_avoided`` -- member values produced by model
+      application instead of relaxation;
+    * ``models_extracted`` / ``model_cache_hits`` -- store misses/hits
+      per (re)built partition instance;
+    * ``partitions_dirty`` -- instances invalidated by touched gates;
+    * ``model_relaxations`` -- extraction-internal relaxation work,
+      amortized over every instance sharing the fingerprint.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        model: Optional[DelayModel] = None,
+        partitions: Optional[Sequence[Sequence[int]]] = None,
+        store: Optional[ModelStore] = None,
+        min_partition_gates: int = 3,
+        flatten_after: int = 4,
+    ) -> None:
+        self.circuit = circuit
+        self.model = model if model is not None else AsBuiltDelayModel()
+        self.store = store if store is not None else default_model_store()
+        self.flatten_after = flatten_after
+        self.arrival: Dict[int, float] = {}
+        self.dist_to_po: Dict[int, float] = {}
+        self.npaths_to_po: Dict[int, int] = {}
+        self._bwd_memo: Dict[int, tuple] = {}
+        self.arrival_relaxations = 0
+        self.dist_relaxations = 0
+        self.models_extracted = 0
+        self.model_cache_hits = 0
+        self.partitions_dirty = 0
+        self.arcs_evaluated = 0
+        self.flat_relaxations_avoided = 0
+        self.model_relaxations = 0
+        self.delay = 0.0
+        if partitions is None:
+            partitions = partition_circuit(
+                circuit, min_gates=min_partition_gates
+            )
+        self._parts: Dict[int, PartitionInstance] = {}
+        self._pid_of: Dict[int, int] = {}
+        self._touches: Dict[int, int] = {}
+        self._arr_stale: Set[int] = set()
+        self._dist_stale: Set[int] = set()
+        pid = 0
+        for group in partitions:
+            members = sorted(
+                g for g in set(group) if g not in self._pid_of
+            )
+            inst = self._make_instance(pid, members)
+            if inst is None:
+                continue
+            self._parts[pid] = inst
+            for g in inst.gates:
+                self._pid_of[g] = pid
+            self._touches[pid] = 0
+            pid += 1
+        self._rebuild()
+
+    # -- instance construction ----------------------------------------- #
+
+    def _make_instance(
+        self, pid: int, gates: List[int]
+    ) -> Optional[PartitionInstance]:
+        circuit = self.circuit
+        if len(gates) < 2:
+            return None
+        if not all(
+            gid in circuit.gates and is_simple(circuit.gates[gid].gtype)
+            for gid in gates
+        ):
+            return None
+        local = {gid: i for i, gid in enumerate(gates)}
+        key, pins, out_gids = _encode_partition(
+            circuit, self.model, gates, local
+        )
+        fp = _fingerprint(key)
+        model = self.store.get(fp)
+        from_cache = model is not None
+        if model is None:
+            model = extract_model(key)
+            self.models_extracted += 1
+            self.model_relaxations += model.num_gates * (
+                model.num_pins + len(model.out_locals)
+            )
+            self.store.put(fp, model)
+        else:
+            self.model_cache_hits += 1
+        entry_gids = sorted(
+            {circuit.conns[cid].dst for cid in pins}
+        )
+        return PartitionInstance(
+            pid=pid,
+            gates=gates,
+            local=local,
+            pins=pins,
+            pin_index={cid: p for p, cid in enumerate(pins)},
+            out_gids=out_gids,
+            out_index={g: qi for qi, g in enumerate(out_gids)},
+            out_set=set(out_gids),
+            entry_gids=entry_gids,
+            entry_set=set(entry_gids),
+            fingerprint=fp,
+            model=model,
+            from_cache=from_cache,
+        )
+
+    # -- model application --------------------------------------------- #
+
+    def _eval_arrival(self, inst: PartitionInstance, gid: int) -> float:
+        """arr[g] = max over pins (arr[pin src] + fwd[pin][g]) -- exact
+        for integer-valued delays (see module docstring)."""
+        i = inst.local[gid]
+        conns = self.circuit.conns
+        arrival = self.arrival
+        best = NEVER
+        fwd = inst.model.fwd
+        for p, cid in enumerate(inst.pins):
+            a = fwd[p][i]
+            if a == NEVER:
+                continue
+            self.arcs_evaluated += 1
+            t = arrival.get(conns[cid].src, NEVER)
+            if t == NEVER:
+                continue
+            t = t + a
+            if t > best:
+                best = t
+        return best
+
+    def _out_dist(self, inst: PartitionInstance, qi: int):
+        """Longest continuation of out pin ``qi`` through its *external*
+        fanout edges, grouped ``(conn + gate) + dist`` like
+        :func:`_gate_dist`."""
+        q = inst.out_gids[qi]
+        circuit, model = self.circuit, self.model
+        local = inst.local
+        best = NEVER
+        count = 0
+        for cid in circuit.gates[q].fanout:
+            conn = circuit.conns[cid]
+            if conn.dst in local:
+                continue
+            down = self.dist_to_po.get(conn.dst, NEVER)
+            if down == NEVER:
+                continue
+            self.arcs_evaluated += 1
+            t = (
+                model.conn_delay(circuit, cid)
+                + model.gate_delay(circuit, conn.dst)
+                + down
+            )
+            if t > best:
+                best = t
+                count = self.npaths_to_po[conn.dst]
+            elif t == best:
+                count += self.npaths_to_po[conn.dst]
+        return best, count
+
+    def _eval_dist(self, inst: PartitionInstance, gid: int):
+        """dist[g] = max over out pins (bwd[g][q] + out_dist(q)), with
+        npaths = sum over achieving arcs of internal x external counts."""
+        i = inst.local[gid]
+        bwd = inst.model.bwd
+        nb = inst.model.bwd_npaths
+        best = NEVER
+        count = 0
+        for qi in range(len(inst.out_gids)):
+            w = bwd[i][qi]
+            if w == NEVER:
+                continue
+            self.arcs_evaluated += 1
+            od, on = self._out_dist(inst, qi)
+            if od == NEVER:
+                continue
+            t = w + od
+            if t > best:
+                best = t
+                count = nb[i][qi] * on
+            elif t == best:
+                count += nb[i][qi] * on
+        return best, count if best != NEVER else 0
+
+    # -- full build ----------------------------------------------------- #
+
+    def _rebuild(self) -> None:
+        circuit, model = self.circuit, self.model
+        order = circuit.topological_order()
+        self.arrival.clear()
+        self.dist_to_po.clear()
+        self.npaths_to_po.clear()
+        self._bwd_memo.clear()
+        self._arr_stale = set(self._parts)
+        self._dist_stale = set(self._parts)
+        pid_of = self._pid_of
+        for gid in order:
+            pid = pid_of.get(gid)
+            if pid is None:
+                self.arrival[gid] = _gate_arrival(
+                    circuit, model, gid, self.arrival
+                )
+                if circuit.gates[gid].gtype not in _PINNED_FWD:
+                    self.arrival_relaxations += 1
+            else:
+                inst = self._parts[pid]
+                if gid in inst.out_set:
+                    self.arrival[gid] = self._eval_arrival(inst, gid)
+                    self.flat_relaxations_avoided += 1
+        for gid in reversed(order):
+            pid = pid_of.get(gid)
+            if pid is None:
+                d, n = _gate_dist(
+                    circuit, model, gid, self.dist_to_po, self.npaths_to_po
+                )
+                if circuit.gates[gid].gtype is not GateType.OUTPUT:
+                    self.dist_relaxations += 1
+            elif gid in self._parts[pid].entry_set:
+                d, n = self._eval_dist(self._parts[pid], gid)
+                self.flat_relaxations_avoided += 1
+            else:
+                continue
+            self.dist_to_po[gid] = d
+            self.npaths_to_po[gid] = n
+            self._bwd_memo[gid] = self._parent_key(gid, d, n)
+        self._refresh_delay()
+
+    def _refresh_delay(self) -> None:
+        delay = 0.0
+        for gid in self.circuit.outputs:
+            a = self.arrival[gid]
+            if a != NEVER:
+                delay = max(delay, a)
+        self.delay = delay
+
+    def _parent_key(self, gid: int, dist: float, npaths: int) -> tuple:
+        """Same parent-visible backward memo as IncrementalSTA: delay,
+        fanin edges (+delays), dist, npaths."""
+        circuit, model = self.circuit, self.model
+        gate = circuit.gates[gid]
+        return (
+            model.gate_delay(circuit, gid),
+            tuple(
+                (cid, model.conn_delay(circuit, cid)) for cid in gate.fanin
+            ),
+            dist,
+            npaths,
+        )
+
+    # -- refresh -------------------------------------------------------- #
+
+    def refresh(self, touched: Iterable[int]) -> None:
+        """Re-relax after a mutation described by the transforms'
+        touched-gate sets (same contract as IncrementalSTA.refresh)."""
+        circuit = self.circuit
+        gates = circuit.gates
+        dirty: Set[int] = {g for g in touched if g in gates}
+        for store in (
+            self.arrival,
+            self.dist_to_po,
+            self.npaths_to_po,
+            self._bwd_memo,
+        ):
+            stale = [gid for gid in store if gid not in gates]
+            for gid in stale:
+                del store[gid]
+        dirty_pids: Set[int] = set()
+        for gid in [g for g in self._pid_of if g not in gates]:
+            dirty_pids.add(self._pid_of.pop(gid))
+        for g in dirty:
+            pid = self._pid_of.get(g)
+            if pid is not None:
+                dirty_pids.add(pid)
+        fwd_seeds: Set[int] = set()
+        bwd_seeds: Set[int] = set()
+        for pid in sorted(dirty_pids):
+            self.partitions_dirty += 1
+            self._touches[pid] += 1
+            inst = self._parts[pid]
+            members = [g for g in inst.gates if self._pid_of.get(g) == pid]
+            keep = [
+                g for g in members if is_simple(gates[g].gtype)
+            ]
+            rebuilt = None
+            if self._touches[pid] < self.flatten_after:
+                rebuilt = self._make_instance(pid, keep)
+            if rebuilt is None:
+                # lazily flatten: KMS keeps editing here (or the region
+                # degenerated) -- dissolve back to top-level gates
+                for g in members:
+                    self._pid_of.pop(g, None)
+                del self._parts[pid]
+                self._arr_stale.discard(pid)
+                self._dist_stale.discard(pid)
+                fwd_seeds.update(members)
+                bwd_seeds.update(members)
+            else:
+                dropped = set(members) - set(keep)
+                for g in dropped:
+                    self._pid_of.pop(g, None)
+                fwd_seeds.update(dropped)
+                bwd_seeds.update(dropped)
+                self._parts[pid] = rebuilt
+                self._arr_stale.add(pid)
+                self._dist_stale.add(pid)
+                fwd_seeds.update(rebuilt.out_gids)
+                bwd_seeds.update(rebuilt.entry_gids)
+        top_dirty = {g for g in dirty if self._pid_of.get(g) is None}
+        fwd_seeds |= top_dirty
+        bwd_seeds |= top_dirty
+        if fwd_seeds or bwd_seeds:
+            order = circuit.topological_order()
+            pos = {gid: i for i, gid in enumerate(order)}
+            self._relax_forward(fwd_seeds, pos)
+            self._relax_backward(bwd_seeds, pos)
+        self._refresh_delay()
+
+    # -- propagation ----------------------------------------------------#
+
+    def _relax_forward(self, seeds: Set[int], pos: Dict[int, int]) -> None:
+        circuit, model = self.circuit, self.model
+        heap: List[Tuple[int, int]] = []
+        queued: Set[int] = set()
+
+        def push(gid: int) -> None:
+            if gid not in queued:
+                queued.add(gid)
+                heapq.heappush(heap, (pos[gid], gid))
+
+        for gid in seeds:
+            push(gid)
+        while heap:
+            _, gid = heapq.heappop(heap)
+            queued.discard(gid)
+            pid = self._pid_of.get(gid)
+            if pid is None:
+                new = _gate_arrival(circuit, model, gid, self.arrival)
+                if circuit.gates[gid].gtype not in _PINNED_FWD:
+                    self.arrival_relaxations += 1
+            else:
+                inst = self._parts[pid]
+                if gid not in inst.out_set:
+                    continue  # interior: covered by the stale flag
+                new = self._eval_arrival(inst, gid)
+                self.flat_relaxations_avoided += 1
+            old = self.arrival.get(gid)
+            self.arrival[gid] = new
+            if old is not None and new == old:
+                continue
+            for cid in circuit.gates[gid].fanout:
+                dst = circuit.conns[cid].dst
+                dpid = self._pid_of.get(dst)
+                if dpid is None:
+                    push(dst)
+                    continue
+                inst2 = self._parts[dpid]
+                self._arr_stale.add(dpid)
+                # an arrival change entering a partition surfaces only at
+                # the out pins its pin can reach -- push exactly those
+                p = inst2.pin_index.get(cid)
+                if p is None:  # internal edge of gid's own partition
+                    if dst in inst2.out_set:
+                        push(dst)
+                    continue
+                fwd = inst2.model.fwd[p]
+                for q in inst2.out_gids:
+                    if fwd[inst2.local[q]] != NEVER:
+                        push(q)
+
+    def _relax_backward(self, seeds: Set[int], pos: Dict[int, int]) -> None:
+        circuit, model = self.circuit, self.model
+        heap: List[Tuple[int, int]] = []
+        queued: Set[int] = set()
+
+        def push(gid: int) -> None:
+            if gid not in queued:
+                queued.add(gid)
+                heapq.heappush(heap, (-pos[gid], gid))
+
+        for gid in seeds:
+            push(gid)
+        while heap:
+            _, gid = heapq.heappop(heap)
+            queued.discard(gid)
+            pid = self._pid_of.get(gid)
+            if pid is None:
+                new = _gate_dist(
+                    circuit, model, gid, self.dist_to_po, self.npaths_to_po
+                )
+                if circuit.gates[gid].gtype is not GateType.OUTPUT:
+                    self.dist_relaxations += 1
+            else:
+                inst = self._parts[pid]
+                if gid not in inst.entry_set:
+                    continue
+                new = self._eval_dist(inst, gid)
+                self.flat_relaxations_avoided += 1
+            self.dist_to_po[gid], self.npaths_to_po[gid] = new
+            key = self._parent_key(gid, *new)
+            if self._bwd_memo.get(gid) == key:
+                continue
+            self._bwd_memo[gid] = key
+            for cid in circuit.gates[gid].fanin:
+                src = circuit.conns[cid].src
+                spid = self._pid_of.get(src)
+                if spid is None:
+                    push(src)
+                    continue
+                inst2 = self._parts[spid]
+                self._dist_stale.add(spid)
+                if spid == pid:
+                    if src in inst2.entry_set:
+                        push(src)
+                    continue
+                # a dist change below out pin `src` surfaces at the entry
+                # members that reach it internally
+                q = inst2.out_index[src]
+                bwd = inst2.model.bwd
+                for d in inst2.entry_gids:
+                    if bwd[inst2.local[d]][q] != NEVER:
+                        push(d)
+
+    # -- lazy materialization ------------------------------------------ #
+
+    def _ensure_arrival(self, gid: int) -> None:
+        pid = self._pid_of.get(gid)
+        if pid is None or pid not in self._arr_stale:
+            return
+        inst = self._parts[pid]
+        if gid in inst.out_set:
+            return  # boundary values are always fresh
+        self._materialize_arrival(pid)
+
+    def _ensure_dist(self, gid: int) -> None:
+        pid = self._pid_of.get(gid)
+        if pid is None or pid not in self._dist_stale:
+            return
+        inst = self._parts[pid]
+        if gid in inst.entry_set:
+            return
+        self._materialize_dist(pid)
+
+    def _materialize_arrival(self, pid: int) -> None:
+        """Interior arrivals depend only on maintained external pin
+        sources, so materialization is order-free per member."""
+        inst = self._parts[pid]
+        for gid in inst.gates:
+            if gid in inst.out_set:
+                continue
+            self.arrival[gid] = self._eval_arrival(inst, gid)
+            self.flat_relaxations_avoided += 1
+        self._arr_stale.discard(pid)
+
+    def _materialize_dist(self, pid: int) -> None:
+        inst = self._parts[pid]
+        for gid in inst.gates:
+            if gid in inst.entry_set:
+                continue
+            d, n = self._eval_dist(inst, gid)
+            self.dist_to_po[gid] = d
+            self.npaths_to_po[gid] = n
+            self.flat_relaxations_avoided += 1
+        self._dist_stale.discard(pid)
+
+    def materialize_all(self) -> None:
+        """Fill every interior value (tests / full reports)."""
+        for pid in list(self._arr_stale):
+            self._materialize_arrival(pid)
+        for pid in list(self._dist_stale):
+            self._materialize_dist(pid)
+
+    # -- IncrementalSTA-compatible API --------------------------------- #
+
+    def num_longest_paths(self) -> int:
+        """Identical formula to IncrementalSTA (PIs are always
+        top-level, so the maintained values suffice)."""
+        if self.delay <= 0.0:
+            return 0
+        total = 0
+        for pi in self.circuit.inputs:
+            d = self.dist_to_po.get(pi, NEVER)
+            if d == NEVER:
+                continue
+            if self.model.input_arrival(self.circuit, pi) + d == self.delay:
+                total += self.npaths_to_po.get(pi, 0)
+        return total
+
+    def annotation(self, compute_slack: bool = False) -> TimingAnnotation:
+        """A TimingAnnotation whose dicts are *live lazy views*:
+        partition interiors materialize on first access and the views
+        read the engine's current state (they are invalidated by the
+        next refresh -- the KMS loop re-reads its annotation every
+        iteration, so snapshot semantics are not needed here; tests
+        wanting plain dicts call :meth:`materialize_all` first)."""
+        if compute_slack:
+            self.materialize_all()
+        ann = TimingAnnotation(
+            arrival=_LazyTimingView(self, self.arrival, "arrival"),
+            dist_to_po=_LazyTimingView(self, self.dist_to_po, "dist"),
+            delay=self.delay,
+        )
+        if compute_slack:
+            for gid in self.arrival:
+                a = ann.arrival[gid]
+                d = ann.dist_to_po[gid]
+                if a == NEVER or d == NEVER:
+                    ann.required[gid] = float("inf")
+                    ann.slack[gid] = float("inf")
+                else:
+                    ann.required[gid] = ann.delay - d
+                    ann.slack[gid] = ann.required[gid] - a
+        return ann
+
+    def counters(self) -> Dict[str, float]:
+        """The hierarchical work counters (kms merges these into its
+        result counters / telemetry)."""
+        return {
+            "models_extracted": self.models_extracted,
+            "model_cache_hits": self.model_cache_hits,
+            "partitions_dirty": self.partitions_dirty,
+            "arcs_evaluated": self.arcs_evaluated,
+            "flat_relaxations_avoided": self.flat_relaxations_avoided,
+            "model_relaxations": self.model_relaxations,
+        }
+
+    # -- introspection -------------------------------------------------- #
+
+    @property
+    def partitions(self) -> List[PartitionInstance]:
+        """Live partition instances, by pid."""
+        return [self._parts[pid] for pid in sorted(self._parts)]
+
+    def partition_of(self, gid: int) -> Optional[int]:
+        return self._pid_of.get(gid)
+
+    def critical_arc_path(
+        self, pid: int, pin: int, out_index: int
+    ) -> List[int]:
+        """Expand one partition arc's critical-path witness to cids."""
+        return expand_witness(self.circuit, self._parts[pid], pin, out_index)
+
+
+class _LazyTimingView:
+    """Mapping view over HierSTA state that materializes a partition's
+    interior on first access.  Supports the access patterns the repo's
+    annotation consumers actually use (indexing, ``.get``, containment,
+    iteration); whole-dict operations materialize everything."""
+
+    __slots__ = ("_sta", "_store", "_kind")
+
+    def __init__(self, sta: HierSTA, store: Dict[int, Any], kind: str):
+        self._sta = sta
+        self._store = store
+        self._kind = kind
+
+    def _ensure(self, key: int) -> None:
+        if self._kind == "arrival":
+            self._sta._ensure_arrival(key)
+        else:
+            self._sta._ensure_dist(key)
+
+    def __getitem__(self, key: int):
+        self._ensure(key)
+        return self._store[key]
+
+    def get(self, key: int, default=None):
+        self._ensure(key)
+        return self._store.get(key, default)
+
+    def __contains__(self, key: int) -> bool:
+        self._ensure(key)
+        return key in self._store
+
+    def _materialized(self) -> Dict[int, Any]:
+        self._sta.materialize_all()
+        return self._store
+
+    def __iter__(self):
+        return iter(self._materialized())
+
+    def __len__(self) -> int:
+        return len(self._materialized())
+
+    def keys(self):
+        return self._materialized().keys()
+
+    def values(self):
+        return self._materialized().values()
+
+    def items(self):
+        return self._materialized().items()
+
+    def __eq__(self, other) -> bool:
+        mine = dict(self._materialized())
+        if isinstance(other, _LazyTimingView):
+            other = dict(other._materialized())
+        return mine == other
+
+    def __repr__(self) -> str:
+        return (
+            f"<_LazyTimingView {self._kind} of "
+            f"{len(self._store)} maintained values>"
+        )

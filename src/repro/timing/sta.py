@@ -164,6 +164,17 @@ class IncrementalSTA:
       :func:`analyze` costs ``len(circuit.gates)`` of these, so the
       full-vs-incremental ratio is the dirty-cone win.
     * ``dist_relaxations`` -- backward per-gate recomputations.
+
+    The backward pass stops propagating to a gate's fanin sources as
+    soon as the gate's *parent-visible* state is unchanged.  A parent's
+    relaxation reads, per fanout connection, exactly the connection
+    delay, the child's gate delay, and the child's ``dist``/``npaths``
+    -- so that tuple (plus the fanin connection ids, which change iff an
+    edge was added or removed) is the memo key.  Seeding the backward
+    heap with the touched gates alone is then sound: a touched gate
+    whose key is unchanged cannot move any parent's value, and
+    structural fanout changes always mark the parent itself touched
+    (see the :mod:`repro.network.transform` contract).
     """
 
     def __init__(
@@ -174,10 +185,28 @@ class IncrementalSTA:
         self.arrival: Dict[int, float] = {}
         self.dist_to_po: Dict[int, float] = {}
         self.npaths_to_po: Dict[int, int] = {}
+        #: gid -> parent-visible key (see class docstring); backward
+        #: propagation to fanin sources happens only when it changes.
+        self._bwd_memo: Dict[int, tuple] = {}
         self.arrival_relaxations = 0
         self.dist_relaxations = 0
         self.delay = 0.0
         self._rebuild()
+
+    def _parent_key(self, gid: int, dist: float, npaths: int) -> tuple:
+        """Everything a fanin source's own relaxation can read off this
+        gate: its delay, its fanin edges (ids + delays), and the
+        maintained backward values."""
+        circuit, model = self.circuit, self.model
+        gate = circuit.gates[gid]
+        return (
+            model.gate_delay(circuit, gid),
+            tuple(
+                (cid, model.conn_delay(circuit, cid)) for cid in gate.fanin
+            ),
+            dist,
+            npaths,
+        )
 
     def _rebuild(self) -> None:
         """Initial full relaxation (counts as one relaxation per gate per
@@ -187,6 +216,7 @@ class IncrementalSTA:
         self.arrival.clear()
         self.dist_to_po.clear()
         self.npaths_to_po.clear()
+        self._bwd_memo.clear()
         for gid in order:
             self.arrival[gid] = _gate_arrival(
                 circuit, model, gid, self.arrival
@@ -198,6 +228,7 @@ class IncrementalSTA:
             )
             self.dist_to_po[gid] = d
             self.npaths_to_po[gid] = n
+            self._bwd_memo[gid] = self._parent_key(gid, d, n)
             self.dist_relaxations += 1
         self._refresh_delay()
 
@@ -218,7 +249,12 @@ class IncrementalSTA:
         """
         circuit = self.circuit
         dirty: Set[int] = {g for g in touched if g in circuit.gates}
-        for store in (self.arrival, self.dist_to_po, self.npaths_to_po):
+        for store in (
+            self.arrival,
+            self.dist_to_po,
+            self.npaths_to_po,
+            self._bwd_memo,
+        ):
             stale = [gid for gid in store if gid not in circuit.gates]
             for gid in stale:
                 del store[gid]
@@ -228,13 +264,10 @@ class IncrementalSTA:
             self._relax_forward(dirty, pos)
             # A touched gate's own-delay / in-edge-delay change shifts its
             # *parents'* dist_to_po while leaving its own unchanged (dist
-            # covers only the fanout side), so the early cutoff would stop
-            # before reaching them: seed the fanin frontier explicitly.
-            backward = set(dirty)
-            for gid in dirty:
-                for cid in circuit.gates[gid].fanin:
-                    backward.add(circuit.conns[cid].src)
-            self._relax_backward(backward, pos)
+            # covers only the fanout side); the parent-visible memo key in
+            # _relax_backward covers exactly those components, so seeding
+            # with the touched gates alone reaches every moved parent.
+            self._relax_backward(dirty, pos)
         self._refresh_delay()
 
     def _relax_forward(self, dirty: Set[int], pos: Dict[int, int]) -> None:
@@ -265,14 +298,15 @@ class IncrementalSTA:
         while heap:
             _, gid = heapq.heappop(heap)
             queued.discard(gid)
-            old = (self.dist_to_po.get(gid), self.npaths_to_po.get(gid))
             new = _gate_dist(
                 circuit, model, gid, self.dist_to_po, self.npaths_to_po
             )
             self.dist_relaxations += 1
             self.dist_to_po[gid], self.npaths_to_po[gid] = new
-            if old[0] is not None and new == old:
+            key = self._parent_key(gid, *new)
+            if self._bwd_memo.get(gid) == key:
                 continue
+            self._bwd_memo[gid] = key
             for cid in circuit.gates[gid].fanin:
                 src = circuit.conns[cid].src
                 if src not in queued:

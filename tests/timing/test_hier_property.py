@@ -1,0 +1,405 @@
+"""Property suite: hierarchical STA is bit-identical to the flat engine.
+
+The hierarchical engine (:mod:`repro.timing.hier`) regroups the same
+path sums the flat :class:`~repro.timing.sta.IncrementalSTA` computes;
+with the repo's integer-valued float delays the regrouping is exact, so
+every comparison here is ``==`` on floats -- no tolerance.  Layers:
+
+* **build agreement** -- 200 random circuits, each analyzed under the
+  default single-output-cone partitioner AND a randomly generated
+  partition set (random groups are allowed to be invalid -- too small,
+  overlapping, touching IO markers -- the partitioner must drop them,
+  never wobble a value);
+* **mutation agreement** -- after every mutation in a randomized
+  KMS-shaped sequence (constant-setting + propagation, sweeps, chain
+  duplications, arrival changes), ``refresh(touched)`` must reproduce
+  the from-scratch state exactly, dirty partitions re-fingerprinted or
+  lazily flattened;
+* **cache paths** -- a model served from the in-memory store or re-read
+  from the disk cache yields the same analysis as cold extraction;
+* **KMS outputs** -- ``kms(..., hier=True)`` and the flat oracle
+  produce bit-identical iteration counts, fingerprints, and path work;
+* **witnesses** -- every pin-to-out arc re-expands to a connected
+  connection chain whose delay sum equals the model entry exactly;
+* **hints** -- generator-emitted partition hints survive the engine's
+  JSON round-trip and grade as shared models on repeated-block adders.
+"""
+
+import random
+import tempfile
+
+import pytest
+
+from repro.circuits import (
+    carry_skip_adder,
+    random_circuit,
+    random_redundant_circuit,
+    ripple_carry_adder,
+)
+from repro.core import kms
+from repro.engine.cache import ResultCache
+from repro.engine.hashing import circuit_fingerprint
+from repro.engine.serialize import circuit_from_dict, circuit_to_dict
+from repro.network import GateType
+from repro.network.transform import (
+    duplicate_chain,
+    propagate_constants,
+    set_connection_constant,
+    sweep,
+)
+from repro.timing import (
+    AsBuiltDelayModel,
+    HierSTA,
+    IncrementalSTA,
+    ModelStore,
+    iter_paths_longest_first,
+    partition_circuit,
+)
+
+MODEL = AsBuiltDelayModel()
+
+BATCHES = 8
+CIRCUITS_PER_BATCH = 25
+
+
+# ---------------------------------------------------------------------- #
+# helpers
+# ---------------------------------------------------------------------- #
+
+def _assert_matches_flat(hier, circuit):
+    """Exact agreement with a from-scratch flat pass, all gates."""
+    flat = IncrementalSTA(circuit, MODEL)
+    assert hier.delay == flat.delay
+    assert hier.num_longest_paths() == flat.num_longest_paths()
+    hier.materialize_all()
+    assert hier.arrival == flat.arrival
+    assert hier.dist_to_po == flat.dist_to_po
+    assert hier.npaths_to_po == flat.npaths_to_po
+    mine = [
+        (p.gates, p.conns, p.length)
+        for p in iter_paths_longest_first(
+            circuit, MODEL, hier.annotation(), max_paths=25
+        )
+    ]
+    oracle = [
+        (p.gates, p.conns, p.length)
+        for p in iter_paths_longest_first(
+            circuit, MODEL, flat.annotation(), max_paths=25
+        )
+    ]
+    assert mine == oracle
+
+
+def _random_groups(circuit, rng):
+    """Random partition groups, deliberately allowed to be sloppy:
+    overlapping, undersized, or touching IO markers.  The engine must
+    drop what it can't model and stay exact regardless."""
+    gids = sorted(circuit.gates)
+    groups = []
+    for _ in range(rng.randint(1, 4)):
+        size = rng.randint(2, 8)
+        start = rng.randrange(len(gids))
+        groups.append(gids[start:start + size])
+    if rng.random() < 0.3 and groups:
+        groups.append(rng.sample(gids, min(4, len(gids))))
+    return groups
+
+
+def _random_subject(rng, index):
+    if index % 2:
+        return random_redundant_circuit(
+            num_inputs=rng.randint(3, 6),
+            num_gates=rng.randint(8, 18),
+            seed=rng.randint(0, 10**6),
+        )
+    return random_circuit(
+        num_inputs=rng.randint(3, 6),
+        num_gates=rng.randint(10, 25),
+        num_outputs=rng.randint(1, 3),
+        seed=rng.randint(0, 10**6),
+        max_arrival=rng.choice([0.0, 3.0]),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# build agreement: cones and random partitions
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("batch", range(BATCHES))
+def test_hier_build_matches_flat(batch):
+    rng = random.Random(7000 + batch)
+    for index in range(CIRCUITS_PER_BATCH):
+        circuit = _random_subject(rng, index)
+        _assert_matches_flat(HierSTA(circuit, MODEL), circuit)
+        _assert_matches_flat(
+            HierSTA(circuit, MODEL,
+                    partitions=_random_groups(circuit, rng)),
+            circuit,
+        )
+
+
+def test_hier_on_hinted_adders():
+    for circuit in (ripple_carry_adder(8), carry_skip_adder(8, 4),
+                    carry_skip_adder(4, 2)):
+        assert circuit.partition_hints, "generators must emit hints"
+        hier = HierSTA(circuit, MODEL)
+        _assert_matches_flat(hier, circuit)
+        parts = hier.partitions
+        distinct = len({p.fingerprint for p in parts})
+        # the repeated-block guarantee the issue gates on
+        assert hier.model_cache_hits >= len(parts) - distinct
+        assert distinct < len(parts)
+
+
+# ---------------------------------------------------------------------- #
+# mutation agreement (the KMS-shaped sequences)
+# ---------------------------------------------------------------------- #
+
+def _mutate_constant(circuit, rng):
+    candidates = [
+        cid
+        for cid, conn in circuit.conns.items()
+        if circuit.gates[conn.dst].gtype is not GateType.OUTPUT
+        and circuit.gates[conn.src].gtype
+        not in (GateType.CONST0, GateType.CONST1)
+    ]
+    if not candidates:
+        return None
+    _, touched = set_connection_constant(
+        circuit, rng.choice(candidates), rng.randint(0, 1)
+    )
+    _, propagated = propagate_constants(circuit)
+    return touched | propagated
+
+
+def _mutate_sweep(circuit, rng):
+    _, touched = sweep(circuit, collapse_buffers=True)
+    return touched
+
+
+def _mutate_duplicate(circuit, rng):
+    paths = list(iter_paths_longest_first(circuit, MODEL, max_paths=8))
+    if not paths:
+        return None
+    path = rng.choice(paths)
+    branch_points = [
+        j
+        for j, gid in enumerate(path.gates)
+        if len(circuit.gates[gid].fanout) > 1
+    ]
+    if not branch_points:
+        return None
+    j = rng.choice(branch_points)
+    chain = list(path.gates[: j + 1])
+    chain_conns = list(path.conns[: j + 1])
+    edge = path.conns[j + 1]
+    mapping, _dup_conns, touched = duplicate_chain(
+        circuit, chain, chain_conns
+    )
+    n = chain[-1]
+    touched |= {n, mapping[n], circuit.conns[edge].dst}
+    circuit.move_connection_source(edge, mapping[n])
+    return touched
+
+
+def _mutate_arrival(circuit, rng):
+    if not circuit.inputs:
+        return None
+    pi = rng.choice(circuit.inputs)
+    circuit.input_arrival[pi] = float(rng.randint(0, 5))
+    return {pi}
+
+
+MUTATIONS = [
+    _mutate_constant,
+    _mutate_sweep,
+    _mutate_duplicate,
+    _mutate_arrival,
+]
+
+
+@pytest.mark.parametrize("batch", range(6))
+def test_hier_refresh_tracks_mutation_sequences(batch):
+    rng = random.Random(8000 + batch)
+    for index in range(12):
+        circuit = _random_subject(rng, index)
+        hier = HierSTA(
+            circuit, MODEL,
+            partitions=(
+                None if index % 3 else _random_groups(circuit, rng)
+            ),
+        )
+        _assert_matches_flat(hier, circuit)
+        for _step in range(rng.randint(2, 6)):
+            mutate = rng.choice(MUTATIONS)
+            touched = mutate(circuit, rng)
+            if touched is None:
+                continue
+            hier.refresh(touched)
+            _assert_matches_flat(hier, circuit)
+
+
+def test_hier_refresh_flattens_hot_partitions():
+    """A partition mutated past ``flatten_after`` dissolves to flat
+    gates -- and the analysis stays exact through the transition."""
+    circuit = carry_skip_adder(4, 2)
+    hier = HierSTA(circuit, MODEL, flatten_after=1)
+    target = hier.partitions[0]
+    member = target.gates[0]
+    pid = target.pid
+    cid = circuit.gates[member].fanin[0]
+    _, touched = set_connection_constant(circuit, cid, 0)
+    _, propagated = propagate_constants(circuit)
+    hier.refresh(touched | propagated)
+    assert hier.partition_of(member) is None, "partition must dissolve"
+    assert all(p.pid != pid for p in hier.partitions)
+    _assert_matches_flat(hier, circuit)
+
+
+# ---------------------------------------------------------------------- #
+# cache paths: memory hits and disk round-trips
+# ---------------------------------------------------------------------- #
+
+def test_memory_cache_hit_identical_to_cold_extraction():
+    rng = random.Random(42)
+    for index in range(10):
+        circuit = _random_subject(rng, index)
+        cold = HierSTA(circuit, MODEL, store=ModelStore())
+        shared = ModelStore()
+        HierSTA(circuit, MODEL, store=shared)
+        warm = HierSTA(circuit, MODEL, store=shared)
+        assert warm.models_extracted == 0
+        assert warm.model_cache_hits == len(warm.partitions)
+        cold.materialize_all()
+        warm.materialize_all()
+        assert warm.arrival == cold.arrival
+        assert warm.dist_to_po == cold.dist_to_po
+        assert warm.npaths_to_po == cold.npaths_to_po
+        assert warm.delay == cold.delay
+        assert warm.arcs_evaluated == cold.arcs_evaluated
+
+
+def test_disk_cache_round_trip_identical_to_cold_extraction():
+    circuit = carry_skip_adder(8, 4)
+    cold = HierSTA(circuit, MODEL, store=ModelStore())
+    with tempfile.TemporaryDirectory() as tmp:
+        disk = ResultCache(tmp)
+        HierSTA(circuit, MODEL, store=ModelStore(cache=disk))
+        # fresh in-memory store, same disk cache: every model re-loads
+        warm_store = ModelStore(cache=disk)
+        warm = HierSTA(circuit, MODEL, store=warm_store)
+        assert warm.models_extracted == 0
+        assert warm_store.disk_hits > 0
+        cold.materialize_all()
+        warm.materialize_all()
+        assert warm.arrival == cold.arrival
+        assert warm.dist_to_po == cold.dist_to_po
+        assert warm.npaths_to_po == cold.npaths_to_po
+        assert warm.delay == cold.delay
+
+
+# ---------------------------------------------------------------------- #
+# KMS end-to-end: hier vs flat oracle
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("seed", range(8))
+def test_kms_hier_bit_identical_random(seed):
+    circuit = random_redundant_circuit(
+        num_inputs=5, num_gates=15, seed=seed
+    )
+    hier = kms(circuit, model=MODEL, hier=True)
+    flat = kms(circuit, model=MODEL, hier=False)
+    assert hier.iterations == flat.iterations
+    assert circuit_fingerprint(hier.circuit) == circuit_fingerprint(
+        flat.circuit
+    )
+    for key in ("paths_enumerated", "paths_capped",
+                "viability_checks_exact"):
+        assert hier.counters[key] == flat.counters[key]
+
+
+def test_kms_hier_bit_identical_carry_skip():
+    circuit = carry_skip_adder(4, 2)
+    hier = kms(circuit, model=MODEL, hier=True)
+    flat = kms(circuit, model=MODEL, hier=False)
+    assert hier.iterations == flat.iterations
+    assert circuit_fingerprint(hier.circuit) == circuit_fingerprint(
+        flat.circuit
+    )
+    assert hier.counters["models_extracted"] > 0
+    assert flat.counters["models_extracted"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# witnesses
+# ---------------------------------------------------------------------- #
+
+def test_witness_expansion_delay_sum_invariant():
+    rng = random.Random(99)
+    subjects = [carry_skip_adder(4, 2), ripple_carry_adder(6)]
+    subjects += [_random_subject(rng, i) for i in range(6)]
+    checked = 0
+    for circuit in subjects:
+        hier = HierSTA(circuit, MODEL)
+        for inst in hier.partitions:
+            for (pin, qi), _steps in sorted(inst.model.witnesses.items()):
+                cids = hier.critical_arc_path(inst.pid, pin, qi)
+                assert cids, "witness must include the crossing edge"
+                assert cids[0] == inst.pins[pin]
+                total = 0.0
+                prev_dst = None
+                for cid in cids:
+                    conn = circuit.conns[cid]
+                    if prev_dst is not None:
+                        assert conn.src == prev_dst, "chain must connect"
+                    total += MODEL.conn_delay(circuit, cid)
+                    total += MODEL.gate_delay(circuit, conn.dst)
+                    prev_dst = conn.dst
+                assert prev_dst == inst.gates[
+                    inst.model.out_locals[qi]
+                ]
+                expected = inst.model.fwd[pin][
+                    inst.model.out_locals[qi]
+                ]
+                assert total == expected
+                checked += 1
+    assert checked > 20
+
+
+# ---------------------------------------------------------------------- #
+# partition hints: generators, serialization, partitioner
+# ---------------------------------------------------------------------- #
+
+def test_hints_survive_engine_serialization():
+    circuit = carry_skip_adder(8, 2)
+    clone = circuit_from_dict(circuit_to_dict(circuit))
+    assert clone.partition_hints == circuit.partition_hints
+    assert circuit_fingerprint(clone) == circuit_fingerprint(circuit)
+    # absent key parses as no hints (pre-existing cached payloads)
+    data = circuit_to_dict(ripple_carry_adder(2))
+    data.pop("hints")
+    assert circuit_from_dict(data).partition_hints == []
+
+
+def test_hints_survive_copy():
+    circuit = ripple_carry_adder(4)
+    clone = circuit.copy()
+    assert clone.partition_hints == circuit.partition_hints
+    clone.partition_hints[0].append(999)
+    assert clone.partition_hints != circuit.partition_hints
+
+
+def test_partitioner_prefers_valid_hints_falls_back_to_cones():
+    circuit = carry_skip_adder(8, 4)
+    hinted = partition_circuit(circuit)
+    assert hinted == [sorted(h) for h in circuit.partition_hints]
+    # stale/duplicate members are dropped, the group survives
+    circuit.partition_hints[0].append(10**9)
+    circuit.partition_hints[1].append(circuit.partition_hints[0][0])
+    assert partition_circuit(circuit) == hinted
+    # no hints at all: single-output cones
+    cones = partition_circuit(circuit, hints=[])
+    assert cones != hinted
+    assert all(
+        len(g) >= 3 and g == sorted(g) for g in cones
+    )

@@ -160,3 +160,73 @@ def test_kms_uncapped_run_emits_no_cap_warning():
         warnings.simplefilter("error")
         result = kms(circuit, model=MODEL)
     assert result.counters["paths_capped"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# backward-seed tightening (PR 10)
+# ---------------------------------------------------------------------- #
+
+def test_backward_seed_skips_parents_when_parent_visible_state_unchanged():
+    """Refreshing a touched gate whose delay, fanin edges, and dist are
+    all unchanged must relax that gate alone -- not fan out to every
+    fanin source the way the old unconditional parent seeding did."""
+    circuit = ripple_carry_adder(4)
+    sta = IncrementalSTA(circuit, MODEL)
+    gid = next(
+        g
+        for g, gate in circuit.gates.items()
+        if len(gate.fanin) >= 2 and gate.fanout
+    )
+    base_fwd = sta.arrival_relaxations
+    base_bwd = sta.dist_relaxations
+    sta.refresh({gid})
+    # forward: the gate plus the early-cutoff visit of its fanouts;
+    # backward: exactly the seed, no parent fan-out.
+    assert sta.arrival_relaxations - base_fwd >= 1
+    assert sta.dist_relaxations - base_bwd == 1
+    ann = analyze(circuit, MODEL)
+    assert sta.arrival == ann.arrival
+    assert sta.dist_to_po == ann.dist_to_po
+
+
+def test_backward_seed_still_reaches_parents_on_edge_delay_change():
+    """An in-edge delay change leaves the touched gate's own dist alone
+    but moves its parents' -- the memo key must catch it."""
+    from repro.network import Builder
+    from repro.timing import AsBuiltDelayModel
+
+    b = Builder("seed")
+    x, y = b.inputs("x", "y")
+    g = b.and_(x, y, delay=1.0)
+    b.output("o", g)
+    circuit = b.done()
+    model = AsBuiltDelayModel()
+    sta = IncrementalSTA(circuit, model)
+    assert sta.dist_to_po[x] == 1.0
+    cid = circuit.gates[g].fanin[0]  # the x -> g edge
+    circuit.set_connection_delay(cid, 5.0)
+    sta.refresh({g})  # transform contract: the edge's dst is touched
+    ann = analyze(circuit, model)
+    assert sta.dist_to_po == ann.dist_to_po
+    assert sta.dist_to_po[x] == 6.0
+    assert sta.dist_to_po[y] == 1.0
+
+
+def test_backward_seed_still_reaches_parents_on_gate_delay_change():
+    from repro.network import Builder
+    from repro.timing import AsBuiltDelayModel
+
+    b = Builder("seed2")
+    x, y = b.inputs("x", "y")
+    inner = b.or_(x, y, delay=1.0)
+    g = b.and_(inner, y, delay=1.0)
+    b.output("o", g)
+    circuit = b.done()
+    model = AsBuiltDelayModel()
+    sta = IncrementalSTA(circuit, model)
+    circuit.set_gate_delay(g, 4.0)
+    sta.refresh({g})
+    ann = analyze(circuit, model)
+    assert sta.arrival == ann.arrival
+    assert sta.dist_to_po == ann.dist_to_po
+    assert sta.dist_to_po[inner] == 4.0
